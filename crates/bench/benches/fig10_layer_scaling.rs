@@ -1,0 +1,31 @@
+//! Criterion bench for Figures 10–12: layer overlay (intersection and
+//! union) on Table III replica layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyclip::prelude::*;
+use polyclip_bench::layer;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_layer_scaling");
+    g.sample_size(10);
+    let opts = ClipOptions::sequential();
+    // Small scale keeps criterion's repeated sampling tractable.
+    let a = layer(1, 0.005, 1007);
+    let b = layer(2, 0.005, 2007);
+    for slabs in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("intersect_1_2", slabs),
+            &slabs,
+            |bch, &s| {
+                bch.iter(|| overlay_intersection(&a, &b, s, SlabAssignment::UniqueOwner, &opts))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("union_1_2", slabs), &slabs, |bch, &s| {
+            bch.iter(|| overlay_union(&a, &b, s, &opts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 7: sequential clipping time vs polygon size.
+//!
+//! The paper's Figure 7 shows GPC's superlinear growth with polygon size —
+//! the motivation for partitioning. This bench measures our sequential
+//! scanbeam engine (the GPC substitute) on the same synthetic pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyclip::datagen::synthetic_pair;
+use polyclip::prelude::*;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_seq_scaling");
+    g.sample_size(10);
+    let seq = ClipOptions::sequential();
+    for n in [1_000usize, 4_000, 16_000, 64_000] {
+        let (a, b) = synthetic_pair(n, 42);
+        g.bench_with_input(BenchmarkId::new("intersect", n), &n, |bch, _| {
+            bch.iter(|| clip(&a, &b, BoolOp::Intersection, &seq))
+        });
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |bch, _| {
+            bch.iter(|| clip(&a, &b, BoolOp::Union, &seq))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

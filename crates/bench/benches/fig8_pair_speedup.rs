@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 8: Algorithm 2 (slab partitioning) on a
+//! synthetic polygon pair, across slab counts.
+//!
+//! The measured wall time on a 1-core host stays flat (the slabs serialize)
+//! — the `figures fig8` harness additionally reports the critical-path
+//! projection; this bench tracks the *total work* the decomposition costs,
+//! i.e. the partition + clip + merge overhead of slabbing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyclip::datagen::synthetic_pair;
+use polyclip::prelude::*;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_pair_speedup");
+    g.sample_size(10);
+    let seq = ClipOptions::sequential();
+    let (a, b) = synthetic_pair(20_000, 42);
+    for slabs in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("slabs", slabs), &slabs, |bch, &s| {
+            bch.iter(|| clip_pair_slabs(&a, &b, BoolOp::Intersection, s, &seq))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures: deterministic workloads, wall-clock measurement, the
+//! critical-path projection used to report parallel scaling on hosts with
+//! fewer cores than the paper's 64-core Opteron, CSV output and quick ASCII
+//! charts.
+
+use polyclip::prelude::*;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Measure one closure invocation.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
+/// Measure the minimum of `reps` invocations (steadier than a single shot).
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(reps >= 1);
+    let (mut out, mut best) = time(&mut f);
+    for _ in 1..reps {
+        let (v, d) = time(&mut f);
+        if d < best {
+            best = d;
+            out = v;
+        }
+    }
+    (out, best)
+}
+
+/// The parallel-time projection for a slab run: the slowest slab's
+/// partition + clip, plus the sequential merge. On a machine with ≥ p cores
+/// this equals the measured wall time; on smaller hosts it reports what the
+/// decomposition *would* achieve — the substitution documented in
+/// EXPERIMENTS.md for the paper's 64-core testbed.
+pub fn critical_path(times: &PhaseTimes) -> Duration {
+    let slowest = times
+        .per_slab_partition
+        .iter()
+        .zip(&times.per_slab_clip)
+        .map(|(p, c)| *p + *c)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    slowest + times.merge
+}
+
+/// Critical path of an overlay run: slowest slab + the (parallel-safe)
+/// partition prologue.
+pub fn overlay_critical_path(r: &OverlayResult) -> Duration {
+    let slowest = r
+        .per_slab_clip
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(Duration::ZERO);
+    r.partition + slowest
+}
+
+/// A results table: header plus rows, printable and CSV-serializable.
+#[derive(Debug, Default, Clone)]
+pub struct ResultTable {
+    /// Table name (file stem for the CSV).
+    pub name: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Create an empty table.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        ResultTable {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Write `results/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        s.push_str(&self.header.join(","));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        fs::write(dir.join(format!("{}.csv", self.name)), s)
+    }
+}
+
+/// Quick ASCII bar chart of labelled values (for the per-slab load profile).
+pub fn ascii_bars(labels: &[String], values: &[f64], width: usize) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let mut out = String::new();
+    for (l, v) in labels.iter().zip(values) {
+        let n = ((v / max) * width as f64).round() as usize;
+        let _ = writeln!(out, "{l:>10} | {} {v:.4}", "#".repeat(n));
+    }
+    out
+}
+
+/// Format a duration in milliseconds with 3 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// The slab counts swept by the scaling figures.
+pub const SLAB_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+
+/// Generate a Table III replica layer, caching nothing (generation is
+/// deterministic and fast relative to clipping).
+pub fn layer(id: usize, scale: f64, seed: u64) -> Layer {
+    let spec = polyclip::datagen::table3_spec(id);
+    Layer::new(polyclip::datagen::generate_layer(&spec, scale, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_csv_roundtrip() {
+        let mut t = ResultTable::new("demo", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["30".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("bb"));
+        assert!(s.contains("30"));
+        let dir = std::env::temp_dir().join("polyclip_bench_test");
+        t.write_csv(&dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,bb"));
+    }
+
+    #[test]
+    fn critical_path_is_slowest_slab_plus_merge() {
+        let times = PhaseTimes {
+            per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
+            per_slab_clip: vec![Duration::from_millis(10), Duration::from_millis(5)],
+            merge: Duration::from_millis(3),
+            total: Duration::from_millis(21),
+        };
+        assert_eq!(critical_path(&times), Duration::from_millis(14));
+    }
+
+    #[test]
+    fn time_best_returns_minimum() {
+        let mut n = 0u64;
+        let (_, d) = time_best(3, || {
+            n += 1;
+            std::thread::sleep(Duration::from_millis(if n == 2 { 1 } else { 5 }));
+        });
+        assert!(d < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn ascii_bars_scale_to_width() {
+        let s = ascii_bars(
+            &["a".to_string(), "b".to_string()],
+            &[1.0, 2.0],
+            10,
+        );
+        assert!(s.lines().count() == 2);
+        assert!(s.contains("##########"));
+    }
+}

@@ -1,0 +1,545 @@
+//! Algorithm 2 — the multi-threaded slab-partitioning clipper.
+//!
+//! The practical algorithm of the paper's Section IV, for a pair of
+//! (multi-)polygons:
+//!
+//! 1. sort the distinct vertex y's (Steps 1–2);
+//! 2. compute the bounding rectangle of the union (Step 3);
+//! 3. partition the y-range into `p` horizontal slabs containing roughly
+//!    equal numbers of event points (the paper's load-balancing heuristic:
+//!    "every thread gets roughly equal number of local event points");
+//! 4. in parallel, clip both inputs to each slab (`rectangleClip`, realized
+//!    by [`polyclip_seqclip::band_clip`]) and run the **sequential** scanbeam
+//!    engine inside the slab (Steps 4–6; the paper plugs in GPC here, we
+//!    plug in our GPC-equivalent);
+//! 5. merge the per-slab partial outputs (Step 8): contours that touch a
+//!    slab boundary are dissolved together — their shared boundary runs
+//!    cancel — while interior contours pass through untouched.
+//!
+//! Per-phase wall-clock timers reproduce the partition/clip/merge breakdown
+//! of the paper's Figure 9 and the per-slab load profile of Figure 11.
+
+use crate::classify::BoolOp;
+use crate::engine::{clip, ClipOptions};
+use polyclip_geom::{OrdF64, PolygonSet};
+use polyclip_seqclip::band_clip;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Wall-clock phase breakdown of one Algorithm-2 run (Figure 9 / 11 data).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Time each slab spent in `rectangleClip` (partitioning, Steps 4–5).
+    pub per_slab_partition: Vec<Duration>,
+    /// Time each slab spent clipping (Step 6) — the Figure 11 load profile.
+    pub per_slab_clip: Vec<Duration>,
+    /// Sequential merge time (Step 8).
+    pub merge: Duration,
+    /// End-to-end wall clock.
+    pub total: Duration,
+}
+
+impl PhaseTimes {
+    /// Mean partition time across slabs.
+    pub fn partition_avg(&self) -> Duration {
+        avg(&self.per_slab_partition)
+    }
+
+    /// Mean clip time across slabs.
+    pub fn clip_avg(&self) -> Duration {
+        avg(&self.per_slab_clip)
+    }
+
+    /// Max/mean clip-time ratio: 1.0 is perfect balance (Figure 11).
+    pub fn load_imbalance(&self) -> f64 {
+        let avg = self.clip_avg().as_secs_f64();
+        if avg == 0.0 {
+            return 1.0;
+        }
+        let max = self
+            .per_slab_clip
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0f64, f64::max);
+        max / avg
+    }
+}
+
+fn avg(v: &[Duration]) -> Duration {
+    if v.is_empty() {
+        return Duration::ZERO;
+    }
+    v.iter().sum::<Duration>() / v.len() as u32
+}
+
+/// Result of an Algorithm-2 run.
+#[derive(Clone, Debug)]
+pub struct Algo2Result {
+    /// The clipped polygon set.
+    pub output: PolygonSet,
+    /// Phase timers.
+    pub times: PhaseTimes,
+    /// Number of slabs actually used (≤ requested when few events exist).
+    pub slabs: usize,
+}
+
+/// How Algorithm 2 fuses its per-slab partial outputs (Step 8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MergeStrategy {
+    /// One sequential pass over all partials — the paper's implementation.
+    #[default]
+    Sequential,
+    /// Binary reduction tree over the slabs (the paper's Figure 6 /
+    /// future-work parallel merge): `O(log p)` levels, merges within a
+    /// level run concurrently.
+    Tree,
+}
+
+/// Clip a pair of polygon sets with the slab-partitioned Algorithm 2.
+///
+/// `n_slabs` is the paper's `p` (one slab per thread); the per-slab work
+/// runs on the current rayon pool. `opts` configures fill rule etc.; the
+/// per-slab engine always runs sequentially, parallelism comes from the
+/// slab fan-out, exactly as in the paper.
+pub fn clip_pair_slabs(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    n_slabs: usize,
+    opts: &ClipOptions,
+) -> Algo2Result {
+    clip_pair_slabs_with(subject, clip_p, op, n_slabs, opts, MergeStrategy::Sequential)
+}
+
+/// [`clip_pair_slabs`] with an explicit Step-8 merge strategy.
+pub fn clip_pair_slabs_with(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    n_slabs: usize,
+    opts: &ClipOptions,
+    merge_strategy: MergeStrategy,
+) -> Algo2Result {
+    let t_start = Instant::now();
+    let seq = ClipOptions {
+        parallel: false,
+        ..*opts
+    };
+
+    // Steps 1–3: event schedule and bounding rectangle.
+    let mut ys: Vec<OrdF64> = subject
+        .contours()
+        .iter()
+        .chain(clip_p.contours())
+        .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
+        .collect();
+    ys.sort_unstable();
+    ys.dedup();
+
+    if ys.len() < 2 || n_slabs <= 1 {
+        // Degenerate instance or a single slab: plain sequential clip.
+        let t0 = Instant::now();
+        let output = clip(subject, clip_p, op, &seq);
+        let times = PhaseTimes {
+            per_slab_partition: vec![Duration::ZERO],
+            per_slab_clip: vec![t0.elapsed()],
+            merge: Duration::ZERO,
+            total: t_start.elapsed(),
+        };
+        return Algo2Result { output, times, slabs: 1 };
+    }
+
+    // Equal-event-count slab boundaries over [ymin, ymax].
+    let boundaries = slab_boundaries(&ys, n_slabs);
+    let slabs = boundaries.len() - 1;
+
+    // Steps 4–6 per slab, in parallel.
+    let partials: Vec<(PolygonSet, Duration, Duration)> = (0..slabs)
+        .into_par_iter()
+        .map(|i| {
+            let (lo, hi) = (boundaries[i], boundaries[i + 1]);
+            let t0 = Instant::now();
+            let s_band = band_clip(subject, lo, hi);
+            let c_band = band_clip(clip_p, lo, hi);
+            let t_part = t0.elapsed();
+            let t1 = Instant::now();
+            let out = clip(&s_band, &c_band, op, &seq);
+            (out, t_part, t1.elapsed())
+        })
+        .collect();
+
+    let per_slab_partition: Vec<Duration> = partials.iter().map(|p| p.1).collect();
+    let per_slab_clip: Vec<Duration> = partials.iter().map(|p| p.2).collect();
+
+    // Step 8: merge partial outputs at the interior slab boundaries.
+    let t_merge = Instant::now();
+    let interior = &boundaries[1..boundaries.len() - 1];
+    let output = match merge_strategy {
+        MergeStrategy::Sequential => {
+            merge_slab_outputs(partials.into_iter().map(|p| p.0), interior, &seq)
+        }
+        MergeStrategy::Tree => merge_slab_outputs_tree(
+            partials.into_iter().map(|p| p.0).collect(),
+            interior,
+            &seq,
+        ),
+    };
+    let merge = t_merge.elapsed();
+
+    Algo2Result {
+        output,
+        times: PhaseTimes {
+            per_slab_partition,
+            per_slab_clip,
+            merge,
+            total: t_start.elapsed(),
+        },
+        slabs,
+    }
+}
+
+/// Slab boundaries with roughly equal event counts per slab; first and last
+/// are the extreme event y's, interior boundaries are event quantiles.
+pub fn slab_boundaries(sorted_ys: &[OrdF64], n_slabs: usize) -> Vec<f64> {
+    let m = sorted_ys.len();
+    let mut b: Vec<f64> = Vec::with_capacity(n_slabs + 1);
+    b.push(sorted_ys[0].get());
+    for i in 1..n_slabs {
+        let idx = i * (m - 1) / n_slabs;
+        let y = sorted_ys[idx].get();
+        if y > *b.last().unwrap() {
+            b.push(y);
+        }
+    }
+    let last = sorted_ys[m - 1].get();
+    if last > *b.last().unwrap() {
+        b.push(last);
+    }
+    b
+}
+
+/// Fuse per-slab partial outputs (Step 8).
+///
+/// Strictly interior contours pass through untouched. Contours touching an
+/// interior slab boundary are decomposed into directed edges; the
+/// horizontal runs lying on a boundary are split at the union of both
+/// sides' endpoints (band-clip cut vertices are bit-identical across the
+/// seam, so after splitting, opposite runs cancel exactly); cancellation +
+/// stitching then reassembles seamless contours. This is the paper's merge
+/// of partial output polygons, done in O(touching · log) without re-running
+/// the clipping engine.
+pub fn merge_slab_outputs(
+    parts: impl Iterator<Item = PolygonSet>,
+    interior_boundaries: &[f64],
+    opts: &ClipOptions,
+) -> PolygonSet {
+    use polyclip_geom::{OrdF64, Point};
+    use std::collections::HashMap;
+
+    let mut pass = PolygonSet::new();
+    let mut touching: Vec<polyclip_geom::Contour> = Vec::new();
+    for ps in parts {
+        for c in ps.into_contours() {
+            let bb = c.bbox();
+            let touches = interior_boundaries
+                .iter()
+                .any(|&y| bb.ymin <= y && y <= bb.ymax);
+            if touches {
+                touching.push(c);
+            } else {
+                pass.push(c);
+            }
+        }
+    }
+    if touching.is_empty() {
+        return pass;
+    }
+
+    let boundary_set: std::collections::HashSet<OrdF64> = interior_boundaries
+        .iter()
+        .map(|&y| OrdF64::new(y))
+        .collect();
+
+    // Decompose into directed edges; collect seam-run endpoints per
+    // boundary so both sides split identically.
+    let mut edges: Vec<(Point, Point)> = Vec::new();
+    let mut seam_xs: HashMap<OrdF64, Vec<OrdF64>> = HashMap::new();
+    for c in &touching {
+        for e in c.edges() {
+            if e.a.y == e.b.y && boundary_set.contains(&OrdF64::new(e.a.y)) {
+                let xs = seam_xs.entry(OrdF64::new(e.a.y)).or_default();
+                xs.push(OrdF64::new(e.a.x));
+                xs.push(OrdF64::new(e.b.x));
+            }
+            edges.push((e.a, e.b));
+        }
+    }
+    for xs in seam_xs.values_mut() {
+        xs.sort_unstable();
+        xs.dedup();
+    }
+
+    // Split every seam run at all seam endpoints inside it.
+    let mut split_edges: Vec<(Point, Point)> = Vec::with_capacity(edges.len());
+    for (a, b) in edges {
+        let on_seam = a.y == b.y && boundary_set.contains(&OrdF64::new(a.y));
+        if !on_seam {
+            split_edges.push((a, b));
+            continue;
+        }
+        let xs = &seam_xs[&OrdF64::new(a.y)];
+        let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+        let start = xs.partition_point(|&x| x.get() <= lo);
+        let mut prev = a;
+        if a.x <= b.x {
+            for &x in &xs[start..] {
+                if x.get() >= hi {
+                    break;
+                }
+                let m = Point::new(x.get(), a.y);
+                split_edges.push((prev, m));
+                prev = m;
+            }
+        } else {
+            // Rightmost interior split first for a right-to-left run.
+            let end = xs.partition_point(|&x| x.get() < hi);
+            for &x in xs[start..end].iter().rev() {
+                let m = Point::new(x.get(), a.y);
+                split_edges.push((prev, m));
+                prev = m;
+            }
+        }
+        split_edges.push((prev, b));
+    }
+
+    let stitched = crate::stitch::stitch(split_edges, !opts.keep_virtual);
+    pass.extend(PolygonSet::from_contours(stitched));
+    pass
+}
+
+/// Parallel tree-reduction merge — the paper's Figure 6, which it leaves as
+/// future work ("Step 8 … can be parallelized as illustrated in Fig. 6 for
+/// stronger scaling"): partial outputs sit at the leaves of a binary tree;
+/// each internal node merges its two children at the single slab boundary
+/// separating them, and the `O(log p)` levels run concurrently within each
+/// level.
+///
+/// Produces the same polygon set as [`merge_slab_outputs`] (asserted in
+/// tests); the `ablation_tree_merge` bench compares the two.
+pub fn merge_slab_outputs_tree(
+    parts: Vec<PolygonSet>,
+    interior_boundaries: &[f64],
+    opts: &ClipOptions,
+) -> PolygonSet {
+    if parts.len() <= 1 {
+        return parts.into_iter().next().unwrap_or_default();
+    }
+    debug_assert_eq!(parts.len(), interior_boundaries.len() + 1);
+    // Pair up (partial, boundary-above) so each reduction level knows which
+    // seams its merges dissolve.
+    let mut level: Vec<(PolygonSet, Vec<f64>)> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let above = interior_boundaries.get(i).copied();
+            (p, above.into_iter().collect())
+        })
+        .collect();
+    while level.len() > 1 {
+        level = level
+            .par_chunks(2)
+            .map(|pair| {
+                if pair.len() == 1 {
+                    return pair[0].clone();
+                }
+                let (a, seams_a) = &pair[0];
+                let (b, seams_b) = &pair[1];
+                // The seam joining the two halves is the last of `a`'s.
+                let join = *seams_a.last().expect("non-top chunk has a seam");
+                let merged = merge_slab_outputs(
+                    [a.clone(), b.clone()].into_iter(),
+                    &[join],
+                    opts,
+                );
+                // Seams still open after this node: b's trailing seam.
+                (merged, seams_b.clone())
+            })
+            .collect();
+    }
+    level.into_iter().next().map(|(p, _)| p).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{eo_area, measure_op};
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::{FillRule, Point};
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> PolygonSet {
+        PolygonSet::from_contour(rect(x0, y0, x1, y1))
+    }
+
+    fn seq() -> ClipOptions {
+        ClipOptions::sequential()
+    }
+
+    #[test]
+    fn matches_engine_on_offset_squares_for_all_ops() {
+        let a = sq(0.0, 0.0, 2.0, 2.0);
+        let b = sq(1.0, 1.0, 3.0, 3.0);
+        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+            for slabs in [1usize, 2, 3, 7] {
+                let r = clip_pair_slabs(&a, &b, op, slabs, &seq());
+                let want = measure_op(&a, &b, op, &seq());
+                let got = eo_area(&r.output);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "op {op:?} slabs {slabs}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_across_slabs_is_seamless() {
+        // One tall rectangle cut by many slab boundaries must come back as a
+        // single 4-vertex contour: the dissolve removes every seam.
+        let a = sq(0.0, 0.0, 1.0, 10.0);
+        let b = sq(0.25, 2.0, 0.75, 8.0); // strictly inside a
+        let r = clip_pair_slabs(&a, &b, BoolOp::Union, 6, &seq());
+        assert_eq!(r.output.len(), 1, "contours: {:?}", r.output.len());
+        assert_eq!(r.output.contours()[0].len(), 4);
+        assert!((eo_area(&r.output) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_contours_bypass_the_merge() {
+        // Small islands strictly inside slabs pass through without dissolve;
+        // correctness must be unaffected.
+        let mut contours = Vec::new();
+        for i in 0..8 {
+            let y = i as f64 * 3.0;
+            contours.push(rect(0.0, y + 0.2, 1.0, y + 0.8));
+        }
+        let a = PolygonSet::from_contours(contours);
+        let b = sq(-1.0, -1.0, 2.0, 25.0);
+        let r = clip_pair_slabs(&a, &b, BoolOp::Intersection, 4, &seq());
+        assert_eq!(r.output.len(), 8);
+        assert!((eo_area(&r.output) - 8.0 * 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let a = sq(0.0, 0.0, 4.0, 12.0);
+        let b = sq(1.0, 1.0, 5.0, 11.0);
+        let r = clip_pair_slabs(&a, &b, BoolOp::Intersection, 3, &seq());
+        assert!(r.slabs >= 2);
+        assert_eq!(r.times.per_slab_clip.len(), r.slabs);
+        assert_eq!(r.times.per_slab_partition.len(), r.slabs);
+        assert!(r.times.total >= r.times.merge);
+        assert!(r.times.load_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_slab_falls_back_to_sequential() {
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        let b = sq(0.5, 0.5, 1.5, 1.5);
+        let r = clip_pair_slabs(&a, &b, BoolOp::Intersection, 1, &seq());
+        assert_eq!(r.slabs, 1);
+        assert!((eo_area(&r.output) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_slabs_than_events_is_safe() {
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        let b = sq(0.5, 0.5, 1.5, 1.5);
+        let r = clip_pair_slabs(&a, &b, BoolOp::Union, 64, &seq());
+        assert!((eo_area(&r.output) - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_inputs_across_slabs() {
+        // A comb-shaped subject spanning several slabs.
+        let comb = PolygonSet::from_xy(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 6.0),
+            (8.0, 6.0),
+            (8.0, 2.0),
+            (6.0, 2.0),
+            (6.0, 6.0),
+            (4.0, 6.0),
+            (4.0, 2.0),
+            (2.0, 2.0),
+            (2.0, 6.0),
+            (0.0, 6.0),
+        ]);
+        let b = sq(1.0, 1.0, 9.0, 5.0);
+        for slabs in [2usize, 3, 5] {
+            let r = clip_pair_slabs(&comb, &b, BoolOp::Intersection, slabs, &seq());
+            let want = measure_op(&comb, &b, BoolOp::Intersection, &seq());
+            assert!((eo_area(&r.output) - want).abs() < 1e-9, "slabs={slabs}");
+        }
+    }
+
+    #[test]
+    fn difference_result_has_correct_membership() {
+        let a = sq(0.0, 0.0, 4.0, 8.0);
+        let b = sq(1.0, 1.0, 3.0, 7.0);
+        let r = clip_pair_slabs(&a, &b, BoolOp::Difference, 4, &seq());
+        assert!(!r.output.contains(Point::new(2.0, 4.0), FillRule::EvenOdd));
+        assert!(r.output.contains(Point::new(0.5, 4.0), FillRule::EvenOdd));
+        assert!((eo_area(&r.output) - (32.0 - 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_merge_equals_sequential_merge() {
+        let a = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.3), (5.0, 9.7), (0.5, 10.0)]);
+        let b = PolygonSet::from_xy(&[(2.0, -1.0), (6.0, 4.0), (3.0, 11.0), (1.0, 5.0)]);
+        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Xor] {
+            for slabs in [2usize, 3, 5, 8] {
+                let s = clip_pair_slabs_with(&a, &b, op, slabs, &seq(), MergeStrategy::Sequential);
+                let t = clip_pair_slabs_with(&a, &b, op, slabs, &seq(), MergeStrategy::Tree);
+                assert!(
+                    (eo_area(&s.output) - eo_area(&t.output)).abs() < 1e-9,
+                    "op {op:?} slabs {slabs}"
+                );
+                assert_eq!(
+                    s.output.len(),
+                    t.output.len(),
+                    "tree merge must dissolve every seam (op {op:?}, slabs {slabs})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_merge_seamless_single_contour() {
+        // Same invariant as the sequential merge: a tall rectangle crossed
+        // by many seams comes back as one 4-vertex contour.
+        let a = sq(0.0, 0.0, 1.0, 10.0);
+        let b = sq(0.25, 2.0, 0.75, 8.0);
+        let r = clip_pair_slabs_with(
+            &a,
+            &b,
+            BoolOp::Union,
+            6,
+            &seq(),
+            MergeStrategy::Tree,
+        );
+        assert_eq!(r.output.len(), 1);
+        assert_eq!(r.output.contours()[0].len(), 4);
+    }
+
+    #[test]
+    fn slab_boundaries_are_strictly_increasing() {
+        let ys: Vec<OrdF64> = (0..100).map(|i| OrdF64::new((i / 10) as f64)).collect();
+        let b = slab_boundaries(&ys, 8);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(*b.first().unwrap(), 0.0);
+        assert_eq!(*b.last().unwrap(), 9.0);
+    }
+}

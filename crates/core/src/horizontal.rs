@@ -1,0 +1,166 @@
+//! Horizontal boundary reconstruction between adjacent scanbeams.
+//!
+//! Two vertically adjacent scanbeams share a scanline. Where the kept region
+//! of the upper beam extends over x-ranges the lower beam does not cover,
+//! the shared scanline is a *bottom* boundary of the output (directed
+//! rightward, interior above); where only the lower beam covers, it is a
+//! *top* boundary (leftward, interior below); where both cover, the partial
+//! polygons merge seamlessly — the shared border cancels, which is exactly
+//! the paper's Figure 6 union of partial output polygons from adjacent
+//! scanbeams, computed here as an interval symmetric difference.
+//!
+//! Interval endpoints originate from sub-edge coordinates that are
+//! bit-identical on both sides of a scanline (see
+//! [`polyclip_sweep::beams`]), so the symmetric difference is exact.
+
+use polyclip_geom::{OrdF64, Point};
+
+/// Horizontal boundary fragments on the scanline at height `y`, given the
+/// kept intervals of the beam below (its top scanline) and the beam above
+/// (its bottom scanline). Returned edges are directed interior-on-left.
+pub fn horizontal_edges(
+    below: &[(f64, f64)],
+    above: &[(f64, f64)],
+    y: f64,
+) -> Vec<(Point, Point)> {
+    // Coverage deltas at each x: +1/−1 per interval boundary, tracked
+    // separately for the two sides.
+    let mut ev: Vec<(OrdF64, i32, i32)> = Vec::with_capacity(2 * (below.len() + above.len()));
+    for &(a, b) in below {
+        if a < b {
+            ev.push((OrdF64::new(a), 1, 0));
+            ev.push((OrdF64::new(b), -1, 0));
+        }
+    }
+    for &(a, b) in above {
+        if a < b {
+            ev.push((OrdF64::new(a), 0, 1));
+            ev.push((OrdF64::new(b), 0, -1));
+        }
+    }
+    if ev.is_empty() {
+        return Vec::new();
+    }
+    ev.sort_unstable_by_key(|e| e.0);
+
+    #[derive(PartialEq, Clone, Copy)]
+    enum Status {
+        Neither,
+        BottomOfUpper, // only the beam above keeps: rightward edge
+        TopOfLower,    // only the beam below keeps: leftward edge
+    }
+
+    let mut out = Vec::new();
+    let (mut nb, mut na) = (0i32, 0i32);
+    let mut run_start = ev[0].0;
+    let mut run_status = Status::Neither;
+    let mut i = 0;
+    while i < ev.len() {
+        let x = ev[i].0;
+        // Apply all deltas at this x.
+        while i < ev.len() && ev[i].0 == x {
+            nb += ev[i].1;
+            na += ev[i].2;
+            i += 1;
+        }
+        let status = match (nb > 0, na > 0) {
+            (false, true) => Status::BottomOfUpper,
+            (true, false) => Status::TopOfLower,
+            _ => Status::Neither,
+        };
+        if status != run_status {
+            emit(&mut out, run_status, run_start.get(), x.get(), y);
+            run_start = x;
+            run_status = status;
+        }
+    }
+    debug_assert!(run_status == Status::Neither, "unbalanced interval deltas");
+
+    #[inline]
+    fn emit(
+        out: &mut Vec<(Point, Point)>,
+        status: Status,
+        x0: f64,
+        x1: f64,
+        y: f64,
+    ) {
+        if x0 >= x1 {
+            return;
+        }
+        match status {
+            Status::Neither => {}
+            // Interior above → travel rightward keeps it on the left.
+            Status::BottomOfUpper => out.push((Point::new(x0, y), Point::new(x1, y))),
+            // Interior below → travel leftward.
+            Status::TopOfLower => out.push((Point::new(x1, y), Point::new(x0, y))),
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(Point, Point)]) -> Vec<(f64, f64, f64, f64)> {
+        v.iter().map(|(a, b)| (a.x, a.y, b.x, b.y)).collect()
+    }
+
+    #[test]
+    fn bottom_of_a_fresh_region() {
+        // Nothing below, one interval above → rightward bottom edge.
+        let e = horizontal_edges(&[], &[(1.0, 3.0)], 5.0);
+        assert_eq!(pts(&e), vec![(1.0, 5.0, 3.0, 5.0)]);
+    }
+
+    #[test]
+    fn top_of_a_closing_region() {
+        let e = horizontal_edges(&[(1.0, 3.0)], &[], 5.0);
+        assert_eq!(pts(&e), vec![(3.0, 5.0, 1.0, 5.0)]);
+    }
+
+    #[test]
+    fn perfectly_matching_intervals_cancel() {
+        let e = horizontal_edges(&[(1.0, 3.0)], &[(1.0, 3.0)], 5.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_emits_both_kinds() {
+        // Below covers [0,2], above covers [1,4].
+        let e = horizontal_edges(&[(0.0, 2.0)], &[(1.0, 4.0)], 1.0);
+        // [0,1): top of lower (leftward); [2,4): bottom of upper (rightward).
+        assert_eq!(e.len(), 2);
+        assert!(pts(&e).contains(&(1.0, 1.0, 0.0, 1.0)));
+        assert!(pts(&e).contains(&(2.0, 1.0, 4.0, 1.0)));
+    }
+
+    #[test]
+    fn multiple_intervals_and_shared_endpoints() {
+        // Below: [0,1] and [2,3]; above: [0,3].
+        let e = horizontal_edges(&[(0.0, 1.0), (2.0, 3.0)], &[(0.0, 3.0)], 0.0);
+        // Only the gap [1,2] is a fresh bottom edge.
+        assert_eq!(pts(&e), vec![(1.0, 0.0, 2.0, 0.0)]);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_ignored() {
+        let e = horizontal_edges(&[(1.0, 1.0)], &[(2.0, 2.0)], 0.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn adjacent_runs_coalesce() {
+        // Above: [0,1] and [1,2] — must come out as one edge [0,2].
+        let e = horizontal_edges(&[], &[(0.0, 1.0), (1.0, 2.0)], 0.0);
+        assert_eq!(pts(&e), vec![(0.0, 0.0, 2.0, 0.0)]);
+    }
+
+    #[test]
+    fn nested_below_intervals() {
+        // Below [0,4] plus duplicate cover [1,2] (overlap counts, not parity).
+        let e = horizontal_edges(&[(0.0, 4.0), (1.0, 2.0)], &[(0.0, 4.0)], 0.0);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! N-ary operation conveniences on top of the binary engine.
+//!
+//! The paper's algorithm "can be extended to handle two sets of input
+//! polygons"; GIS pipelines routinely chain further — union of many layers,
+//! intersection of several masks. These helpers provide the common folds,
+//! with the union fold arranged as a **parallel reduction tree** (the same
+//! shape as the paper's Figure 6 merge): `O(log n)` tree depth, each level's
+//! merges running concurrently on rayon.
+
+use crate::classify::BoolOp;
+use crate::engine::{clip, dissolve, ClipOptions};
+use polyclip_geom::PolygonSet;
+
+/// Union of many polygon sets via a parallel reduction tree.
+///
+/// Leaves hold the inputs; each internal node unions its two children.
+/// Because union is associative, the result equals the left-to-right fold,
+/// but the tree shape exposes parallelism and keeps intermediate results
+/// small when inputs are spatially separated.
+pub fn union_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
+    match polys.len() {
+        0 => PolygonSet::new(),
+        1 => dissolve(&polys[0], opts),
+        _ => {
+            let mid = polys.len() / 2;
+            let (l, r) = if opts.parallel {
+                rayon::join(
+                    || union_all(&polys[..mid], opts),
+                    || union_all(&polys[mid..], opts),
+                )
+            } else {
+                (union_all(&polys[..mid], opts), union_all(&polys[mid..], opts))
+            };
+            clip(&l, &r, BoolOp::Union, opts)
+        }
+    }
+}
+
+/// Intersection of many polygon sets (left fold; empty input → empty set).
+///
+/// The fold short-circuits as soon as the accumulator becomes empty — the
+/// output-sensitive analogue for chains of masks.
+pub fn intersection_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
+    let mut iter = polys.iter();
+    let Some(first) = iter.next() else {
+        return PolygonSet::new();
+    };
+    let mut acc = dissolve(first, opts);
+    for p in iter {
+        if acc.is_empty() {
+            return acc;
+        }
+        acc = clip(&acc, p, BoolOp::Intersection, opts);
+    }
+    acc
+}
+
+/// Symmetric difference of many polygon sets (region covered by an odd
+/// number of inputs). Associative, folded as a tree like [`union_all`].
+pub fn xor_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
+    match polys.len() {
+        0 => PolygonSet::new(),
+        1 => dissolve(&polys[0], opts),
+        _ => {
+            let mid = polys.len() / 2;
+            let (l, r) = if opts.parallel {
+                rayon::join(
+                    || xor_all(&polys[..mid], opts),
+                    || xor_all(&polys[mid..], opts),
+                )
+            } else {
+                (xor_all(&polys[..mid], opts), xor_all(&polys[mid..], opts))
+            };
+            clip(&l, &r, BoolOp::Xor, opts)
+        }
+    }
+}
+
+/// Subtract every `holes` entry from `base`: `base \ (h₁ ∪ h₂ ∪ …)`.
+pub fn subtract_all(base: &PolygonSet, holes: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
+    if holes.is_empty() {
+        return dissolve(base, opts);
+    }
+    let mask = union_all(holes, opts);
+    clip(base, &mask, BoolOp::Difference, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::eo_area;
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::{FillRule, Point};
+
+    fn sq(x: f64, y: f64, s: f64) -> PolygonSet {
+        PolygonSet::from_contour(rect(x, y, x + s, y + s))
+    }
+
+    fn seq() -> ClipOptions {
+        ClipOptions::sequential()
+    }
+
+    #[test]
+    fn union_all_of_overlapping_row() {
+        // Five unit squares stepping by 0.5: union is a 3 × 1 rectangle.
+        let squares: Vec<PolygonSet> = (0..5).map(|i| sq(i as f64 * 0.5, 0.0, 1.0)).collect();
+        for opts in [seq(), ClipOptions::default()] {
+            let u = union_all(&squares, &opts);
+            assert_eq!(u.len(), 1);
+            assert!((eo_area(&u) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_matches_left_fold() {
+        let polys: Vec<PolygonSet> = (0..7)
+            .map(|i| sq((i % 3) as f64 * 0.7, (i / 3) as f64 * 0.8, 1.0))
+            .collect();
+        let tree = union_all(&polys, &seq());
+        let mut fold = PolygonSet::new();
+        for p in &polys {
+            fold = clip(&fold, p, BoolOp::Union, &seq());
+        }
+        assert!((eo_area(&tree) - eo_area(&fold)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_all_shrinks_and_short_circuits() {
+        let masks = vec![sq(0.0, 0.0, 4.0), sq(1.0, 1.0, 4.0), sq(2.0, 2.0, 4.0)];
+        let i = intersection_all(&masks, &seq());
+        // Overlap of the three: [2,4]x[2,4] ∩ [1,5]² ∩ [0,4]² = [2,4]².
+        assert!((eo_area(&i) - 4.0).abs() < 1e-9);
+        // Disjoint mask empties the chain.
+        let mut masks2 = masks.clone();
+        masks2.insert(1, sq(100.0, 100.0, 1.0));
+        assert!(intersection_all(&masks2, &seq()).is_empty());
+        assert!(intersection_all(&[], &seq()).is_empty());
+    }
+
+    #[test]
+    fn xor_all_counts_parity() {
+        // Three concentric squares: xor = outer ring ∪ innermost.
+        let a = sq(0.0, 0.0, 6.0);
+        let b = sq(1.0, 1.0, 4.0);
+        let c = sq(2.0, 2.0, 2.0);
+        let x = xor_all(&[a, b, c], &seq());
+        // Areas: 36 − 16 + 4 = 24 under odd-coverage parity.
+        assert!((eo_area(&x) - 24.0).abs() < 1e-9);
+        assert!(x.contains(Point::new(0.5, 0.5), FillRule::EvenOdd)); // 1 cover
+        assert!(!x.contains(Point::new(1.5, 1.5), FillRule::EvenOdd)); // 2 covers
+        assert!(x.contains(Point::new(3.0, 3.0), FillRule::EvenOdd)); // 3 covers
+    }
+
+    #[test]
+    fn subtract_all_carves_holes() {
+        let base = sq(0.0, 0.0, 10.0);
+        let holes = vec![sq(1.0, 1.0, 2.0), sq(5.0, 5.0, 2.0), sq(4.0, 1.0, 2.0)];
+        let out = subtract_all(&base, &holes, &seq());
+        assert!((eo_area(&out) - (100.0 - 12.0)).abs() < 1e-9);
+        assert!(!out.contains(Point::new(2.0, 2.0), FillRule::EvenOdd));
+        assert!(out.contains(Point::new(9.0, 9.0), FillRule::EvenOdd));
+        // No holes: plain dissolve.
+        let same = subtract_all(&base, &[], &seq());
+        assert!((eo_area(&same) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_inputs_are_dissolved() {
+        let bow = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        let u = union_all(std::slice::from_ref(&bow), &seq());
+        crate::validate::assert_canonical(&u);
+        assert!((eo_area(&u) - eo_area(&bow)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,652 @@
+//! Layer overlay — clipping two *sets* of polygons (Section IV, last part).
+//!
+//! GIS workloads clip whole layers against each other (the paper's
+//! real-world experiments: urban areas × state boundaries, two telecom GML
+//! layers). The paper's approach: build the event list from the polygons'
+//! MBR y-coordinates, partition it into `p` slabs with equal event counts,
+//! assign polygons to slabs by MBR overlap — **replicating** polygons that
+//! span several slabs, then eliminating redundant outputs — and run one
+//! sequential plane-sweep clipper per slab.
+//!
+//! Two assignment strategies are provided:
+//!
+//! * [`SlabAssignment::Replicate`] — the paper's scheme: a candidate pair is
+//!   processed in *every* slab its y-overlap touches, producing duplicate
+//!   outputs that are removed in a post-pass;
+//! * [`SlabAssignment::UniqueOwner`] — each pair is owned by exactly the
+//!   slab containing `max(ymin_a, ymin_b)` (the bottom of its y-overlap), so
+//!   no duplicates exist by construction. This is our documented
+//!   improvement; the `ablation_slab_assignment` bench quantifies the
+//!   redundant work the replication scheme performs.
+
+use crate::algo2::{clip_pair_slabs, slab_boundaries, Algo2Result, PhaseTimes};
+use crate::classify::BoolOp;
+use crate::engine::{clip, ClipOptions};
+use polyclip_geom::{BBox, OrdF64, PolygonSet};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A GIS layer: a collection of features, each a polygon set (so features
+/// may carry holes or multiple rings).
+#[derive(Clone, Debug, Default)]
+pub struct Layer {
+    /// The features of the layer.
+    pub features: Vec<PolygonSet>,
+}
+
+impl Layer {
+    /// Build a layer from features, dropping empty ones.
+    pub fn new(features: Vec<PolygonSet>) -> Self {
+        Layer {
+            features: features.into_iter().filter(|f| !f.is_empty()).collect(),
+        }
+    }
+
+    /// Number of features ("Polys" in the paper's Table III).
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if the layer has no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Total edge count ("Edges" in Table III).
+    pub fn edge_count(&self) -> usize {
+        self.features.iter().map(|f| f.edge_count()).sum()
+    }
+
+    /// Bounding box of the layer.
+    pub fn bbox(&self) -> BBox {
+        self.features
+            .iter()
+            .fold(BBox::EMPTY, |b, f| b.union(&f.bbox()))
+    }
+
+    /// All features merged into one polygon set (for whole-layer booleans).
+    pub fn merged(&self) -> PolygonSet {
+        let mut out = PolygonSet::new();
+        for f in &self.features {
+            out.extend(f.clone());
+        }
+        out
+    }
+}
+
+/// How candidate pairs are assigned to slabs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SlabAssignment {
+    /// The paper's replication scheme (duplicates removed afterwards).
+    Replicate,
+    /// Each pair owned by the slab containing the bottom of its y-overlap.
+    #[default]
+    UniqueOwner,
+}
+
+/// Result of a layer overlay.
+#[derive(Clone, Debug, Default)]
+pub struct OverlayResult {
+    /// Non-empty per-pair outputs.
+    pub features: Vec<PolygonSet>,
+    /// MBR-overlapping candidate pairs examined.
+    pub candidate_pairs: usize,
+    /// Pair-tasks executed (> `candidate_pairs` under replication).
+    pub tasks_executed: usize,
+    /// Per-slab clip time (the Figure 11 load profile).
+    pub per_slab_clip: Vec<Duration>,
+    /// Time spent building candidate pairs and slab assignment.
+    pub partition: Duration,
+    /// End-to-end wall clock.
+    pub total: Duration,
+}
+
+impl OverlayResult {
+    /// Max/mean per-slab clip-time ratio (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_slab_clip.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.per_slab_clip.iter().map(Duration::as_secs_f64).sum();
+        let avg = sum / self.per_slab_clip.len() as f64;
+        if avg == 0.0 {
+            return 1.0;
+        }
+        let max = self
+            .per_slab_clip
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0f64, f64::max);
+        max / avg
+    }
+}
+
+/// Intersect two layers: pairwise intersection of MBR-overlapping features,
+/// distributed over `n_slabs` slab workers.
+pub fn overlay_intersection(
+    a: &Layer,
+    b: &Layer,
+    n_slabs: usize,
+    assignment: SlabAssignment,
+    opts: &ClipOptions,
+) -> OverlayResult {
+    let t_start = Instant::now();
+    let seq = ClipOptions {
+        parallel: false,
+        ..*opts
+    };
+
+    let t_part = Instant::now();
+    let boxes_a: Vec<BBox> = a.features.iter().map(|f| f.bbox()).collect();
+    let boxes_b: Vec<BBox> = b.features.iter().map(|f| f.bbox()).collect();
+    let pairs = candidate_pairs(&boxes_a, &boxes_b);
+
+    // Slab boundaries from the MBR event y's (the paper's event list).
+    let mut ys: Vec<OrdF64> = boxes_a
+        .iter()
+        .chain(&boxes_b)
+        .flat_map(|bb| [OrdF64::new(bb.ymin), OrdF64::new(bb.ymax)])
+        .collect();
+    ys.sort_unstable();
+    ys.dedup();
+    let n_slabs = n_slabs.max(1);
+    let boundaries = if ys.len() >= 2 {
+        slab_boundaries(&ys, n_slabs)
+    } else {
+        vec![f64::NEG_INFINITY, f64::INFINITY]
+    };
+    let slabs = boundaries.len() - 1;
+
+    // Assign pair tasks to slabs.
+    let mut tasks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); slabs];
+    for &(i, j) in &pairs {
+        let (ba, bb) = (&boxes_a[i as usize], &boxes_b[j as usize]);
+        let lo = ba.ymin.max(bb.ymin);
+        let hi = ba.ymax.min(bb.ymax);
+        match assignment {
+            SlabAssignment::UniqueOwner => {
+                tasks[slab_of(&boundaries, lo)].push((i, j));
+            }
+            SlabAssignment::Replicate => {
+                for (s, t) in tasks.iter_mut().enumerate() {
+                    if boundaries[s] <= hi && lo <= boundaries[s + 1] {
+                        t.push((i, j));
+                    }
+                }
+            }
+        }
+    }
+    let partition = t_part.elapsed();
+    let tasks_executed: usize = tasks.iter().map(Vec::len).sum();
+
+    // Clip each slab's pair list sequentially; slabs in parallel.
+    type SlabOutput = (Vec<((u32, u32), PolygonSet)>, Duration);
+    let slab_results: Vec<SlabOutput> = tasks
+        .par_iter()
+        .map(|list| {
+            let t0 = Instant::now();
+            let outs: Vec<((u32, u32), PolygonSet)> = list
+                .iter()
+                .map(|&(i, j)| {
+                    let out = clip(
+                        &a.features[i as usize],
+                        &b.features[j as usize],
+                        BoolOp::Intersection,
+                        &seq,
+                    );
+                    ((i, j), out)
+                })
+                .filter(|(_, out)| !out.is_empty())
+                .collect();
+            (outs, t0.elapsed())
+        })
+        .collect();
+
+    // Collect, removing replicated duplicates (same pair id) — the paper's
+    // "redundant output polygons … eliminated as a post-processing step".
+    let per_slab_clip: Vec<Duration> = slab_results.iter().map(|r| r.1).collect();
+    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut features = Vec::new();
+    for (outs, _) in slab_results {
+        for (pair, out) in outs {
+            if seen.insert(pair) {
+                features.push(out);
+            }
+        }
+    }
+
+    OverlayResult {
+        features,
+        candidate_pairs: pairs.len(),
+        tasks_executed,
+        per_slab_clip,
+        partition,
+        total: t_start.elapsed(),
+    }
+}
+
+/// Union of two layers: whole-layer boolean via the slab-partitioned
+/// Algorithm 2.
+///
+/// Features are concatenated and evaluated under the **nonzero** fill rule,
+/// so sibling features that overlap *within* a layer still merge (under
+/// even-odd parity an overlap of two same-layer features would read as a
+/// hole). Features must be consistently oriented (outer rings CCW, holes
+/// CW), which every generator and engine output in this workspace is.
+pub fn overlay_union(a: &Layer, b: &Layer, n_slabs: usize, opts: &ClipOptions) -> Algo2Result {
+    let ma = a.merged();
+    let mb = b.merged();
+    if ma.is_empty() && mb.is_empty() {
+        return Algo2Result {
+            output: PolygonSet::new(),
+            times: PhaseTimes::default(),
+            slabs: 0,
+        };
+    }
+    let opts = ClipOptions {
+        fill_rule: polyclip_geom::FillRule::NonZero,
+        ..*opts
+    };
+    clip_pair_slabs(&ma, &mb, BoolOp::Union, n_slabs, &opts)
+}
+
+/// Uniform-grid overlay intersection — the related-work baseline the paper
+/// argues against ("a uniform grid based partitioning approach is discussed
+/// in [19] … this works well only with good load distribution").
+///
+/// A `cells × cells` grid is superimposed; every candidate pair is owned by
+/// the grid cell containing the bottom-left corner of its MBR overlap (so
+/// no duplicates), and cells are processed in parallel. With spatially
+/// skewed data most pairs land in few cells — the load imbalance the
+/// paper's event-quantile slabs avoid; the `ablation_slab_assignment` bench
+/// family quantifies the difference.
+pub fn overlay_intersection_grid(
+    a: &Layer,
+    b: &Layer,
+    cells: usize,
+    opts: &ClipOptions,
+) -> OverlayResult {
+    let t_start = Instant::now();
+    let seq = ClipOptions {
+        parallel: false,
+        ..*opts
+    };
+    let t_part = Instant::now();
+    let boxes_a: Vec<BBox> = a.features.iter().map(|f| f.bbox()).collect();
+    let boxes_b: Vec<BBox> = b.features.iter().map(|f| f.bbox()).collect();
+    let pairs = candidate_pairs(&boxes_a, &boxes_b);
+
+    let world = a.bbox().union(&b.bbox());
+    let cells = cells.max(1);
+    let (cw, ch) = (
+        (world.width() / cells as f64).max(f64::MIN_POSITIVE),
+        (world.height() / cells as f64).max(f64::MIN_POSITIVE),
+    );
+    let cell_of = |x: f64, y: f64| -> usize {
+        let cx = (((x - world.xmin) / cw) as usize).min(cells - 1);
+        let cy = (((y - world.ymin) / ch) as usize).min(cells - 1);
+        cy * cells + cx
+    };
+    let mut tasks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cells * cells];
+    for &(i, j) in &pairs {
+        let (ba, bb) = (&boxes_a[i as usize], &boxes_b[j as usize]);
+        tasks[cell_of(ba.xmin.max(bb.xmin), ba.ymin.max(bb.ymin))].push((i, j));
+    }
+    let partition = t_part.elapsed();
+    let tasks_executed = pairs.len();
+
+    let cell_results: Vec<(Vec<PolygonSet>, Duration)> = tasks
+        .par_iter()
+        .map(|list| {
+            let t0 = Instant::now();
+            let outs: Vec<PolygonSet> = list
+                .iter()
+                .map(|&(i, j)| {
+                    clip(
+                        &a.features[i as usize],
+                        &b.features[j as usize],
+                        BoolOp::Intersection,
+                        &seq,
+                    )
+                })
+                .filter(|o| !o.is_empty())
+                .collect();
+            (outs, t0.elapsed())
+        })
+        .collect();
+
+    let per_slab_clip: Vec<Duration> = cell_results.iter().map(|r| r.1).collect();
+    let features: Vec<PolygonSet> = cell_results.into_iter().flat_map(|r| r.0).collect();
+
+    OverlayResult {
+        features,
+        candidate_pairs: pairs.len(),
+        tasks_executed,
+        per_slab_clip,
+        partition,
+        total: t_start.elapsed(),
+    }
+}
+
+/// Erase overlay: each feature of `a` minus the union of its overlapping
+/// `b` features (the GIS "erase" operation). Pair discovery and slab
+/// distribution follow [`overlay_intersection`].
+pub fn overlay_difference(
+    a: &Layer,
+    b: &Layer,
+    n_slabs: usize,
+    opts: &ClipOptions,
+) -> OverlayResult {
+    let t_start = Instant::now();
+    let seq = ClipOptions {
+        parallel: false,
+        ..*opts
+    };
+    let t_part = Instant::now();
+    let boxes_a: Vec<BBox> = a.features.iter().map(|f| f.bbox()).collect();
+    let boxes_b: Vec<BBox> = b.features.iter().map(|f| f.bbox()).collect();
+    let pairs = candidate_pairs(&boxes_a, &boxes_b);
+
+    // Group the b-partners of every a feature.
+    let mut partners: Vec<Vec<u32>> = vec![Vec::new(); a.features.len()];
+    for &(i, j) in &pairs {
+        partners[i as usize].push(j);
+    }
+
+    // One task per a-feature, owned by the slab containing its MBR bottom.
+    let mut ys: Vec<OrdF64> = boxes_a
+        .iter()
+        .filter(|bb| !bb.is_empty())
+        .map(|bb| OrdF64::new(bb.ymin))
+        .collect();
+    ys.sort_unstable();
+    ys.dedup();
+    let boundaries = if ys.len() >= 2 {
+        slab_boundaries(&ys, n_slabs.max(1))
+    } else {
+        vec![f64::NEG_INFINITY, f64::INFINITY]
+    };
+    let slabs = boundaries.len() - 1;
+    let mut tasks: Vec<Vec<u32>> = vec![Vec::new(); slabs];
+    for (i, bb) in boxes_a.iter().enumerate() {
+        if !bb.is_empty() {
+            tasks[slab_of(&boundaries, bb.ymin)].push(i as u32);
+        }
+    }
+    let partition = t_part.elapsed();
+
+    let slab_results: Vec<(Vec<PolygonSet>, Duration)> = tasks
+        .par_iter()
+        .map(|list| {
+            let t0 = Instant::now();
+            let outs: Vec<PolygonSet> = list
+                .iter()
+                .map(|&i| {
+                    let fa = &a.features[i as usize];
+                    if partners[i as usize].is_empty() {
+                        return fa.clone();
+                    }
+                    // Subtract the union of overlapping b features.
+                    let mut mask = PolygonSet::new();
+                    for &j in &partners[i as usize] {
+                        mask.extend(b.features[j as usize].clone());
+                    }
+                    let nz = ClipOptions {
+                        fill_rule: polyclip_geom::FillRule::NonZero,
+                        ..seq
+                    };
+                    clip(fa, &mask, BoolOp::Difference, &nz)
+                })
+                .filter(|o| !o.is_empty())
+                .collect();
+            (outs, t0.elapsed())
+        })
+        .collect();
+
+    let per_slab_clip: Vec<Duration> = slab_results.iter().map(|r| r.1).collect();
+    let features: Vec<PolygonSet> = slab_results.into_iter().flat_map(|r| r.0).collect();
+    OverlayResult {
+        tasks_executed: features.len(),
+        candidate_pairs: pairs.len(),
+        features,
+        per_slab_clip,
+        partition,
+        total: t_start.elapsed(),
+    }
+}
+
+/// MBR-overlapping (a, b) feature pairs via a bottom-up interval sweep.
+pub fn candidate_pairs(boxes_a: &[BBox], boxes_b: &[BBox]) -> Vec<(u32, u32)> {
+    #[derive(Clone, Copy)]
+    struct Item {
+        ymin: f64,
+        idx: u32,
+        from_a: bool,
+    }
+    let mut items: Vec<Item> = Vec::with_capacity(boxes_a.len() + boxes_b.len());
+    for (i, bb) in boxes_a.iter().enumerate() {
+        if !bb.is_empty() {
+            items.push(Item { ymin: bb.ymin, idx: i as u32, from_a: true });
+        }
+    }
+    for (j, bb) in boxes_b.iter().enumerate() {
+        if !bb.is_empty() {
+            items.push(Item { ymin: bb.ymin, idx: j as u32, from_a: false });
+        }
+    }
+    items.sort_unstable_by_key(|it| OrdF64::new(it.ymin));
+
+    let mut active_a: Vec<u32> = Vec::new();
+    let mut active_b: Vec<u32> = Vec::new();
+    let mut out = Vec::new();
+    for it in items {
+        // Expire boxes that end below the incoming box.
+        active_a.retain(|&i| boxes_a[i as usize].ymax >= it.ymin);
+        active_b.retain(|&j| boxes_b[j as usize].ymax >= it.ymin);
+        if it.from_a {
+            let ba = &boxes_a[it.idx as usize];
+            for &j in &active_b {
+                let bb = &boxes_b[j as usize];
+                if ba.xmin <= bb.xmax && bb.xmin <= ba.xmax {
+                    out.push((it.idx, j));
+                }
+            }
+            active_a.push(it.idx);
+        } else {
+            let bb = &boxes_b[it.idx as usize];
+            for &i in &active_a {
+                let ba = &boxes_a[i as usize];
+                if ba.xmin <= bb.xmax && bb.xmin <= ba.xmax {
+                    out.push((i, it.idx));
+                }
+            }
+            active_b.push(it.idx);
+        }
+    }
+    out
+}
+
+/// Slab index containing `y` (clamped to valid slabs).
+fn slab_of(boundaries: &[f64], y: f64) -> usize {
+    let n = boundaries.len() - 1;
+    boundaries[1..n].partition_point(|&b| b <= y).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::eo_area;
+    use polyclip_geom::contour::rect;
+
+    fn grid_layer(nx: usize, ny: usize, cell: f64, size: f64, off: f64) -> Layer {
+        let mut features = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                let x = off + i as f64 * cell;
+                let y = off + j as f64 * cell;
+                features.push(PolygonSet::from_contour(rect(x, y, x + size, y + size)));
+            }
+        }
+        Layer::new(features)
+    }
+
+    #[test]
+    fn candidate_pairs_match_bruteforce() {
+        let a = grid_layer(4, 4, 1.0, 0.8, 0.0);
+        let b = grid_layer(4, 4, 1.0, 0.8, 0.5);
+        let boxes_a: Vec<BBox> = a.features.iter().map(|f| f.bbox()).collect();
+        let boxes_b: Vec<BBox> = b.features.iter().map(|f| f.bbox()).collect();
+        let mut got = candidate_pairs(&boxes_a, &boxes_b);
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (i, ba) in boxes_a.iter().enumerate() {
+            for (j, bb) in boxes_b.iter().enumerate() {
+                if ba.intersects(bb) {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersection_area_matches_for_both_assignments() {
+        let a = grid_layer(5, 5, 1.0, 0.9, 0.0);
+        let b = grid_layer(5, 5, 1.0, 0.9, 0.45);
+        let opts = ClipOptions::sequential();
+        // Ground truth: whole-layer intersection via the engine.
+        let truth = eo_area(&clip(
+            &a.merged(),
+            &b.merged(),
+            BoolOp::Intersection,
+            &opts,
+        ));
+        for assignment in [SlabAssignment::UniqueOwner, SlabAssignment::Replicate] {
+            for slabs in [1usize, 2, 4] {
+                let r = overlay_intersection(&a, &b, slabs, assignment, &opts);
+                let area: f64 = r.features.iter().map(eo_area).sum();
+                assert!(
+                    (area - truth).abs() < 1e-9,
+                    "{assignment:?} slabs={slabs}: {area} vs {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_executes_more_tasks_but_same_output() {
+        // Tall features spanning many slabs force replication overhead.
+        // Offsetting layer B vertically creates distinct MBR events so the
+        // slab partition actually produces several slabs.
+        let mut feats = Vec::new();
+        for i in 0..6 {
+            let x = i as f64 * 2.0;
+            feats.push(PolygonSet::from_contour(rect(x, 0.0, x + 1.5, 20.0)));
+        }
+        let a = Layer::new(feats.clone());
+        let b = Layer::new(
+            feats
+                .iter()
+                .map(|f| f.translate(polyclip_geom::Point::new(0.7, 1.0)))
+                .collect(),
+        );
+        let opts = ClipOptions::sequential();
+        let uo = overlay_intersection(&a, &b, 4, SlabAssignment::UniqueOwner, &opts);
+        let rp = overlay_intersection(&a, &b, 4, SlabAssignment::Replicate, &opts);
+        assert_eq!(uo.candidate_pairs, rp.candidate_pairs);
+        assert!(rp.tasks_executed > uo.tasks_executed);
+        let area_uo: f64 = uo.features.iter().map(eo_area).sum();
+        let area_rp: f64 = rp.features.iter().map(eo_area).sum();
+        assert!((area_uo - area_rp).abs() < 1e-9);
+        assert_eq!(uo.features.len(), rp.features.len());
+    }
+
+    #[test]
+    fn union_of_layers_dissolves_overlaps() {
+        let a = grid_layer(3, 1, 1.0, 1.2, 0.0); // overlapping horizontally
+        let b = Layer::new(vec![]);
+        let r = overlay_union(&a, &b, 2, &ClipOptions::sequential());
+        // Three 1.2-wide squares at x = 0,1,2 overlapping: union is one
+        // contour spanning [0, 3.2] × [0, 1.2].
+        assert_eq!(r.output.len(), 1);
+        assert!((eo_area(&r.output) - 3.2 * 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_layers() {
+        let e = Layer::default();
+        let a = grid_layer(2, 2, 1.0, 0.5, 0.0);
+        let r = overlay_intersection(&a, &e, 4, SlabAssignment::UniqueOwner, &ClipOptions::sequential());
+        assert!(r.features.is_empty());
+        assert_eq!(r.candidate_pairs, 0);
+        let u = overlay_union(&e, &e, 4, &ClipOptions::sequential());
+        assert!(u.output.is_empty());
+    }
+
+    #[test]
+    fn layer_statistics() {
+        let a = grid_layer(3, 2, 1.0, 0.5, 0.0);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.edge_count(), 24);
+        assert!(!a.is_empty());
+        let bb = a.bbox();
+        assert_eq!((bb.xmin, bb.ymin), (0.0, 0.0));
+    }
+
+    #[test]
+    fn grid_backend_matches_slab_backend() {
+        let a = grid_layer(5, 5, 1.0, 0.9, 0.0);
+        let b = grid_layer(5, 5, 1.0, 0.9, 0.45);
+        let opts = ClipOptions::sequential();
+        let slab = overlay_intersection(&a, &b, 4, SlabAssignment::UniqueOwner, &opts);
+        let grid = overlay_intersection_grid(&a, &b, 4, &opts);
+        let area_s: f64 = slab.features.iter().map(eo_area).sum();
+        let area_g: f64 = grid.features.iter().map(eo_area).sum();
+        assert!((area_s - area_g).abs() < 1e-9);
+        assert_eq!(slab.features.len(), grid.features.len());
+        assert_eq!(slab.candidate_pairs, grid.candidate_pairs);
+    }
+
+    #[test]
+    fn difference_erases_overlaps() {
+        // a: row of squares; b: one band overlapping the middle of each.
+        let a = grid_layer(4, 1, 2.0, 1.0, 0.0);
+        let b = Layer::new(vec![PolygonSet::from_contour(rect(-1.0, 0.25, 9.0, 0.75))]);
+        let opts = ClipOptions::sequential();
+        let r = overlay_difference(&a, &b, 2, &opts);
+        // Each unit square loses a 1 × 0.5 stripe.
+        let area: f64 = r.features.iter().map(eo_area).sum();
+        assert!((area - 4.0 * 0.5).abs() < 1e-9, "area = {area}");
+        // Features with no partners pass through untouched.
+        let far = Layer::new(vec![PolygonSet::from_contour(rect(100.0, 0.0, 101.0, 1.0))]);
+        let r2 = overlay_difference(&far, &b, 2, &opts);
+        assert_eq!(r2.features.len(), 1);
+        assert!((eo_area(&r2.features[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_with_multiple_overlapping_masks() {
+        // Two b features overlapping each other over one a feature: the
+        // nonzero-union mask must not double-cancel.
+        let a = Layer::new(vec![PolygonSet::from_contour(rect(0.0, 0.0, 4.0, 4.0))]);
+        let b = Layer::new(vec![
+            PolygonSet::from_contour(rect(1.0, 1.0, 3.0, 3.0)),
+            PolygonSet::from_contour(rect(2.0, 2.0, 3.5, 3.5)),
+        ]);
+        let r = overlay_difference(&a, &b, 1, &ClipOptions::sequential());
+        let area: f64 = r.features.iter().map(eo_area).sum();
+        // mask area = 4 + 2.25 − overlap 1 = 5.25 → 16 − 5.25 = 10.75.
+        assert!((area - 10.75).abs() < 1e-9, "area = {area}");
+    }
+
+    #[test]
+    fn slab_of_clamps() {
+        let b = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(slab_of(&b, -5.0), 0);
+        assert_eq!(slab_of(&b, 0.5), 0);
+        assert_eq!(slab_of(&b, 1.0), 1);
+        assert_eq!(slab_of(&b, 2.5), 2);
+        assert_eq!(slab_of(&b, 99.0), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Output-sensitivity instrumentation.
+//!
+//! The paper's complexity bound is `O((n + k + k') log(n + k + k') / p)`:
+//! `n` input edges, `k` edge intersections, `k'` virtual vertices introduced
+//! by the scanbeam partition. [`ClipStats`] reports each term for a clip run
+//! so the benches can demonstrate that work scales with *output* size, not
+//! with the worst case — the property that separates this algorithm from
+//! Karinthi et al.'s Θ(n²)-processor algorithm.
+
+/// Instance-size and output-size counters for one clipping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClipStats {
+    /// Non-horizontal input edges across both polygons (the paper's n).
+    pub n_edges: usize,
+    /// Distinct event scanlines in the final (Round B) schedule.
+    pub n_events: usize,
+    /// Scanbeams processed.
+    pub n_beams: usize,
+    /// Transversal edge intersections discovered (the paper's k).
+    pub k_intersections: usize,
+    /// Virtual vertices introduced by splitting edges at scanlines
+    /// (the paper's k'): total sub-edges minus original edges.
+    pub k_prime: usize,
+    /// Total sub-edges processed across all scanbeams (n + k').
+    pub n_subedges: usize,
+    /// Output contours.
+    pub out_contours: usize,
+    /// Output vertices after virtual-vertex removal.
+    pub out_vertices: usize,
+}
+
+impl ClipStats {
+    /// The paper's processor bound for logarithmic time: n + k + k'.
+    pub fn processor_bound(&self) -> usize {
+        self.n_edges + self.k_intersections + self.k_prime
+    }
+
+    /// Total work in the PRAM accounting: (n + k + k') · log(n + k + k').
+    pub fn work_bound(&self) -> f64 {
+        let m = self.processor_bound().max(2) as f64;
+        m * m.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_monotone_in_counters() {
+        let a = ClipStats {
+            n_edges: 100,
+            k_intersections: 10,
+            k_prime: 50,
+            ..Default::default()
+        };
+        let b = ClipStats {
+            n_edges: 100,
+            k_intersections: 500,
+            k_prime: 50,
+            ..Default::default()
+        };
+        assert_eq!(a.processor_bound(), 160);
+        assert!(b.processor_bound() > a.processor_bound());
+        assert!(b.work_bound() > a.work_bound());
+    }
+
+    #[test]
+    fn work_bound_defined_for_empty_instances() {
+        let s = ClipStats::default();
+        assert_eq!(s.processor_bound(), 0);
+        assert!(s.work_bound() >= 0.0);
+    }
+}

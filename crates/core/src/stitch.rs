@@ -1,0 +1,401 @@
+//! Merging boundary fragments into closed output contours (Steps 3.4 / 4).
+//!
+//! The classification and horizontal phases emit directed boundary
+//! fragments with the region interior on their left. Merging is:
+//!
+//! 1. **cancellation** — fragments with identical geometry and opposite
+//!    direction bound the same region from both sides of an internal seam
+//!    (adjacent kept spans, adjacent slabs, duplicated collinear boundary);
+//!    they annihilate pairwise. This is the paper's reduction-tree union of
+//!    partial polygons, realized as one sort;
+//! 2. **stitching** — remaining fragments form, at every vertex, a balanced
+//!    set of incoming/outgoing edges. Walking from any fragment and always
+//!    taking the sharpest left turn traces the face with interior on the
+//!    left; repeating until all fragments are used yields all output
+//!    contours (outers counterclockwise, holes clockwise);
+//! 3. **virtual-vertex removal** — collinear chain vertices introduced by
+//!    the scanbeam partition (the k' virtual vertices) are packed away,
+//!    exactly as the paper prescribes ("removed finally by array packing").
+
+use polyclip_geom::{orient2d, Contour, OrdF64, Orientation, Point};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+type Key = (OrdF64, OrdF64);
+
+#[inline]
+fn key(p: Point) -> Key {
+    (OrdF64::new(p.x), OrdF64::new(p.y))
+}
+
+/// Multiply-xor hasher for coordinate keys. Vertex coordinates are not
+/// attacker-controlled hash-table keys, so the DoS protection of the
+/// default SipHash only costs time here; this hasher makes the stitching
+/// phase's adjacency map several times faster on large outputs.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // splitmix64-style mixing.
+        let mut x = self.0 ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        self.0 = x;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut x = self.0;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+}
+
+/// Hash map keyed by exact vertex coordinates with the fast hasher.
+pub type PointMap<V> = HashMap<Key, V, BuildHasherDefault<FastHasher>>;
+
+/// Remove opposite-direction duplicate fragments. Fragments with identical
+/// geometry and direction are kept with their multiplicity (they can occur
+/// at degenerate tangencies and still stitch correctly).
+pub fn cancel_opposites(edges: &mut Vec<(Point, Point)>) {
+    // Canonical form: (low endpoint, high endpoint, direction sign).
+    let mut canon: Vec<(Key, Key, i8)> = edges
+        .iter()
+        .map(|&(a, b)| {
+            let (ka, kb) = (key(a), key(b));
+            if ka <= kb {
+                (ka, kb, 1i8)
+            } else {
+                (kb, ka, -1i8)
+            }
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..canon.len()).collect();
+    order.sort_unstable_by(|&i, &j| canon[i].cmp(&canon[j]));
+
+    let mut out: Vec<(Point, Point)> = Vec::with_capacity(edges.len());
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        let g = (canon[order[i]].0, canon[order[i]].1);
+        let mut net = 0i32;
+        while j < order.len() && (canon[order[j]].0, canon[order[j]].1) == g {
+            net += canon[order[j]].2 as i32;
+            j += 1;
+        }
+        if net != 0 {
+            // Reconstruct |net| copies in the surviving direction.
+            let (lo, hi) = g;
+            let (pl, ph) = (
+                Point::new(lo.0.get(), lo.1.get()),
+                Point::new(hi.0.get(), hi.1.get()),
+            );
+            let e = if net > 0 { (pl, ph) } else { (ph, pl) };
+            for _ in 0..net.abs() {
+                out.push(e);
+            }
+        }
+        i = j;
+    }
+    canon.clear();
+    *edges = out;
+}
+
+/// Stitch directed fragments into closed contours, dropping collinear
+/// (virtual) vertices when `simplify` is set.
+///
+/// Fragments must be interior-on-left and balanced at every vertex; in
+/// release builds, fragments that cannot be closed into a loop (which only
+/// happens on numerically inconsistent input) are dropped rather than
+/// panicking.
+pub fn stitch(mut edges: Vec<(Point, Point)>, simplify: bool) -> Vec<Contour> {
+    cancel_opposites(&mut edges);
+    if edges.is_empty() {
+        return Vec::new();
+    }
+
+    // Outgoing adjacency per vertex.
+    let mut adjacency: PointMap<Vec<u32>> =
+        PointMap::with_capacity_and_hasher(edges.len(), Default::default());
+    for (i, &(a, _)) in edges.iter().enumerate() {
+        adjacency.entry(key(a)).or_default().push(i as u32);
+    }
+    let mut used = vec![false; edges.len()];
+
+    let mut contours = Vec::new();
+    for start in 0..edges.len() {
+        if used[start] {
+            continue;
+        }
+        let mut pts: Vec<Point> = Vec::new();
+        let mut cur = start;
+        let closed = loop {
+            used[cur] = true;
+            let (from, to) = edges[cur];
+            pts.push(from);
+            if to == edges[start].0 {
+                break true; // back at the starting vertex
+            }
+            let d_in = to - from;
+            let Some(next) = pick_next(&edges, &adjacency, &used, to, d_in) else {
+                break false;
+            };
+            cur = next;
+        };
+        if closed && pts.len() >= 3 {
+            let c = if simplify {
+                simplify_collinear(pts)
+            } else {
+                Contour::new(pts)
+            };
+            if c.is_valid() && c.signed_area() != 0.0 {
+                contours.push(c);
+            }
+        }
+        // An unclosed walk indicates inconsistent input; fragments stay
+        // marked used so termination is guaranteed.
+    }
+    contours
+}
+
+/// The sharpest-left-turn successor: among unused fragments leaving `at`,
+/// the one whose direction makes the largest counterclockwise turn from
+/// `d_in` (U-turns rank highest, straight-on in the middle, sharp right
+/// lowest). This keeps the traced face's interior consistently on the left.
+fn pick_next(
+    edges: &[(Point, Point)],
+    adjacency: &PointMap<Vec<u32>>,
+    used: &[bool],
+    at: Point,
+    d_in: Point,
+) -> Option<usize> {
+    let cands = adjacency.get(&key(at))?;
+    let mut best: Option<(f64, usize)> = None;
+    for &c in cands {
+        let c = c as usize;
+        if used[c] {
+            continue;
+        }
+        let d_out = edges[c].1 - edges[c].0;
+        let turn = d_in.cross(&d_out).atan2(d_in.dot(&d_out));
+        // atan2(0, negative) == π for the exact U-turn: the maximum, as
+        // desired. Tie-break by index for determinism.
+        if best.is_none_or(|(bt, _)| turn > bt) {
+            best = Some((turn, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Near-collinearity for virtual-vertex removal: exactly collinear, or the
+/// middle point deviates from the chord by a relative rounding-level amount
+/// (virtual vertices are interpolated, so they sit within ulps of the
+/// original edge, not exactly on it).
+#[inline]
+fn removable(a: Point, b: Point, c: Point) -> bool {
+    if orient2d(a, b, c) == Orientation::Collinear {
+        return true;
+    }
+    let ab = b - a;
+    let ac = c - a;
+    let cross = ab.cross(&ac).abs();
+    // |cross| = |ab||ac| sin θ; deviation of b from chord a-c ≈ cross/|ac|.
+    cross <= 1e-12 * ab.norm() * ac.norm()
+}
+
+/// Drop vertices that are (near-)collinear with their neighbours — the k'
+/// virtual vertices introduced by scanbeam splitting ("removed finally by
+/// array packing"). The tolerance only removes rounding-level deviations;
+/// real geometry survives.
+pub fn simplify_collinear(pts: Vec<Point>) -> Contour {
+    let n = pts.len();
+    if n < 3 {
+        return Contour::new(pts);
+    }
+    let mut keep: Vec<Point> = Vec::with_capacity(n);
+    for p in pts {
+        keep.push(p);
+        // Collapse the tail while the last three are collinear.
+        while keep.len() >= 3 {
+            let m = keep.len();
+            if removable(keep[m - 3], keep[m - 2], keep[m - 1]) {
+                keep.remove(m - 2);
+            } else {
+                break;
+            }
+        }
+    }
+    // Wrap-around: first and last vertices may also be collinear.
+    loop {
+        let m = keep.len();
+        if m >= 3 && removable(keep[m - 2], keep[m - 1], keep[0]) {
+            keep.pop();
+            continue;
+        }
+        if m >= 3 && removable(*keep.last().unwrap(), keep[0], keep[1]) {
+            keep.remove(0);
+            continue;
+        }
+        break;
+    }
+    Contour::new(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::point::pt;
+
+    fn e(ax: f64, ay: f64, bx: f64, by: f64) -> (Point, Point) {
+        (pt(ax, ay), pt(bx, by))
+    }
+
+    #[test]
+    fn cancellation_removes_opposite_pairs() {
+        let mut edges = vec![e(0.0, 0.0, 1.0, 0.0), e(1.0, 0.0, 0.0, 0.0), e(0.0, 0.0, 0.0, 1.0)];
+        cancel_opposites(&mut edges);
+        assert_eq!(edges, vec![e(0.0, 0.0, 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn cancellation_keeps_net_multiplicity() {
+        let mut edges = vec![
+            e(0.0, 0.0, 1.0, 0.0),
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 0.0, 0.0),
+        ];
+        cancel_opposites(&mut edges);
+        assert_eq!(edges, vec![e(0.0, 0.0, 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn stitch_single_square() {
+        let edges = vec![
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 1.0, 1.0),
+            e(1.0, 1.0, 0.0, 1.0),
+            e(0.0, 1.0, 0.0, 0.0),
+        ];
+        let cs = stitch(edges, false);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].signed_area(), 1.0); // CCW: interior on the left
+    }
+
+    #[test]
+    fn stitch_two_disjoint_triangles() {
+        let edges = vec![
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 0.5, 1.0),
+            e(0.5, 1.0, 0.0, 0.0),
+            e(5.0, 0.0, 6.0, 0.0),
+            e(6.0, 0.0, 5.5, 1.0),
+            e(5.5, 1.0, 5.0, 0.0),
+        ];
+        let cs = stitch(edges, false);
+        assert_eq!(cs.len(), 2);
+        for c in &cs {
+            assert!(c.signed_area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn stitch_square_with_hole_orientations() {
+        // Outer CCW square + inner CW square (hole): interior-on-left both.
+        let edges = vec![
+            e(0.0, 0.0, 4.0, 0.0),
+            e(4.0, 0.0, 4.0, 4.0),
+            e(4.0, 4.0, 0.0, 4.0),
+            e(0.0, 4.0, 0.0, 0.0),
+            // hole, clockwise
+            e(1.0, 1.0, 1.0, 3.0),
+            e(1.0, 3.0, 3.0, 3.0),
+            e(3.0, 3.0, 3.0, 1.0),
+            e(3.0, 1.0, 1.0, 1.0),
+        ];
+        let cs = stitch(edges, false);
+        assert_eq!(cs.len(), 2);
+        let areas: Vec<f64> = cs.iter().map(|c| c.signed_area()).collect();
+        assert!(areas.iter().any(|&a| (a - 16.0).abs() < 1e-12));
+        assert!(areas.iter().any(|&a| (a + 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn shared_corner_resolved_into_two_contours() {
+        // Two unit squares touching at (1,1): sharpest-left-turn tracing
+        // must keep them as two separate faces, not a figure-eight.
+        let edges = vec![
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 1.0, 1.0),
+            e(1.0, 1.0, 0.0, 1.0),
+            e(0.0, 1.0, 0.0, 0.0),
+            e(1.0, 1.0, 2.0, 1.0),
+            e(2.0, 1.0, 2.0, 2.0),
+            e(2.0, 2.0, 1.0, 2.0),
+            e(1.0, 2.0, 1.0, 1.0),
+        ];
+        let cs = stitch(edges, false);
+        assert_eq!(cs.len(), 2);
+        for c in &cs {
+            assert!((c.signed_area() - 1.0).abs() < 1e-12);
+            assert_eq!(c.len(), 4);
+        }
+    }
+
+    #[test]
+    fn simplify_removes_virtual_vertices() {
+        let c = simplify_collinear(vec![
+            pt(0.0, 0.0),
+            pt(0.5, 0.0), // collinear on the bottom edge
+            pt(1.0, 0.0),
+            pt(1.0, 0.25),
+            pt(1.0, 0.5), // collinear on the right edge
+            pt(1.0, 1.0),
+            pt(0.0, 1.0),
+            pt(0.0, 0.5), // collinear on the left edge (wraps to first point)
+        ]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.signed_area(), 1.0);
+    }
+
+    #[test]
+    fn simplify_degenerates_to_empty() {
+        // All points on one line: no polygon remains.
+        let c = simplify_collinear(vec![pt(0.0, 0.0), pt(1.0, 1.0), pt(2.0, 2.0), pt(3.0, 3.0)]);
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    fn stitched_output_is_simplified_when_requested() {
+        let edges = vec![
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 2.0, 0.0), // split bottom edge
+            e(2.0, 0.0, 2.0, 2.0),
+            e(2.0, 2.0, 0.0, 2.0),
+            e(0.0, 2.0, 0.0, 1.0),
+            e(0.0, 1.0, 0.0, 0.0), // split left edge
+        ];
+        let cs = stitch(edges, true);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].len(), 4);
+        assert_eq!(cs[0].signed_area(), 4.0);
+    }
+
+    #[test]
+    fn fully_cancelling_input_produces_nothing() {
+        let edges = vec![e(0.0, 0.0, 1.0, 1.0), e(1.0, 1.0, 0.0, 0.0)];
+        assert!(stitch(edges, false).is_empty());
+    }
+}

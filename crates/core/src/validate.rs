@@ -1,0 +1,242 @@
+//! Validation of clip outputs.
+//!
+//! The engine guarantees *canonical* output: contours are closed simple
+//! rings, consistently oriented (outer counterclockwise, holes clockwise),
+//! mutually non-crossing, and free of duplicate or collinear-redundant
+//! vertices. This module checks those guarantees — used by the test suite
+//! and available to downstream users who ingest polygons from elsewhere and
+//! want to know whether they need a [`crate::engine::dissolve`] pass.
+
+use polyclip_geom::{PolygonSet, SegmentIntersection};
+use polyclip_sweep::{collect_edges, discover_intersections, event_ys, BeamSet, ForcedSplits, PartitionBackend};
+
+/// A violation found by [`validate`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum Violation {
+    /// A contour has fewer than 3 vertices.
+    TooFewVertices {
+        /// Contour index.
+        contour: usize,
+    },
+    /// A contour has zero signed area.
+    ZeroArea {
+        /// Contour index.
+        contour: usize,
+    },
+    /// Two consecutive vertices coincide.
+    DuplicateVertex {
+        /// Contour index.
+        contour: usize,
+        /// Vertex index within the contour.
+        vertex: usize,
+    },
+    /// Two edges of the set cross transversally (self-intersection or
+    /// contour-contour crossing).
+    EdgesCross {
+        /// Sweep-edge ids of the crossing pair.
+        edges: (u32, u32),
+    },
+    /// Two edges overlap collinearly.
+    EdgesOverlap,
+}
+
+/// Report of a validation run.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All violations found (empty = canonical).
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// True when no violations were found.
+    pub fn is_canonical(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validate a polygon set against the engine's output guarantees.
+///
+/// Crossing detection reuses the sweep's inversion discovery, so the check
+/// is `O((n + k') log)` rather than quadratic.
+pub fn validate(p: &PolygonSet) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    for (ci, c) in p.contours().iter().enumerate() {
+        if c.len() < 3 {
+            report.violations.push(Violation::TooFewVertices { contour: ci });
+            continue;
+        }
+        if c.signed_area() == 0.0 {
+            report.violations.push(Violation::ZeroArea { contour: ci });
+        }
+        let pts = c.points();
+        for v in 0..pts.len() {
+            if pts[v] == pts[(v + 1) % pts.len()] {
+                report
+                    .violations
+                    .push(Violation::DuplicateVertex { contour: ci, vertex: v });
+            }
+        }
+    }
+
+    // Crossings among all edges of the set (output contours must not cross
+    // themselves or each other).
+    let edges = collect_edges(p, &PolygonSet::new());
+    if edges.len() >= 2 {
+        let ys = event_ys(&edges, &[], false);
+        if ys.len() >= 2 {
+            let beams = BeamSet::build(
+                &edges,
+                ys,
+                &ForcedSplits::empty(edges.len()),
+                PartitionBackend::DirectScan,
+                false,
+            );
+            for ev in discover_intersections(&beams, &edges, false) {
+                report
+                    .violations
+                    .push(Violation::EdgesCross { edges: (ev.e1, ev.e2) });
+            }
+            // Collinear overlaps between distinct edges inside a beam.
+            'outer: for b in 0..beams.n_beams() {
+                let sub = beams.beam(b);
+                for w in sub.windows(2) {
+                    if w[0].xb == w[1].xb
+                        && w[0].xt == w[1].xt
+                        && w[0].edge_id != w[1].edge_id
+                    {
+                        let (ea, eb) = (
+                            edges[w[0].edge_id as usize].segment(),
+                            edges[w[1].edge_id as usize].segment(),
+                        );
+                        if matches!(ea.intersect(&eb), SegmentIntersection::Overlap(..)) {
+                            report.violations.push(Violation::EdgesOverlap);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Convenience: validate and assert canonical (for tests).
+pub fn assert_canonical(p: &PolygonSet) {
+    let r = validate(p);
+    assert!(
+        r.is_canonical(),
+        "polygon set is not canonical: {:?}",
+        &r.violations[..r.violations.len().min(5)]
+    );
+}
+
+/// Check that a segment list forms closed loops (each vertex balanced) —
+/// used to sanity-check fragment streams in tests.
+pub fn fragments_balanced(frags: &[(polyclip_geom::Point, polyclip_geom::Point)]) -> bool {
+    let mut deg: crate::stitch::PointMap<i64> = Default::default();
+    for (a, b) in frags {
+        *deg.entry((polyclip_geom::OrdF64::new(a.x), polyclip_geom::OrdF64::new(a.y)))
+            .or_default() += 1;
+        *deg.entry((polyclip_geom::OrdF64::new(b.x), polyclip_geom::OrdF64::new(b.y)))
+            .or_default() -= 1;
+    }
+    deg.values().all(|&v| v == 0)
+}
+
+/// Degenerate-input hardening helper: drop zero-area and sub-3-vertex
+/// contours from arbitrary external input before clipping.
+pub fn sanitize(p: &PolygonSet) -> PolygonSet {
+    PolygonSet::from_contours(
+        p.contours()
+            .iter()
+            .filter(|c| c.is_valid() && c.signed_area() != 0.0)
+            .cloned()
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::BoolOp;
+    use crate::engine::{clip, ClipOptions};
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::Contour;
+
+    #[test]
+    fn clean_output_is_canonical() {
+        let a = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.3), (3.0, 3.0), (0.5, 2.0)]);
+        let b = PolygonSet::from_xy(&[(1.0, -1.0), (5.0, 1.0), (2.0, 4.0)]);
+        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+            let out = clip(&a, &b, op, &ClipOptions::sequential());
+            assert_canonical(&out);
+        }
+    }
+
+    #[test]
+    fn bowtie_is_flagged() {
+        let bow = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        let r = validate(&bow);
+        assert!(!r.is_canonical());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgesCross { .. })));
+        // Dissolving canonicalizes it.
+        let d = crate::engine::dissolve(&bow, &ClipOptions::sequential());
+        assert_canonical(&d);
+    }
+
+    #[test]
+    fn crossing_contours_are_flagged() {
+        let p = PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 2.0, 2.0),
+            Contour::from_xy(&[(1.0, 1.0), (3.0, 1.2), (3.0, 3.0), (1.0, 2.8)]),
+        ]);
+        assert!(!validate(&p).is_canonical());
+    }
+
+    #[test]
+    fn degenerate_contours_are_flagged_and_sanitized() {
+        let mut p = PolygonSet::new();
+        p.contours_mut()
+            .push(Contour::from_xy(&[(0.0, 0.0), (1.0, 0.0)]));
+        p.contours_mut().push(Contour::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 2.0), // collinear: zero area
+        ]));
+        p.push(rect(5.0, 5.0, 6.0, 6.0));
+        let r = validate(&p);
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::TooFewVertices { .. })));
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::ZeroArea { .. })));
+        let clean = sanitize(&p);
+        assert_eq!(clean.len(), 1);
+        assert!(validate(&clean).is_canonical());
+    }
+
+    #[test]
+    fn balanced_fragments_detector() {
+        use polyclip_geom::point::pt;
+        let closed = vec![
+            (pt(0.0, 0.0), pt(1.0, 0.0)),
+            (pt(1.0, 0.0), pt(0.5, 1.0)),
+            (pt(0.5, 1.0), pt(0.0, 0.0)),
+        ];
+        assert!(fragments_balanced(&closed));
+        let open = &closed[..2];
+        assert!(!fragments_balanced(open));
+    }
+
+    #[test]
+    fn overlapping_collinear_edges_flagged() {
+        // Two rects sharing part of an edge: x=2 overlaps on y in [0.5, 1].
+        let p = PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 2.0, 1.0),
+            rect(2.0, 0.5, 4.0, 1.5),
+        ]);
+        let r = validate(&p);
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::EdgesOverlap)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Systematic matrix test: every operation × fill rule × shape-pair
+//! combination must satisfy the measure identities and produce canonical
+//! output, in both sequential and parallel modes and through Algorithm 2.
+
+use polyclip_core::*;
+use polyclip_geom::contour::rect;
+use polyclip_geom::{Contour, FillRule, Point, PolygonSet};
+
+fn shapes() -> Vec<(&'static str, PolygonSet)> {
+    vec![
+        ("square", PolygonSet::from_contour(rect(0.0, 0.0, 2.0, 2.0))),
+        (
+            "triangle",
+            PolygonSet::from_xy(&[(0.5, -0.5), (3.0, 1.0), (0.0, 3.0)]),
+        ),
+        (
+            "concave",
+            PolygonSet::from_xy(&[
+                (0.0, 0.0),
+                (3.0, 0.0),
+                (3.0, 1.0),
+                (1.0, 1.2),
+                (1.0, 2.0),
+                (3.0, 2.2),
+                (3.0, 3.0),
+                (0.0, 3.0),
+            ]),
+        ),
+        (
+            "bowtie",
+            PolygonSet::from_xy(&[(0.0, 0.0), (2.5, 2.5), (2.5, 0.0), (0.0, 2.5)]),
+        ),
+        (
+            "ring",
+            PolygonSet::from_contours(vec![
+                rect(-0.5, -0.5, 3.0, 3.0),
+                rect(0.5, 0.5, 2.0, 2.0),
+            ]),
+        ),
+        (
+            "two-islands",
+            PolygonSet::from_contours(vec![
+                rect(0.0, 0.0, 1.0, 1.0),
+                rect(1.5, 1.5, 2.5, 2.5),
+            ]),
+        ),
+        (
+            "sliver",
+            PolygonSet::from_contour(Contour::from_xy(&[
+                (0.0, 0.0),
+                (3.0, 0.001),
+                (3.0, 0.002),
+                (0.0, 0.003),
+            ])),
+        ),
+    ]
+}
+
+const OPS: [BoolOp; 4] = [
+    BoolOp::Intersection,
+    BoolOp::Union,
+    BoolOp::Difference,
+    BoolOp::Xor,
+];
+
+#[test]
+fn measure_identities_hold_for_every_cell() {
+    let shapes = shapes();
+    for rule in [FillRule::EvenOdd, FillRule::NonZero] {
+        let opts = ClipOptions {
+            fill_rule: rule,
+            parallel: false,
+            ..Default::default()
+        };
+        for (na, a) in &shapes {
+            for (nb, b) in &shapes {
+                let i = measure_op(a, b, BoolOp::Intersection, &opts);
+                let u = measure_op(a, b, BoolOp::Union, &opts);
+                let d = measure_op(a, b, BoolOp::Difference, &opts);
+                let x = measure_op(a, b, BoolOp::Xor, &opts);
+                let sa = measure_op(a, &PolygonSet::new(), BoolOp::Union, &opts);
+                let sb = measure_op(b, &PolygonSet::new(), BoolOp::Union, &opts);
+                let tol = 1e-9 * (1.0 + sa + sb);
+                assert!((i + u - (sa + sb)).abs() < tol, "{rule:?} {na}×{nb}: incl-excl");
+                assert!((d + i - sa).abs() < tol, "{rule:?} {na}×{nb}: difference");
+                assert!((x - (u - i)).abs() < tol, "{rule:?} {na}×{nb}: xor");
+                assert!(i >= -tol && u >= sa.max(sb) - tol, "{rule:?} {na}×{nb}: bounds");
+            }
+        }
+    }
+}
+
+#[test]
+fn stitched_equals_measured_for_every_cell() {
+    let shapes = shapes();
+    for rule in [FillRule::EvenOdd, FillRule::NonZero] {
+        for parallel in [false, true] {
+            let opts = ClipOptions {
+                fill_rule: rule,
+                parallel,
+                ..Default::default()
+            };
+            for (na, a) in &shapes {
+                for (nb, b) in &shapes {
+                    for op in OPS {
+                        let out = clip(a, b, op, &opts);
+                        let got = eo_area(&out);
+                        let want = measure_op(a, b, op, &opts);
+                        assert!(
+                            (got - want).abs() < 1e-9 * (1.0 + want),
+                            "{rule:?} par={parallel} {na}×{nb} {op:?}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn outputs_are_canonical_for_every_cell() {
+    let shapes = shapes();
+    let opts = ClipOptions::sequential();
+    for (na, a) in &shapes {
+        for (nb, b) in &shapes {
+            for op in OPS {
+                let out = clip(a, b, op, &opts);
+                let report = validate(&out);
+                assert!(
+                    report.is_canonical(),
+                    "{na}×{nb} {op:?}: {:?}",
+                    &report.violations[..report.violations.len().min(3)]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn algo2_agrees_for_every_cell() {
+    let shapes = shapes();
+    let opts = ClipOptions::sequential();
+    for (na, a) in &shapes {
+        for (nb, b) in &shapes {
+            for op in OPS {
+                let want = measure_op(a, b, op, &opts);
+                let r = algo2::clip_pair_slabs(a, b, op, 4, &opts);
+                assert!(
+                    (eo_area(&r.output) - want).abs() < 1e-9 * (1.0 + want),
+                    "{na}×{nb} {op:?}: algo2 {} vs engine {}",
+                    eo_area(&r.output),
+                    want
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn self_operations_for_every_shape() {
+    let shapes = shapes();
+    let opts = ClipOptions::sequential();
+    for (name, s) in &shapes {
+        let area = eo_area(&dissolve(s, &opts));
+        let i = measure_op(s, s, BoolOp::Intersection, &opts);
+        let d = measure_op(s, s, BoolOp::Difference, &opts);
+        let x = measure_op(s, s, BoolOp::Xor, &opts);
+        let tol = 1e-9 * (1.0 + area);
+        assert!((i - area).abs() < tol, "{name}: A∩A = |A|");
+        assert!(d.abs() < tol, "{name}: A\\A = 0");
+        assert!(x.abs() < tol, "{name}: A⊕A = 0");
+    }
+}
+
+#[test]
+fn point_membership_spot_checks_per_cell() {
+    // A fixed probe grid checked against input membership for every pair.
+    let shapes = shapes();
+    let opts = ClipOptions::sequential();
+    let probes: Vec<Point> = (0..8)
+        .flat_map(|i| (0..8).map(move |j| Point::new(i as f64 * 0.41 - 0.3, j as f64 * 0.43 - 0.4)))
+        .collect();
+    for (na, a) in &shapes {
+        for (nb, b) in &shapes {
+            for op in [BoolOp::Intersection, BoolOp::Difference] {
+                let out = clip(a, b, op, &opts);
+                for p in &probes {
+                    // Skip probes within 1e-7 of any input edge.
+                    let near = a.edges().chain(b.edges()).any(|e| {
+                        let d = e.dir();
+                        let t = if d.norm2() > 0.0 {
+                            ((*p - e.a).dot(&d) / d.norm2()).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        p.dist(&e.a.lerp(&e.b, t)) < 1e-7
+                    });
+                    if near {
+                        continue;
+                    }
+                    let want = op.keep(
+                        a.contains(*p, FillRule::EvenOdd),
+                        b.contains(*p, FillRule::EvenOdd),
+                    );
+                    let got = out.contains(*p, FillRule::EvenOdd);
+                    assert_eq!(want, got, "{na}×{nb} {op:?} at {p}");
+                }
+            }
+        }
+    }
+}

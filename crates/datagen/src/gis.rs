@@ -1,0 +1,297 @@
+//! Table III replica layers.
+//!
+//! The paper's real datasets:
+//!
+//! | # | dataset                 | polys   | edges     | mean edge len |
+//! |---|-------------------------|---------|-----------|---------------|
+//! | 1 | ne_10m_urban_areas      | 11,878  | 1,153,348 | 0.00415       |
+//! | 2 | ne_10m_states_provinces | 4,647   | 1,332,830 | 0.0282        |
+//! | 3 | GML_data_1 (telecom)    | 101,860 | 4,488,080 | —             |
+//! | 4 | GML_data_2 (telecom)    | 128,682 | 6,262,858 | —             |
+//!
+//! The generator reproduces the statistics that drive clipping performance:
+//! feature count, edges per feature, edge length (hence feature size),
+//! clustered spatial distribution (urban areas cluster along coasts and
+//! population centers; telecom features cluster densely in service areas)
+//! and cross-layer overlap. A `scale` factor shrinks the feature count for
+//! laptop runs; `scale = 1.0` reproduces the full Table III sizes.
+
+use crate::shapes::smooth_blob;
+use polyclip_geom::{BBox, Point, PolygonSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a layer's features cover the world box.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Coverage {
+    /// Features bunch around cluster centers (urban areas, telecom assets).
+    /// The seed fixes the cluster locations, so two layers sharing it
+    /// overlap heavily — like the paper's two telecom layers of one region.
+    Clustered {
+        /// Number of cluster centers (spatial skew).
+        clusters: usize,
+        /// Seed for the center locations (not the features).
+        seed: u64,
+    },
+    /// Features tile the whole box on a jittered grid with overlap —
+    /// administrative boundaries that partition the land.
+    Tiling,
+}
+
+/// Shape statistics of one synthetic GIS layer.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Human-readable name (Table III's dataset column).
+    pub name: &'static str,
+    /// Table III row number (1–4).
+    pub id: usize,
+    /// Feature count at scale 1.
+    pub polys: usize,
+    /// Total edge count at scale 1.
+    pub edges: usize,
+    /// Mean edge length (degrees in the original data).
+    pub mean_edge_len: f64,
+    /// World bounding box the features are scattered over.
+    pub bbox: BBox,
+    /// Spatial distribution.
+    pub coverage: Coverage,
+}
+
+impl DatasetSpec {
+    /// Edges per feature.
+    pub fn edges_per_poly(&self) -> usize {
+        (self.edges / self.polys).max(4)
+    }
+}
+
+/// The four Table III datasets. All share one world bbox so that layers
+/// overlap the way the paper's operations (1∩2, 3∩4, …) require.
+pub fn table3_spec(id: usize) -> DatasetSpec {
+    let world = BBox::new(-20.0, -10.0, 20.0, 10.0);
+    match id {
+        1 => DatasetSpec {
+            name: "ne_10m_urban_areas",
+            id: 1,
+            polys: 11_878,
+            edges: 1_153_348,
+            mean_edge_len: 0.00415,
+            bbox: world,
+            // Urban areas bunch along population centers.
+            coverage: Coverage::Clustered { clusters: 60, seed: 0xC17135 },
+        },
+        2 => DatasetSpec {
+            name: "ne_10m_states_provinces",
+            id: 2,
+            polys: 4_647,
+            edges: 1_332_830,
+            mean_edge_len: 0.0282,
+            bbox: world,
+            // Administrative boundaries tile the land, so dataset 1's
+            // features always find overlap partners — the paper's
+            // Intersect(1,2) workload shape.
+            coverage: Coverage::Tiling,
+        },
+        3 => DatasetSpec {
+            name: "GML_data_1",
+            id: 3,
+            polys: 101_860,
+            edges: 4_488_080,
+            mean_edge_len: 0.004,
+            bbox: world,
+            // The two telecom layers describe the same service region:
+            // identical cluster seed → heavy mutual overlap, as in the
+            // paper's Intersect(3,4)/Union(3,4).
+            coverage: Coverage::Clustered { clusters: 150, seed: 0x7E1EC0 },
+        },
+        4 => DatasetSpec {
+            name: "GML_data_2",
+            id: 4,
+            polys: 128_682,
+            edges: 6_262_858,
+            mean_edge_len: 0.004,
+            bbox: world,
+            coverage: Coverage::Clustered { clusters: 150, seed: 0x7E1EC0 },
+        },
+        _ => panic!("Table III has datasets 1–4"),
+    }
+}
+
+/// Generate the features of a Table III layer at the given `scale`
+/// (fraction of the full feature count, in (0, 1]).
+///
+/// Features are smooth blobs sized so that `edges_per_poly` edges of mean
+/// length `mean_edge_len` close the ring (perimeter ≈ edges × edge length ⇒
+/// radius ≈ perimeter / 2π), scattered around cluster centers with a
+/// Gaussian-ish spread — matching the skewed spatial distribution that
+/// causes the paper's Figure 11 load imbalance.
+pub fn generate_layer(spec: &DatasetSpec, scale: f64, seed: u64) -> Vec<PolygonSet> {
+    assert!(scale > 0.0 && scale <= 1.0, "scale in (0, 1]");
+    let n_features = ((spec.polys as f64 * scale).round() as usize).max(1);
+    let epp = spec.edges_per_poly();
+    let radius = (epp as f64 * spec.mean_edge_len) / std::f64::consts::TAU;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    match spec.coverage {
+        Coverage::Clustered { clusters, seed: cluster_seed } => {
+            // Cluster centers come from the *spec's* seed, so layers sharing
+            // it (the telecom pair) co-locate and overlap.
+            let mut crng = StdRng::seed_from_u64(cluster_seed);
+            let centers: Vec<Point> = (0..clusters)
+                .map(|_| {
+                    Point::new(
+                        spec.bbox.xmin + crng.gen::<f64>() * spec.bbox.width(),
+                        spec.bbox.ymin + crng.gen::<f64>() * spec.bbox.height(),
+                    )
+                })
+                .collect();
+            // Density-preserving spread: features per cluster pack at a
+            // fixed areal density regardless of scale, so overlap counts
+            // grow linearly with the feature count — like real dense data.
+            let per_cluster = (n_features as f64 / clusters as f64).max(1.0);
+            let spread = radius * per_cluster.sqrt() * 2.0;
+            let (spread_x, spread_y) = (spread, spread);
+
+            (0..n_features)
+                .map(|i| {
+                    let c = centers[rng.gen_range(0..centers.len())];
+                    // Sum of uniforms ≈ gaussian; cheap and deterministic.
+                    let gx: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+                    let gy: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+                    let center = Point::new(c.x + gx * spread_x, c.y + gy * spread_y);
+                    // Log-normal-ish size spread: a few big, many small.
+                    let size_mult =
+                        (-(rng.gen::<f64>().max(1e-9)).ln()).exp().min(4.0) * 0.5 + 0.5;
+                    smooth_blob(
+                        seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        center,
+                        radius * size_mult,
+                        epp,
+                        0.3,
+                    )
+                })
+                .collect()
+        }
+        Coverage::Tiling => {
+            // Jittered grid with cells sized to spread n features over the
+            // box; radii overshoot the cell so neighbours overlap slightly,
+            // approximating shared administrative borders.
+            let aspect = spec.bbox.width() / spec.bbox.height();
+            let ny = ((n_features as f64 / aspect).sqrt().ceil() as usize).max(1);
+            let nx = n_features.div_ceil(ny);
+            let (cw, ch) = (spec.bbox.width() / nx as f64, spec.bbox.height() / ny as f64);
+            let tile_r = 0.62 * cw.max(ch);
+            (0..n_features)
+                .map(|i| {
+                    let (gx, gy) = (i % nx, i / nx);
+                    let center = Point::new(
+                        spec.bbox.xmin + (gx as f64 + 0.3 + 0.4 * rng.gen::<f64>()) * cw,
+                        spec.bbox.ymin + (gy as f64 + 0.3 + 0.4 * rng.gen::<f64>()) * ch,
+                    );
+                    // Tiles keep a narrow size spread; radius is set by the
+                    // tiling, not by the edge-length heuristic, so the edge
+                    // count per feature still matches the spec.
+                    let r = tile_r * (0.85 + 0.3 * rng.gen::<f64>());
+                    smooth_blob(
+                        seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        center,
+                        r,
+                        epp,
+                        0.25,
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_iii() {
+        let s1 = table3_spec(1);
+        assert_eq!(s1.polys, 11_878);
+        assert_eq!(s1.edges, 1_153_348);
+        assert_eq!(table3_spec(2).polys, 4_647);
+        assert_eq!(table3_spec(3).edges, 4_488_080);
+        assert_eq!(table3_spec(4).polys, 128_682);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_dataset_panics() {
+        table3_spec(9);
+    }
+
+    #[test]
+    fn scaled_layer_matches_counts() {
+        let spec = table3_spec(1);
+        let layer = generate_layer(&spec, 0.01, 7);
+        let want = (spec.polys as f64 * 0.01).round() as usize;
+        assert_eq!(layer.len(), want);
+        // Edge count per feature matches the spec's ratio.
+        let epp = spec.edges_per_poly();
+        for f in &layer {
+            assert_eq!(f.edge_count(), epp);
+        }
+    }
+
+    #[test]
+    fn edge_lengths_near_spec() {
+        let spec = table3_spec(2);
+        let layer = generate_layer(&spec, 0.02, 3);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for f in &layer {
+            for e in f.edges() {
+                total += e.len();
+                count += 1;
+            }
+        }
+        let mean = total / count as f64;
+        // Size multiplier spreads lengths; the mean must stay within a
+        // small factor of the spec.
+        assert!(
+            mean > spec.mean_edge_len * 0.5 && mean < spec.mean_edge_len * 4.0,
+            "mean {mean} vs spec {}",
+            spec.mean_edge_len
+        );
+    }
+
+    #[test]
+    fn layers_overlap_each_other() {
+        let a = generate_layer(&table3_spec(1), 0.01, 11);
+        let b = generate_layer(&table3_spec(2), 0.02, 22);
+        let boxes_a: Vec<BBox> = a.iter().map(|f| f.bbox()).collect();
+        let boxes_b: Vec<BBox> = b.iter().map(|f| f.bbox()).collect();
+        let overlapping = boxes_a
+            .iter()
+            .map(|ba| boxes_b.iter().filter(|bb| ba.intersects(bb)).count())
+            .sum::<usize>();
+        assert!(overlapping > 0, "layers must overlap for ∩ benchmarks");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = table3_spec(1);
+        let a = generate_layer(&spec, 0.005, 1);
+        let b = generate_layer(&spec, 0.005, 1);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        let c = generate_layer(&spec, 0.005, 2);
+        assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn features_stay_roughly_inside_world() {
+        let spec = table3_spec(3);
+        let layer = generate_layer(&spec, 0.002, 5);
+        let world = spec.bbox;
+        let slack = 3.0;
+        for f in &layer {
+            let bb = f.bbox();
+            assert!(bb.xmin > world.xmin - slack && bb.xmax < world.xmax + slack);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic workload generators for the `polyclip` benchmarks.
+//!
+//! The paper evaluates on (a) synthetic pairs of polygons with varying edge
+//! counts (Figures 7–9) and (b) four real GIS datasets (Table III,
+//! Figures 10–12). The real shapefiles/GML are not redistributable, so
+//! [`gis`] synthesizes layers that match Table III's performance-relevant
+//! statistics — polygon count, edges per polygon, mean edge length, spatial
+//! clustering and inter-layer overlap density — at a configurable scale
+//! factor (scale = 1 reproduces the full sizes).
+//!
+//! All generators are deterministic in their seed.
+
+pub mod gis;
+pub mod shapes;
+
+pub use gis::{generate_layer, table3_spec, DatasetSpec};
+pub use shapes::{circle, comb, donut, pentagram, perturbed, smooth_blob, spiral, star, synthetic_pair};

@@ -1,0 +1,281 @@
+//! Single-polygon generators.
+
+use polyclip_geom::{Contour, Point, PolygonSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A regular `n`-gon approximating a circle.
+pub fn circle(center: Point, radius: f64, n: usize) -> PolygonSet {
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+            Point::new(center.x + radius * ang.cos(), center.y + radius * ang.sin())
+        })
+        .collect();
+    PolygonSet::from_contour(Contour::new(pts))
+}
+
+/// A smooth random blob: a circle modulated by a handful of low-frequency
+/// harmonics. Edges stay short relative to the event spacing, matching the
+/// locality of real GIS boundaries (and avoiding the k' = O(n²) worst case,
+/// which [`star`]-like shapes with long radial edges exhibit).
+pub fn smooth_blob(seed: u64, center: Point, radius: f64, n: usize, roughness: f64) -> PolygonSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let harmonics: Vec<(f64, f64, f64)> = (2..9)
+        .map(|k| {
+            (
+                k as f64,
+                roughness * rng.gen::<f64>() / 3.5,
+                rng.gen::<f64>() * std::f64::consts::TAU,
+            )
+        })
+        .collect();
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+            let mod_r: f64 = harmonics.iter().map(|&(k, a, p)| a * (k * ang + p).sin()).sum();
+            let r = radius * (1.0 + mod_r);
+            Point::new(center.x + r * ang.cos(), center.y + r * ang.sin())
+        })
+        .collect();
+    PolygonSet::from_contour(Contour::new(pts))
+}
+
+/// A simple (non-self-intersecting) star with `points` spikes, alternating
+/// between `r_outer` and `r_inner`. Heavily concave; long edges.
+pub fn star(center: Point, r_inner: f64, r_outer: f64, points: usize) -> PolygonSet {
+    let n = 2 * points;
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+            let r = if i % 2 == 0 { r_outer } else { r_inner };
+            Point::new(center.x + r * ang.cos(), center.y + r * ang.sin())
+        })
+        .collect();
+    PolygonSet::from_contour(Contour::new(pts))
+}
+
+/// A self-intersecting star polygon {p/2}: every edge jumps two vertices
+/// ahead (the pentagram for `points = 5`). Exercises the paper's
+/// self-intersection handling.
+pub fn pentagram(center: Point, radius: f64, points: usize) -> PolygonSet {
+    assert!(points >= 5 && points % 2 == 1, "odd points >= 5");
+    let pts: Vec<Point> = (0..points)
+        .map(|i| {
+            let ang = std::f64::consts::FRAC_PI_2
+                + (i as f64) * 2.0 * std::f64::consts::TAU / points as f64;
+            Point::new(center.x + radius * ang.cos(), center.y + radius * ang.sin())
+        })
+        .collect();
+    PolygonSet::from_contour(Contour::new(pts))
+}
+
+/// A comb with `teeth` prongs: worst-case concavity for scanline clippers —
+/// a horizontal line crosses it `2·teeth` times.
+pub fn comb(origin: Point, teeth: usize, tooth_w: f64, tooth_h: f64) -> PolygonSet {
+    let mut pts = Vec::with_capacity(4 * teeth + 2);
+    let base_h = tooth_h * 0.25;
+    pts.push(origin);
+    for i in 0..teeth {
+        let x0 = origin.x + (2 * i) as f64 * tooth_w;
+        pts.push(Point::new(x0 + tooth_w, origin.y));
+        pts.push(Point::new(x0 + tooth_w, origin.y + tooth_h));
+        pts.push(Point::new(x0 + 2.0 * tooth_w, origin.y + tooth_h));
+        pts.push(Point::new(x0 + 2.0 * tooth_w, origin.y));
+    }
+    let xmax = origin.x + (2 * teeth + 1) as f64 * tooth_w;
+    pts.push(Point::new(xmax, origin.y));
+    pts.push(Point::new(xmax, origin.y - base_h));
+    pts.push(Point::new(origin.x, origin.y - base_h));
+    PolygonSet::from_contour(Contour::new(pts))
+}
+
+/// The synthetic subject/clip pair of the paper's Figures 7–9: two
+/// overlapping smooth polygons with `n` edges each.
+pub fn synthetic_pair(n: usize, seed: u64) -> (PolygonSet, PolygonSet) {
+    let a = smooth_blob(seed, Point::new(0.0, 0.0), 1.0, n, 0.3);
+    let b = smooth_blob(seed ^ 0x9e37_79b9, Point::new(0.55, 0.35), 1.0, n, 0.3);
+    (a, b)
+}
+
+/// An Archimedean spiral arm of constant thickness: `n` vertices total,
+/// `turns` revolutions. Long, winding and deeply concave — a horizontal line
+/// crosses it O(turns) times, stressing the active-edge machinery.
+pub fn spiral(center: Point, turns: f64, thickness: f64, n: usize) -> PolygonSet {
+    assert!(n >= 8);
+    let half = n / 2;
+    let growth = thickness * 2.2; // radial gap per revolution > thickness
+    let mut pts = Vec::with_capacity(2 * half);
+    // Outer rail outward, inner rail back.
+    for i in 0..half {
+        let t = i as f64 / (half - 1) as f64;
+        let ang = t * turns * std::f64::consts::TAU;
+        let r = 0.2 + growth * (ang / std::f64::consts::TAU) + thickness;
+        pts.push(Point::new(center.x + r * ang.cos(), center.y + r * ang.sin()));
+    }
+    for i in (0..half).rev() {
+        let t = i as f64 / (half - 1) as f64;
+        let ang = t * turns * std::f64::consts::TAU;
+        let r = 0.2 + growth * (ang / std::f64::consts::TAU);
+        pts.push(Point::new(center.x + r * ang.cos(), center.y + r * ang.sin()));
+    }
+    PolygonSet::from_contour(Contour::new(pts))
+}
+
+/// A donut: outer blob plus a concentric inner hole (even-odd convention —
+/// both contours counterclockwise is fine; nonzero callers should reverse
+/// the hole themselves). `ratio` scales the hole radius.
+pub fn donut(seed: u64, center: Point, radius: f64, n: usize, ratio: f64) -> PolygonSet {
+    assert!(ratio > 0.0 && ratio < 1.0);
+    let outer = smooth_blob(seed, center, radius, n, 0.2);
+    let inner = smooth_blob(seed ^ 0xabcd, center, radius * ratio, (n / 2).max(8), 0.2);
+    let mut p = outer;
+    p.extend(inner);
+    p
+}
+
+/// Jitter every vertex by up to `amplitude` in both axes (deterministic in
+/// the seed) — for robustness testing near degeneracies.
+pub fn perturbed(p: &PolygonSet, amplitude: f64, seed: u64) -> PolygonSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PolygonSet::from_contours(
+        p.contours()
+            .iter()
+            .map(|c| {
+                Contour::new(
+                    c.points()
+                        .iter()
+                        .map(|q| {
+                            Point::new(
+                                q.x + (rng.gen::<f64>() - 0.5) * 2.0 * amplitude,
+                                q.y + (rng.gen::<f64>() - 0.5) * 2.0 * amplitude,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::point::pt;
+
+    #[test]
+    fn circle_has_requested_vertices_and_area() {
+        let c = circle(pt(1.0, 2.0), 2.0, 256);
+        assert_eq!(c.vertex_count(), 256);
+        let area = c.contours()[0].area();
+        let want = std::f64::consts::PI * 4.0;
+        assert!((area - want).abs() / want < 1e-3);
+        assert!(c.contours()[0].is_ccw());
+    }
+
+    #[test]
+    fn smooth_blob_is_deterministic_and_simple() {
+        let a = smooth_blob(42, pt(0.0, 0.0), 1.0, 500, 0.3);
+        let b = smooth_blob(42, pt(0.0, 0.0), 1.0, 500, 0.3);
+        assert_eq!(a, b);
+        let c = smooth_blob(43, pt(0.0, 0.0), 1.0, 500, 0.3);
+        assert_ne!(a, c);
+        // Star-shaped about the center by construction → simple polygon
+        // with positive area near π.
+        let area = a.contours()[0].area();
+        assert!(area > 1.5 && area < 2.0 * std::f64::consts::PI);
+    }
+
+    #[test]
+    fn blob_edges_are_short() {
+        // Edge locality: the longest edge of a smooth blob must be within a
+        // small factor of the mean edge, keeping k' linear.
+        let p = smooth_blob(7, pt(0.0, 0.0), 1.0, 1000, 0.3);
+        let lens: Vec<f64> = p.edges().map(|e| e.len()).collect();
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        let max = lens.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 6.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn star_is_concave_and_valid() {
+        let s = star(pt(0.0, 0.0), 0.5, 1.0, 8);
+        assert_eq!(s.vertex_count(), 16);
+        assert!(!s.contours()[0].is_convex());
+        assert!(s.contours()[0].is_ccw());
+    }
+
+    #[test]
+    fn pentagram_self_intersects() {
+        use polyclip_sweep::{collect_edges, cross::brute_force_crossings};
+        let p = pentagram(pt(0.0, 0.0), 1.0, 5);
+        let edges = collect_edges(&p, &PolygonSet::new());
+        // 5 geometric self-crossings; the nearly horizontal shoulder chord
+        // (ulps of y-extent) snaps to horizontal and leaves the sweep, so
+        // the remaining sweep edges carry 3 of them.
+        assert_eq!(edges.len(), 4);
+        assert_eq!(brute_force_crossings(&edges).len(), 3);
+    }
+
+    #[test]
+    fn comb_crossing_profile() {
+        let c = comb(pt(0.0, 0.0), 10, 0.5, 2.0);
+        // A horizontal ray through the teeth crosses 20 vertical boundaries.
+        let cont = &c.contours()[0];
+        let y = 1.0;
+        let crossings = cont
+            .edges()
+            .filter(|e| (e.a.y <= y) != (e.b.y <= y))
+            .count();
+        assert_eq!(crossings, 20);
+    }
+
+    #[test]
+    fn spiral_has_many_scanline_crossings() {
+        let s = spiral(pt(0.0, 0.0), 4.0, 0.3, 400);
+        let cont = &s.contours()[0];
+        assert_eq!(cont.len(), 400);
+        // A horizontal line through the middle crosses both rails of
+        // several windings.
+        let y = 0.05;
+        let crossings = cont.edges().filter(|e| (e.a.y <= y) != (e.b.y <= y)).count();
+        assert!(crossings >= 8, "crossings = {crossings}");
+        assert!(cont.area() > 0.0);
+        // Simple: a spiral must not self-intersect.
+        use polyclip_sweep::{collect_edges, cross::brute_force_crossings};
+        let edges = collect_edges(&s, &PolygonSet::new());
+        assert!(brute_force_crossings(&edges).is_empty());
+    }
+
+    #[test]
+    fn donut_has_a_hole() {
+        let d = donut(3, pt(0.0, 0.0), 1.0, 64, 0.4);
+        assert_eq!(d.len(), 2);
+        assert!(!d.contains(pt(0.0, 0.0), polyclip_geom::FillRule::EvenOdd));
+        assert!(d.contains(pt(0.0, 0.75), polyclip_geom::FillRule::EvenOdd));
+    }
+
+    #[test]
+    fn perturbation_is_bounded_and_deterministic() {
+        let p = circle(pt(0.0, 0.0), 1.0, 100);
+        let q = perturbed(&p, 0.01, 9);
+        let r = perturbed(&p, 0.01, 9);
+        assert_eq!(q, r);
+        assert_ne!(p, q);
+        for (a, b) in p.contours()[0].points().iter().zip(q.contours()[0].points()) {
+            assert!((a.x - b.x).abs() <= 0.01 && (a.y - b.y).abs() <= 0.01);
+        }
+    }
+
+    #[test]
+    fn synthetic_pair_overlaps() {
+        let (a, b) = synthetic_pair(2_000, 1);
+        assert_eq!(a.vertex_count(), 2_000);
+        assert_eq!(b.vertex_count(), 2_000);
+        assert!(a.bbox().intersects(&b.bbox()));
+        // The pair genuinely overlaps (not just the boxes).
+        let mid = a.bbox().center().lerp(&b.bbox().center(), 0.5);
+        assert!(a.contains(mid, polyclip_geom::FillRule::EvenOdd));
+        assert!(b.contains(mid, polyclip_geom::FillRule::EvenOdd));
+    }
+}

@@ -1,0 +1,185 @@
+//! Axis-aligned bounding boxes (the paper's Minimum Bounding Rectangles).
+
+use crate::point::Point;
+
+/// An axis-aligned bounding rectangle, represented by its bottom-left and
+/// top-right corners — exactly the MBR representation used by the paper's
+/// Algorithm 2 for slab partitioning and candidate-pair filtering.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BBox {
+    /// Smallest x coordinate.
+    pub xmin: f64,
+    /// Smallest y coordinate.
+    pub ymin: f64,
+    /// Largest x coordinate.
+    pub xmax: f64,
+    /// Largest y coordinate.
+    pub ymax: f64,
+}
+
+impl BBox {
+    /// The empty box: contains nothing, is the identity of [`BBox::union`].
+    pub const EMPTY: BBox = BBox {
+        xmin: f64::INFINITY,
+        ymin: f64::INFINITY,
+        xmax: f64::NEG_INFINITY,
+        ymax: f64::NEG_INFINITY,
+    };
+
+    /// Construct from explicit bounds. `min` components must not exceed `max`.
+    #[inline]
+    pub fn new(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
+        debug_assert!(xmin <= xmax && ymin <= ymax, "inverted BBox");
+        BBox { xmin, ymin, xmax, ymax }
+    }
+
+    /// The tightest box containing a set of points (EMPTY for no points).
+    pub fn of_points<'a, I: IntoIterator<Item = &'a Point>>(pts: I) -> Self {
+        let mut b = BBox::EMPTY;
+        for p in pts {
+            b.expand(*p);
+        }
+        b
+    }
+
+    /// True if no point has been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xmin > self.xmax || self.ymin > self.ymax
+    }
+
+    /// Grow to include a point.
+    #[inline]
+    pub fn expand(&mut self, p: Point) {
+        self.xmin = self.xmin.min(p.x);
+        self.ymin = self.ymin.min(p.y);
+        self.xmax = self.xmax.max(p.x);
+        self.ymax = self.ymax.max(p.y);
+    }
+
+    /// The smallest box containing both operands.
+    #[inline]
+    pub fn union(&self, o: &BBox) -> BBox {
+        BBox {
+            xmin: self.xmin.min(o.xmin),
+            ymin: self.ymin.min(o.ymin),
+            xmax: self.xmax.max(o.xmax),
+            ymax: self.ymax.max(o.ymax),
+        }
+    }
+
+    /// True if the closed boxes share at least one point.
+    #[inline]
+    pub fn intersects(&self, o: &BBox) -> bool {
+        !self.is_empty()
+            && !o.is_empty()
+            && self.xmin <= o.xmax
+            && o.xmin <= self.xmax
+            && self.ymin <= o.ymax
+            && o.ymin <= self.ymax
+    }
+
+    /// True if the closed y-ranges overlap (slab assignment test).
+    #[inline]
+    pub fn y_overlaps(&self, ymin: f64, ymax: f64) -> bool {
+        !self.is_empty() && self.ymin <= ymax && ymin <= self.ymax
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.xmin <= p.x && p.x <= self.xmax && self.ymin <= p.y && p.y <= self.ymax
+    }
+
+    /// Width (0 for empty boxes is not guaranteed; check `is_empty` first).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.xmax - self.xmin
+    }
+
+    /// Height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.ymax - self.ymin
+    }
+
+    /// Geometric center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+    }
+
+    /// Area of the rectangle (0 for degenerate boxes).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+}
+
+impl Default for BBox {
+    fn default() -> Self {
+        BBox::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn empty_box_is_identity_of_union() {
+        let b = BBox::new(0.0, 1.0, 2.0, 3.0);
+        assert_eq!(BBox::EMPTY.union(&b), b);
+        assert_eq!(b.union(&BBox::EMPTY), b);
+        assert!(BBox::EMPTY.is_empty());
+        assert!(!BBox::EMPTY.intersects(&b));
+    }
+
+    #[test]
+    fn of_points_is_tight() {
+        let b = BBox::of_points(&[pt(1.0, 5.0), pt(-2.0, 3.0), pt(0.0, 7.0)]);
+        assert_eq!(b, BBox::new(-2.0, 3.0, 1.0, 7.0));
+    }
+
+    #[test]
+    fn intersects_includes_shared_boundary() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let b = BBox::new(1.0, 0.0, 2.0, 1.0); // touches at x = 1
+        let c = BBox::new(1.1, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let b = BBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(b.contains(pt(0.0, 0.0)));
+        assert!(b.contains(pt(1.0, 1.0)));
+        assert!(b.contains(pt(0.5, 0.5)));
+        assert!(!b.contains(pt(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn measurements() {
+        let b = BBox::new(0.0, 1.0, 4.0, 3.0);
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.area(), 8.0);
+        assert_eq!(b.center(), pt(2.0, 2.0));
+        assert_eq!(BBox::EMPTY.area(), 0.0);
+    }
+
+    #[test]
+    fn y_overlap_for_slab_assignment() {
+        let b = BBox::new(0.0, 2.0, 1.0, 5.0);
+        assert!(b.y_overlaps(4.0, 6.0));
+        assert!(b.y_overlaps(5.0, 9.0)); // closed range: touching counts
+        assert!(!b.y_overlaps(5.1, 9.0));
+        assert!(b.y_overlaps(0.0, 2.0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Closed polygonal contours (rings).
+//!
+//! A [`Contour`] is a closed chain of vertices; the closing edge from the
+//! last vertex back to the first is implicit. Contours may be convex,
+//! concave, or self-intersecting — the paper's algorithms accept all three —
+//! and their interior is defined by the owning [`crate::PolygonSet`]'s fill
+//! rule, not by the contour alone.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// A closed polygonal chain. Vertices are stored without repeating the first
+/// vertex at the end.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Contour {
+    points: Vec<Point>,
+}
+
+impl Contour {
+    /// Create a contour from a vertex list, dropping exact consecutive
+    /// duplicates (including a duplicated closing vertex).
+    pub fn new(mut points: Vec<Point>) -> Self {
+        points.dedup();
+        if points.len() > 1 && points.first() == points.last() {
+            points.pop();
+        }
+        Contour { points }
+    }
+
+    /// Create from `(x, y)` pairs — convenient in tests and examples.
+    pub fn from_xy(xy: &[(f64, f64)]) -> Self {
+        Contour::new(xy.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    /// The vertices (closing edge implicit).
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of vertices (== number of edges for a valid contour).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the contour has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// True if the contour has at least 3 vertices (can bound area).
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.points.len() >= 3
+    }
+
+    /// Iterate over the directed edges, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.points.len();
+        (0..n).map(move |i| Segment::new(self.points[i], self.points[(i + 1) % n]))
+    }
+
+    /// Tight bounding box.
+    pub fn bbox(&self) -> BBox {
+        BBox::of_points(&self.points)
+    }
+
+    /// Signed area by the shoelace formula: positive for counterclockwise
+    /// vertex order. For self-intersecting contours this is the *algebraic*
+    /// area (regions covered with negative winding count subtract).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.points.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            let p = self.points[i];
+            let q = self.points[(i + 1) % n];
+            sum += p.cross(&q);
+        }
+        sum / 2.0
+    }
+
+    /// Absolute value of the signed area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Total edge length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.len()).sum()
+    }
+
+    /// True if vertices wind counterclockwise (positive signed area).
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Reverse the vertex order in place (flips orientation).
+    pub fn reverse(&mut self) {
+        self.points.reverse();
+    }
+
+    /// Winding number of `p` with respect to this contour.
+    ///
+    /// Points exactly on the boundary get an implementation-defined count;
+    /// callers needing boundary awareness should test boundary membership
+    /// separately.
+    pub fn winding_number(&self, p: Point) -> i32 {
+        let n = self.points.len();
+        if n < 3 {
+            return 0;
+        }
+        let mut wn = 0i32;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            if a.y <= p.y {
+                if b.y > p.y && Segment::new(a, b).side_of(p) > 0.0 {
+                    wn += 1;
+                }
+            } else if b.y <= p.y && Segment::new(a, b).side_of(p) < 0.0 {
+                wn -= 1;
+            }
+        }
+        wn
+    }
+
+    /// Even-odd (crossing-parity) point containment.
+    ///
+    /// This matches the fill rule the paper's parity argument (Lemma 3) uses:
+    /// a point is inside iff a ray to infinity crosses the boundary an odd
+    /// number of times.
+    pub fn contains_even_odd(&self, p: Point) -> bool {
+        let n = self.points.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            // Half-open rule on y avoids double counting vertices.
+            if (a.y <= p.y) != (b.y <= p.y) {
+                // Edge straddles the horizontal line through p; robust side
+                // test against the upward-directed edge.
+                let side = Segment::new(a, b).side_of(p);
+                let upward = b.y > a.y;
+                if (upward && side > 0.0) || (!upward && side < 0.0) {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Nonzero-winding point containment.
+    #[inline]
+    pub fn contains_nonzero(&self, p: Point) -> bool {
+        self.winding_number(p) != 0
+    }
+
+    /// True if every turn has the same sign (strictly convex test allows
+    /// collinear runs).
+    pub fn is_convex(&self) -> bool {
+        let n = self.points.len();
+        if n < 3 {
+            return false;
+        }
+        let mut sign = 0i8;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            let c = self.points[(i + 2) % n];
+            let cross = (b - a).cross(&(c - b));
+            if cross != 0.0 {
+                let s = if cross > 0.0 { 1 } else { -1 };
+                if sign == 0 {
+                    sign = s;
+                } else if sign != s {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Translate every vertex by `d`.
+    pub fn translate(&self, d: Point) -> Contour {
+        Contour {
+            points: self.points.iter().map(|&p| p + d).collect(),
+        }
+    }
+
+    /// Scale about the origin.
+    pub fn scale(&self, s: f64) -> Contour {
+        Contour {
+            points: self.points.iter().map(|&p| p * s).collect(),
+        }
+    }
+
+    /// Consume into the vertex vector.
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
+}
+
+/// An axis-aligned rectangle contour (counterclockwise).
+pub fn rect(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Contour {
+    Contour::from_xy(&[(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    fn unit_square() -> Contour {
+        rect(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn construction_drops_duplicates_and_closing_vertex() {
+        let c = Contour::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn signed_area_and_orientation() {
+        let sq = unit_square();
+        assert_eq!(sq.signed_area(), 1.0);
+        assert!(sq.is_ccw());
+        let mut cw = sq.clone();
+        cw.reverse();
+        assert_eq!(cw.signed_area(), -1.0);
+        assert!(!cw.is_ccw());
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn perimeter_of_square() {
+        assert_eq!(unit_square().perimeter(), 4.0);
+    }
+
+    #[test]
+    fn bbox_covers_all_vertices() {
+        let c = Contour::from_xy(&[(0.0, 0.0), (3.0, -1.0), (2.0, 4.0)]);
+        assert_eq!(c.bbox(), BBox::new(0.0, -1.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn even_odd_containment_simple() {
+        let sq = unit_square();
+        assert!(sq.contains_even_odd(pt(0.5, 0.5)));
+        assert!(!sq.contains_even_odd(pt(1.5, 0.5)));
+        assert!(!sq.contains_even_odd(pt(0.5, -0.5)));
+    }
+
+    #[test]
+    fn even_odd_containment_concave() {
+        // A "C" shape: inside the notch is outside the polygon.
+        let c = Contour::from_xy(&[
+            (0.0, 0.0),
+            (3.0, 0.0),
+            (3.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 2.0),
+            (3.0, 2.0),
+            (3.0, 3.0),
+            (0.0, 3.0),
+        ]);
+        assert!(c.contains_even_odd(pt(0.5, 1.5)));
+        assert!(!c.contains_even_odd(pt(2.0, 1.5))); // the notch
+        assert!(c.contains_even_odd(pt(2.0, 0.5)));
+    }
+
+    #[test]
+    fn self_intersecting_bowtie_even_odd() {
+        // Bow-tie: both lobes are inside by parity, the "center" point is
+        // where the boundary crosses itself.
+        let bow = Contour::from_xy(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        assert!(bow.contains_even_odd(pt(0.5, 1.0)));
+        assert!(bow.contains_even_odd(pt(1.5, 1.0)));
+        assert!(!bow.contains_even_odd(pt(1.0, 1.8)));
+        assert!(!bow.contains_even_odd(pt(1.0, 0.2)));
+    }
+
+    #[test]
+    fn winding_number_of_doubly_wound_contour() {
+        // Go around the square twice: winding number 2 inside.
+        let twice = Contour::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+        ]);
+        // Note: Contour::new removes the duplicate closing point only; the
+        // interior duplicate run stays, giving two full loops.
+        assert_eq!(twice.winding_number(pt(0.5, 0.5)), 2);
+        assert!(twice.contains_nonzero(pt(0.5, 0.5)));
+        // Even-odd sees it as *outside* (two crossings).
+        assert!(!twice.contains_even_odd(pt(0.5, 0.5)));
+    }
+
+    #[test]
+    fn convexity() {
+        assert!(unit_square().is_convex());
+        let concave = Contour::from_xy(&[(0.0, 0.0), (2.0, 0.0), (1.0, 0.5), (1.0, 2.0)]);
+        assert!(!concave.is_convex());
+        let cw_triangle = Contour::from_xy(&[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0)]);
+        assert!(cw_triangle.is_convex()); // convex regardless of orientation
+    }
+
+    #[test]
+    fn edges_include_closing_edge() {
+        let sq = unit_square();
+        let edges: Vec<Segment> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, sq.points()[0]);
+    }
+
+    #[test]
+    fn transforms() {
+        let sq = unit_square();
+        let moved = sq.translate(pt(2.0, 3.0));
+        assert_eq!(moved.bbox(), BBox::new(2.0, 3.0, 3.0, 4.0));
+        let grown = sq.scale(2.0);
+        assert_eq!(grown.area(), 4.0);
+    }
+
+    #[test]
+    fn degenerate_contours_are_harmless() {
+        let empty = Contour::new(vec![]);
+        assert!(empty.is_empty());
+        assert!(!empty.is_valid());
+        assert_eq!(empty.signed_area(), 0.0);
+        assert!(!empty.contains_even_odd(pt(0.0, 0.0)));
+        let point = Contour::from_xy(&[(1.0, 1.0)]);
+        assert_eq!(point.area(), 0.0);
+        let line = Contour::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(line.signed_area(), 0.0);
+        assert!(!line.is_valid());
+    }
+}

@@ -1,0 +1,143 @@
+//! Total-order and comparison helpers for `f64` coordinates.
+//!
+//! The sweep machinery needs to sort, deduplicate and hash coordinates; plain
+//! `f64` is not `Ord`/`Eq`/`Hash`. [`OrdF64`] is a thin newtype that provides
+//! all three by rejecting NaN at construction time, which the geometry kernel
+//! guarantees never to produce for finite inputs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A finite `f64` with total ordering, equality and hashing.
+///
+/// Construction panics on NaN: coordinates in this workspace are always
+/// finite, so a NaN indicates a logic error upstream and should fail loudly.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wrap a finite `f64`.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "OrdF64 cannot hold NaN");
+        OrdF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrdF64::new(v)
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed non-NaN, so partial_cmp always succeeds.
+        self.0.partial_cmp(&other.0).expect("OrdF64 holds no NaN")
+    }
+}
+
+impl Hash for OrdF64 {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Normalize -0.0 to +0.0 so that values comparing equal hash equally.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Relative/absolute tolerance comparison used by tests and measures.
+///
+/// Returns `true` when `a` and `b` differ by at most `eps` in absolute terms
+/// or by at most `eps` relative to the larger magnitude.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= eps {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= eps * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ordering_is_total_for_finite_values() {
+        let mut v = [OrdF64::new(3.5),
+            OrdF64::new(-1.0),
+            OrdF64::new(0.0),
+            OrdF64::new(2.25)];
+        v.sort();
+        let got: Vec<f64> = v.iter().map(|x| x.get()).collect();
+        assert_eq!(got, vec![-1.0, 0.0, 2.25, 3.5]);
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero_and_hashes_equal() {
+        let a = OrdF64::new(0.0);
+        let b = OrdF64::new(-0.0);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn dedup_after_sort_removes_bitwise_duplicates() {
+        let mut v = vec![OrdF64::new(1.0), OrdF64::new(1.0), OrdF64::new(2.0)];
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.01, 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_rejected_in_debug() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+}

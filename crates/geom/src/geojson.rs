@@ -1,0 +1,446 @@
+//! GeoJSON (RFC 7946) polygon I/O.
+//!
+//! Supports the geometry types polygon workflows need — `Polygon` and
+//! `MultiPolygon` — plus unwrapping of `Feature` and `FeatureCollection`
+//! containers. The parser is a small self-contained JSON reader (no
+//! dependency), strict enough to reject malformed documents and tolerant of
+//! unknown members, as the RFC requires.
+
+use crate::contour::Contour;
+use crate::point::Point;
+use crate::polygon::PolygonSet;
+use std::fmt::Write as _;
+
+/// Error from GeoJSON parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GeoJsonError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset where it was detected.
+    pub position: usize,
+}
+
+impl std::fmt::Display for GeoJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GeoJSON error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for GeoJsonError {}
+
+/// Serialize a polygon set as a GeoJSON `Polygon` (or `MultiPolygon` when
+/// `as_multi` is set, with one polygon per contour). Rings are closed by
+/// repeating the first coordinate.
+pub fn to_geojson(p: &PolygonSet, as_multi: bool) -> String {
+    let ring = |c: &Contour, s: &mut String| {
+        s.push('[');
+        for (i, pt) in c.points().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{}]", pt.x, pt.y);
+        }
+        if let Some(first) = c.points().first() {
+            let _ = write!(s, ",[{},{}]", first.x, first.y);
+        }
+        s.push(']');
+    };
+    let mut s = String::new();
+    if as_multi {
+        s.push_str(r#"{"type":"MultiPolygon","coordinates":["#);
+        for (i, c) in p.contours().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            ring(c, &mut s);
+            s.push(']');
+        }
+        s.push_str("]}");
+    } else {
+        s.push_str(r#"{"type":"Polygon","coordinates":["#);
+        for (i, c) in p.contours().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            ring(c, &mut s);
+        }
+        s.push_str("]}");
+    }
+    s
+}
+
+/// Parse a GeoJSON document into a polygon set. Accepts `Polygon`,
+/// `MultiPolygon`, `Feature` (with polygonal geometry) and
+/// `FeatureCollection` (all polygonal features concatenated); other
+/// geometry types are an error.
+pub fn from_geojson(input: &str) -> Result<PolygonSet, GeoJsonError> {
+    let mut p = Json { s: input.as_bytes(), i: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    geometry_to_polygons(&v, 0)
+}
+
+// ---- tiny JSON value model -------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn geojson_err(message: &str) -> GeoJsonError {
+    GeoJsonError { message: message.to_string(), position: 0 }
+}
+
+fn geometry_to_polygons(v: &Value, depth: usize) -> Result<PolygonSet, GeoJsonError> {
+    if depth > 4 {
+        return Err(geojson_err("nesting too deep"));
+    }
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| geojson_err("missing \"type\""))?;
+    match ty {
+        "Polygon" => {
+            let coords = v
+                .get("coordinates")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| geojson_err("Polygon without coordinates"))?;
+            rings_to_set(coords)
+        }
+        "MultiPolygon" => {
+            let polys = v
+                .get("coordinates")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| geojson_err("MultiPolygon without coordinates"))?;
+            let mut out = PolygonSet::new();
+            for poly in polys {
+                let rings = poly
+                    .as_arr()
+                    .ok_or_else(|| geojson_err("MultiPolygon member is not an array"))?;
+                out.extend(rings_to_set(rings)?);
+            }
+            Ok(out)
+        }
+        "Feature" => {
+            let geom = v
+                .get("geometry")
+                .ok_or_else(|| geojson_err("Feature without geometry"))?;
+            geometry_to_polygons(geom, depth + 1)
+        }
+        "FeatureCollection" => {
+            let feats = v
+                .get("features")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| geojson_err("FeatureCollection without features"))?;
+            let mut out = PolygonSet::new();
+            for f in feats {
+                out.extend(geometry_to_polygons(f, depth + 1)?);
+            }
+            Ok(out)
+        }
+        other => Err(geojson_err(&format!("unsupported geometry `{other}`"))),
+    }
+}
+
+fn rings_to_set(rings: &[Value]) -> Result<PolygonSet, GeoJsonError> {
+    let mut contours = Vec::with_capacity(rings.len());
+    for r in rings {
+        let coords = r
+            .as_arr()
+            .ok_or_else(|| geojson_err("ring is not an array"))?;
+        let mut pts = Vec::with_capacity(coords.len());
+        for c in coords {
+            let pair = c
+                .as_arr()
+                .ok_or_else(|| geojson_err("position is not an array"))?;
+            if pair.len() < 2 {
+                return Err(geojson_err("position needs at least two numbers"));
+            }
+            let x = pair[0].as_num().ok_or_else(|| geojson_err("x not a number"))?;
+            let y = pair[1].as_num().ok_or_else(|| geojson_err("y not a number"))?;
+            pts.push(Point::new(x, y));
+        }
+        contours.push(Contour::new(pts)); // drops the duplicated closer
+    }
+    Ok(PolygonSet::from_contours(contours))
+}
+
+// ---- parser -----------------------------------------------------------------
+
+struct Json<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Json<'_> {
+    fn err(&self, m: &str) -> GeoJsonError {
+        GeoJsonError { message: m.to_string(), position: self.i }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, GeoJsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, GeoJsonError> {
+        if self.s[self.i..].starts_with(kw.as_bytes()) {
+            self.i += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err("malformed literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, GeoJsonError> {
+        self.i += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.i += 1;
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, GeoJsonError> {
+        self.i += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, GeoJsonError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected a string"));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => out.push(c as char),
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, GeoJsonError> {
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(self.s[self.i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contour::rect;
+
+    #[test]
+    fn roundtrip_polygon_with_hole() {
+        let p = PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 4.0, 4.0),
+            rect(1.0, 1.0, 2.0, 2.0),
+        ]);
+        let gj = to_geojson(&p, false);
+        assert!(gj.starts_with(r#"{"type":"Polygon""#));
+        let q = from_geojson(&gj).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_multipolygon() {
+        let p = PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 1.0, 1.0),
+            rect(5.0, 5.0, 6.0, 6.0),
+        ]);
+        let gj = to_geojson(&p, true);
+        assert!(gj.contains("MultiPolygon"));
+        let q = from_geojson(&gj).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn feature_and_collection_unwrapping() {
+        let doc = r#"{
+          "type": "FeatureCollection",
+          "features": [
+            {"type": "Feature",
+             "properties": {"name": "a", "pop": 12},
+             "geometry": {"type": "Polygon",
+               "coordinates": [[[0,0],[1,0],[1,1],[0,0]]]}},
+            {"type": "Feature",
+             "properties": null,
+             "geometry": {"type": "Polygon",
+               "coordinates": [[[5,5],[6,5],[6,6],[5,5]]]}}
+          ]
+        }"#;
+        let q = from_geojson(doc).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.vertex_count(), 6);
+    }
+
+    #[test]
+    fn unknown_members_are_tolerated() {
+        let doc = r#"{"bbox": [0,0,1,1], "type": "Polygon",
+                      "coordinates": [[[0,0],[1,0],[0.5,1],[0,0]]],
+                      "extra": {"nested": [true, false, null, "sA"]}}"#;
+        let q = from_geojson(doc).unwrap();
+        assert_eq!(q.contours()[0].len(), 3);
+    }
+
+    #[test]
+    fn third_coordinate_dimension_is_ignored_error() {
+        // Positions with altitude are allowed by the RFC; we accept them by
+        // reading the first two numbers.
+        let doc = r#"{"type":"Polygon","coordinates":[[[0,0,7],[1,0,7],[0.5,1,7],[0,0,7]]]}"#;
+        let q = from_geojson(doc).unwrap();
+        assert_eq!(q.contours()[0].len(), 3);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(from_geojson("").is_err());
+        assert!(from_geojson("{}").is_err()); // no type
+        assert!(from_geojson(r#"{"type":"Point","coordinates":[0,0]}"#).is_err());
+        assert!(from_geojson(r#"{"type":"Polygon"}"#).is_err());
+        assert!(from_geojson(r#"{"type":"Polygon","coordinates":[[[0,"x"],[1,0],[0,0]]]}"#).is_err());
+        assert!(from_geojson(r#"{"type":"Polygon","coordinates":[[[0,0],[1,0],[0,0]]]} trailing"#).is_err());
+        let e = from_geojson(r#"{"type":"Polygon","coordinates":"#).unwrap_err();
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn scientific_and_negative_numbers() {
+        let doc = r#"{"type":"Polygon","coordinates":[[[-1e-3,0],[2.5E2,0],[0,1.25],[-1e-3,0]]]}"#;
+        let q = from_geojson(doc).unwrap();
+        assert_eq!(q.contours()[0].points()[1].x, 250.0);
+    }
+}

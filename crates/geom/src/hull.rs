@@ -1,0 +1,136 @@
+//! Convex hulls (Andrew's monotone chain) and related helpers.
+
+use crate::contour::Contour;
+use crate::point::Point;
+use crate::predicates::{orient2d_sign, orient2d, Orientation};
+
+/// Convex hull of a point set, as a counterclockwise contour.
+///
+/// Collinear boundary points are dropped (strict hull). Degenerate inputs
+/// (fewer than 3 distinct non-collinear points) yield an invalid contour
+/// that callers can detect via [`Contour::is_valid`].
+pub fn convex_hull(points: &[Point]) -> Contour {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return Contour::new(pts);
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower chain.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper chain.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is repeated at the end
+    Contour::new(hull)
+}
+
+/// True if `p` lies inside or on the boundary of the convex CCW `hull`.
+pub fn convex_contains(hull: &Contour, p: Point) -> bool {
+    let pts = hull.points();
+    let n = pts.len();
+    if n < 3 {
+        return false;
+    }
+    for i in 0..n {
+        if orient2d(pts[i], pts[(i + 1) % n], p) == Orientation::Clockwise {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+            pt(2.0, 2.0),
+            pt(0.0, 2.0),
+            pt(1.0, 1.0), // interior
+            pt(0.5, 1.5), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(h.is_ccw());
+        assert!(h.is_convex());
+        assert_eq!(h.area(), 4.0);
+    }
+
+    #[test]
+    fn collinear_boundary_points_dropped() {
+        let pts = [
+            pt(0.0, 0.0),
+            pt(1.0, 0.0), // collinear on the bottom edge
+            pt(2.0, 0.0),
+            pt(2.0, 2.0),
+            pt(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        let mut s = 0xfeedu64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        };
+        let pts: Vec<Point> = (0..200).map(|_| pt(rng(), rng())).collect();
+        let h = convex_hull(&pts);
+        assert!(h.is_valid());
+        assert!(h.is_convex());
+        assert!(h.is_ccw());
+        for p in &pts {
+            assert!(convex_contains(&h, *p), "{p} escaped its hull");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(!convex_hull(&[]).is_valid());
+        assert!(!convex_hull(&[pt(1.0, 1.0)]).is_valid());
+        assert!(!convex_hull(&[pt(0.0, 0.0), pt(1.0, 1.0)]).is_valid());
+        // All collinear: hull degenerates to a segment (invalid contour).
+        let line: Vec<Point> = (0..10).map(|i| pt(i as f64, i as f64 * 2.0)).collect();
+        let h = convex_hull(&line);
+        assert!(h.len() <= 2, "collinear hull must collapse, got {}", h.len());
+    }
+
+    #[test]
+    fn duplicate_points_are_harmless() {
+        let pts = [pt(0.0, 0.0), pt(0.0, 0.0), pt(1.0, 0.0), pt(1.0, 0.0), pt(0.5, 1.0)];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+        assert!(h.is_ccw());
+    }
+}

@@ -1,0 +1,39 @@
+//! Geometry kernel for the `polyclip` workspace.
+//!
+//! This crate provides the small, self-contained geometric substrate that the
+//! clipping algorithms of Puri & Prasad (ICPP 2014) are built on:
+//!
+//! * [`Point`], [`Segment`], [`BBox`] primitives with total-order helpers for
+//!   `f64` coordinates ([`OrdF64`]);
+//! * robust orientation predicates ([`predicates::orient2d`]) using a fast
+//!   floating-point filter with an exact expansion-arithmetic fallback in the
+//!   style of Shewchuk's adaptive predicates;
+//! * segment–segment intersection ([`Segment::intersect`]);
+//! * polygon containers: [`Contour`] (a closed ring, possibly
+//!   self-intersecting) and [`PolygonSet`] (a collection of contours under an
+//!   even-odd or nonzero fill rule), with areas, bounding boxes and
+//!   point-in-polygon tests.
+//!
+//! Nothing in this crate is parallel; it is the shared vocabulary of the
+//! sweep, clipping and data-generation crates.
+
+pub mod bbox;
+pub mod contour;
+pub mod float;
+pub mod geojson;
+pub mod hull;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod segment;
+pub mod svg;
+pub mod wkt;
+
+pub use bbox::BBox;
+pub use contour::Contour;
+pub use float::OrdF64;
+pub use point::Point;
+pub use polygon::{FillRule, PolygonSet};
+pub use hull::{convex_contains, convex_hull};
+pub use predicates::{orient2d, Orientation};
+pub use segment::{Segment, SegmentIntersection};

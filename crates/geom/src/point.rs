@@ -1,0 +1,174 @@
+//! 2-D points with exact-bit equality and total ordering.
+
+use crate::float::OrdF64;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or free vector) in the plane with `f64` coordinates.
+///
+/// Equality is exact (bitwise on the coordinate values after `-0.0`
+/// normalization through [`Point::key`]); the clipping engine relies on
+/// coordinates produced once and reused verbatim, so exact equality is the
+/// correct notion of "same vertex".
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate (the sweep direction of the paper's scanbeams).
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// A hashable/sortable key `(y, x)` — sweep order: bottom-to-top, then
+    /// left-to-right, matching the paper's scanline order.
+    #[inline]
+    pub fn key(&self) -> (OrdF64, OrdF64) {
+        (OrdF64::new(self.y), OrdF64::new(self.x))
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(&self, o: &Point) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    #[inline]
+    pub fn cross(&self, o: &Point) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm2(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, o: &Point) -> f64 {
+        (*self - *o).norm()
+    }
+
+    /// Linear interpolation: `self + t * (o - self)`.
+    #[inline]
+    pub fn lerp(&self, o: &Point, t: f64) -> Point {
+        Point::new(self.x + t * (o.x - self.x), self.y + t * (o.y - self.y))
+    }
+
+    /// True if all coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, o: Point) -> Point {
+        Point::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, o: Point) -> Point {
+        Point::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, s: f64) -> Point {
+        Point::new(self.x / s, self.y / s)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples.
+#[inline]
+pub fn pt(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_vectors() {
+        let a = pt(1.0, 2.0);
+        let b = pt(3.0, -1.0);
+        assert_eq!(a + b, pt(4.0, 1.0));
+        assert_eq!(a - b, pt(-2.0, 3.0));
+        assert_eq!(-a, pt(-1.0, -2.0));
+        assert_eq!(a * 2.0, pt(2.0, 4.0));
+        assert_eq!(b / 2.0, pt(1.5, -0.5));
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        // (1,0) x (0,1) = +1: counterclockwise.
+        assert!(pt(1.0, 0.0).cross(&pt(0.0, 1.0)) > 0.0);
+        assert!(pt(0.0, 1.0).cross(&pt(1.0, 0.0)) < 0.0);
+        assert_eq!(pt(2.0, 2.0).cross(&pt(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = pt(0.0, 0.0);
+        let b = pt(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), pt(1.0, 2.0));
+    }
+
+    #[test]
+    fn key_orders_by_y_then_x() {
+        let mut v = vec![pt(1.0, 2.0), pt(0.0, 1.0), pt(-1.0, 2.0)];
+        v.sort_by_key(|p| p.key());
+        assert_eq!(v, vec![pt(0.0, 1.0), pt(-1.0, 2.0), pt(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(pt(0.0, 0.0).dist(&pt(3.0, 4.0)), 5.0);
+        assert_eq!(pt(3.0, 4.0).norm2(), 25.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Polygon sets: collections of contours under a fill rule.
+//!
+//! Following GPC (the sequential library the paper builds Algorithm 2 on), a
+//! "polygon" is a set of closed contours whose interior is defined by a fill
+//! rule. Holes need no special representation: under the even-odd rule a
+//! contour nested inside another *is* a hole, and self-intersecting contours
+//! are meaningful inputs. This is exactly the input/output model of the
+//! paper's clipper.
+
+use crate::bbox::BBox;
+use crate::contour::Contour;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// How crossing parity / winding numbers map to "inside".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum FillRule {
+    /// Inside ⇔ a ray crosses the boundary an odd number of times. The rule
+    /// used throughout the paper (Lemma 3's parity prefix sums).
+    #[default]
+    EvenOdd,
+    /// Inside ⇔ the winding number is nonzero.
+    NonZero,
+}
+
+/// A (multi-)polygon: zero or more contours, interpreted under a fill rule
+/// chosen at query/clip time.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PolygonSet {
+    contours: Vec<Contour>,
+}
+
+impl PolygonSet {
+    /// The empty polygon set.
+    pub const fn new() -> Self {
+        PolygonSet { contours: Vec::new() }
+    }
+
+    /// Build from contours, dropping invalid (< 3 vertex) ones.
+    pub fn from_contours(contours: Vec<Contour>) -> Self {
+        PolygonSet {
+            contours: contours.into_iter().filter(|c| c.is_valid()).collect(),
+        }
+    }
+
+    /// A set holding a single contour.
+    pub fn from_contour(c: Contour) -> Self {
+        PolygonSet::from_contours(vec![c])
+    }
+
+    /// Convenience: single contour from `(x, y)` pairs.
+    pub fn from_xy(xy: &[(f64, f64)]) -> Self {
+        PolygonSet::from_contour(Contour::from_xy(xy))
+    }
+
+    /// The contours.
+    #[inline]
+    pub fn contours(&self) -> &[Contour] {
+        &self.contours
+    }
+
+    /// Mutable access to the contours.
+    #[inline]
+    pub fn contours_mut(&mut self) -> &mut Vec<Contour> {
+        &mut self.contours
+    }
+
+    /// Append a contour (ignored if invalid).
+    pub fn push(&mut self, c: Contour) {
+        if c.is_valid() {
+            self.contours.push(c);
+        }
+    }
+
+    /// Move all contours of `other` into `self`.
+    pub fn extend(&mut self, other: PolygonSet) {
+        self.contours.extend(other.contours);
+    }
+
+    /// Number of contours.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.contours.len()
+    }
+
+    /// True if there are no contours.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.contours.is_empty()
+    }
+
+    /// Total vertex count across contours.
+    pub fn vertex_count(&self) -> usize {
+        self.contours.iter().map(|c| c.len()).sum()
+    }
+
+    /// Total edge count (== vertex count for closed contours).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.vertex_count()
+    }
+
+    /// Iterate over every directed edge of every contour.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.contours.iter().flat_map(|c| c.edges())
+    }
+
+    /// Tight bounding box over all contours (the paper's MBR).
+    pub fn bbox(&self) -> BBox {
+        self.contours
+            .iter()
+            .fold(BBox::EMPTY, |b, c| b.union(&c.bbox()))
+    }
+
+    /// Sum of the contours' signed areas. Under the even-odd rule with
+    /// properly oriented output (outer CCW, holes CW) this is the enclosed
+    /// area; for arbitrary inputs prefer a measure routine that honours the
+    /// fill rule (provided by the sweep crate).
+    pub fn signed_area(&self) -> f64 {
+        self.contours.iter().map(|c| c.signed_area()).sum()
+    }
+
+    /// Point containment under `rule`, combining all contours.
+    pub fn contains(&self, p: Point, rule: FillRule) -> bool {
+        match rule {
+            FillRule::EvenOdd => {
+                let mut inside = false;
+                for c in &self.contours {
+                    if c.contains_even_odd(p) {
+                        inside = !inside;
+                    }
+                }
+                inside
+            }
+            FillRule::NonZero => {
+                let wn: i32 = self.contours.iter().map(|c| c.winding_number(p)).sum();
+                wn != 0
+            }
+        }
+    }
+
+    /// Translate every contour.
+    pub fn translate(&self, d: Point) -> PolygonSet {
+        PolygonSet {
+            contours: self.contours.iter().map(|c| c.translate(d)).collect(),
+        }
+    }
+
+    /// Scale every contour about the origin.
+    pub fn scale(&self, s: f64) -> PolygonSet {
+        PolygonSet {
+            contours: self.contours.iter().map(|c| c.scale(s)).collect(),
+        }
+    }
+
+    /// Consume into the contour vector.
+    pub fn into_contours(self) -> Vec<Contour> {
+        self.contours
+    }
+}
+
+impl From<Contour> for PolygonSet {
+    fn from(c: Contour) -> Self {
+        PolygonSet::from_contour(c)
+    }
+}
+
+impl FromIterator<Contour> for PolygonSet {
+    fn from_iter<T: IntoIterator<Item = Contour>>(iter: T) -> Self {
+        PolygonSet::from_contours(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contour::rect;
+    use crate::point::pt;
+
+    fn square_with_hole() -> PolygonSet {
+        PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 4.0, 4.0),
+            rect(1.0, 1.0, 3.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn even_odd_hole_semantics() {
+        let p = square_with_hole();
+        assert!(p.contains(pt(0.5, 0.5), FillRule::EvenOdd));
+        assert!(!p.contains(pt(2.0, 2.0), FillRule::EvenOdd)); // inside hole
+        assert!(!p.contains(pt(5.0, 5.0), FillRule::EvenOdd));
+    }
+
+    #[test]
+    fn nonzero_same_orientation_fills_the_hole() {
+        // Both contours CCW: winding number 2 in the "hole" region → filled
+        // under NonZero, empty under EvenOdd.
+        let p = square_with_hole();
+        assert!(p.contains(pt(2.0, 2.0), FillRule::NonZero));
+        // Reversing the inner contour makes it a true hole for NonZero too.
+        let mut contours = p.into_contours();
+        contours[1].reverse();
+        let p2 = PolygonSet::from_contours(contours);
+        assert!(!p2.contains(pt(2.0, 2.0), FillRule::NonZero));
+    }
+
+    #[test]
+    fn invalid_contours_are_filtered() {
+        let p = PolygonSet::from_contours(vec![
+            Contour::from_xy(&[(0.0, 0.0), (1.0, 1.0)]),
+            rect(0.0, 0.0, 1.0, 1.0),
+        ]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn counts_and_bbox() {
+        let p = square_with_hole();
+        assert_eq!(p.vertex_count(), 8);
+        assert_eq!(p.edge_count(), 8);
+        assert_eq!(p.bbox(), BBox::new(0.0, 0.0, 4.0, 4.0));
+        assert_eq!(p.edges().count(), 8);
+    }
+
+    #[test]
+    fn signed_area_sums_contours() {
+        let p = square_with_hole(); // both CCW: 16 + 4
+        assert_eq!(p.signed_area(), 20.0);
+        let mut contours = p.into_contours();
+        contours[1].reverse(); // proper hole: 16 - 4
+        let p2 = PolygonSet::from_contours(contours);
+        assert_eq!(p2.signed_area(), 12.0);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = PolygonSet::new();
+        assert!(e.is_empty());
+        assert!(!e.contains(pt(0.0, 0.0), FillRule::EvenOdd));
+        assert!(e.bbox().is_empty());
+        assert_eq!(e.signed_area(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut a: PolygonSet = vec![rect(0.0, 0.0, 1.0, 1.0)].into_iter().collect();
+        let b = PolygonSet::from_contour(rect(2.0, 0.0, 3.0, 1.0));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn transforms_compose() {
+        let p = PolygonSet::from_contour(rect(0.0, 0.0, 1.0, 1.0));
+        let q = p.translate(pt(1.0, 1.0)).scale(2.0);
+        assert_eq!(q.bbox(), BBox::new(2.0, 2.0, 4.0, 4.0));
+    }
+}

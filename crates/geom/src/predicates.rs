@@ -1,0 +1,349 @@
+//! Robust orientation predicates.
+//!
+//! The clipping engine classifies regions by winding parity, which in turn
+//! rests on orientation tests. A naive floating-point `orient2d` misclassifies
+//! nearly-collinear triples, which would corrupt edge ordering inside a
+//! scanbeam. This module implements the classic *filtered* predicate: a fast
+//! floating-point evaluation with a proven forward error bound, falling back
+//! to an exact evaluation using expansion arithmetic (Shewchuk, "Adaptive
+//! Precision Floating-Point Arithmetic and Fast Robust Geometric Predicates",
+//! 1997) when the fast result is not trustworthy.
+//!
+//! The exact path evaluates
+//! `det = ax·(by − cy) + bx·(cy − ay) + cx·(ay − by)` with every operation
+//! performed exactly on floating-point *expansions* (sums of non-overlapping
+//! doubles), so the returned sign is always correct for finite inputs.
+
+use crate::point::Point;
+
+/// The result of an orientation test on an ordered point triple `(a, b, c)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Orientation {
+    /// `c` lies to the left of directed line `a → b` (positive signed area).
+    CounterClockwise,
+    /// `c` lies to the right of directed line `a → b` (negative signed area).
+    Clockwise,
+    /// The three points are exactly collinear.
+    Collinear,
+}
+
+impl Orientation {
+    /// Map a determinant sign to an orientation.
+    #[inline]
+    pub fn from_sign(s: f64) -> Self {
+        if s > 0.0 {
+            Orientation::CounterClockwise
+        } else if s < 0.0 {
+            Orientation::Clockwise
+        } else {
+            Orientation::Collinear
+        }
+    }
+
+    /// The opposite orientation (collinear is self-opposite).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        match self {
+            Orientation::CounterClockwise => Orientation::Clockwise,
+            Orientation::Clockwise => Orientation::CounterClockwise,
+            Orientation::Collinear => Orientation::Collinear,
+        }
+    }
+}
+
+// ---- exact expansion arithmetic -------------------------------------------
+
+/// Machine epsilon for the error-bound filter: 2^-53.
+const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
+/// Shewchuk's static error bound coefficient for the orient2d filter.
+const CCW_ERR_BOUND_A: f64 = (3.0 + 16.0 * EPSILON) * EPSILON;
+/// Splitter constant 2^27 + 1 for Dekker's product splitting.
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Error-free transformation of a sum: returns `(hi, lo)` with
+/// `hi + lo == a + b` exactly and `hi == fl(a + b)`.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let hi = a + b;
+    let bvirt = hi - a;
+    let avirt = hi - bvirt;
+    let lo = (a - avirt) + (b - bvirt);
+    (hi, lo)
+}
+
+/// Error-free transformation of a difference.
+#[inline]
+fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let hi = a - b;
+    let bvirt = a - hi;
+    let avirt = hi + bvirt;
+    let lo = (a - avirt) - (b - bvirt);
+    (hi, lo)
+}
+
+/// Dekker split of a double into high/low halves of ≤27 significant bits.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let hi = c - (c - a);
+    let lo = a - hi;
+    (hi, lo)
+}
+
+/// Error-free transformation of a product.
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let hi = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err = ((ahi * bhi - hi) + ahi * blo + alo * bhi) + alo * blo;
+    (hi, err)
+}
+
+/// Multiply an expansion (increasing-magnitude order) by a scalar, exactly.
+///
+/// Output is a zero-eliminated expansion in increasing-magnitude order.
+fn scale_expansion(e: &[f64], b: f64) -> Vec<f64> {
+    let mut h = Vec::with_capacity(2 * e.len());
+    if e.is_empty() {
+        return h;
+    }
+    let (mut q, lo) = two_product(e[0], b);
+    if lo != 0.0 {
+        h.push(lo);
+    }
+    for &ei in &e[1..] {
+        let (p_hi, p_lo) = two_product(ei, b);
+        let (s, s_lo) = two_sum(q, p_lo);
+        if s_lo != 0.0 {
+            h.push(s_lo);
+        }
+        let (new_q, q_lo) = two_sum(p_hi, s);
+        if q_lo != 0.0 {
+            h.push(q_lo);
+        }
+        q = new_q;
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+    h
+}
+
+/// Zero-eliminating sum of two expansions (Shewchuk's fast expansion sum).
+fn expansion_sum(e: &[f64], f: &[f64]) -> Vec<f64> {
+    // Merge by increasing magnitude.
+    let mut g = Vec::with_capacity(e.len() + f.len());
+    let (mut i, mut j) = (0, 0);
+    while i < e.len() && j < f.len() {
+        if e[i].abs() < f[j].abs() {
+            g.push(e[i]);
+            i += 1;
+        } else {
+            g.push(f[j]);
+            j += 1;
+        }
+    }
+    g.extend_from_slice(&e[i..]);
+    g.extend_from_slice(&f[j..]);
+
+    let mut h = Vec::with_capacity(g.len());
+    if g.is_empty() {
+        return h;
+    }
+    let mut q = g[0];
+    for &gi in &g[1..] {
+        let (s, lo) = two_sum(q, gi);
+        if lo != 0.0 {
+            h.push(lo);
+        }
+        q = s;
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+    h
+}
+
+/// Sign of an expansion: the sign of its largest-magnitude component.
+#[inline]
+fn expansion_sign(e: &[f64]) -> f64 {
+    *e.last().unwrap_or(&0.0)
+}
+
+/// Exact evaluation of the orient2d determinant.
+fn orient2d_exact(a: Point, b: Point, c: Point) -> f64 {
+    // det = ax*(by - cy) + bx*(cy - ay) + cx*(ay - by)
+    let t1 = two_diff(b.y, c.y);
+    let t2 = two_diff(c.y, a.y);
+    let t3 = two_diff(a.y, b.y);
+    let e1 = scale_expansion(&[t1.1, t1.0], a.x);
+    let e2 = scale_expansion(&[t2.1, t2.0], b.x);
+    let e3 = scale_expansion(&[t3.1, t3.0], c.x);
+    let s12 = expansion_sum(&e1, &e2);
+    let s = expansion_sum(&s12, &e3);
+    expansion_sign(&s)
+}
+
+/// Signed determinant of the orientation test, robust.
+///
+/// Positive ⇔ `(a, b, c)` makes a counterclockwise turn. The *magnitude* is
+/// only the filtered floating-point value (twice the triangle area,
+/// approximately); only the **sign** is guaranteed exact.
+pub fn orient2d_sign(a: Point, b: Point, c: Point) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return det;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return det;
+        }
+        -detleft - detright
+    } else {
+        return det;
+    };
+
+    let errbound = CCW_ERR_BOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return det;
+    }
+    orient2d_exact(a, b, c)
+}
+
+/// Robust orientation of the ordered triple `(a, b, c)`.
+#[inline]
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    Orientation::from_sign(orient2d_sign(a, b, c))
+}
+
+/// True if `p` lies on the closed segment `[a, b]` (exactly).
+pub fn point_on_segment(a: Point, b: Point, p: Point) -> bool {
+    if orient2d(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    let (minx, maxx) = if a.x <= b.x { (a.x, b.x) } else { (b.x, a.x) };
+    let (miny, maxy) = if a.y <= b.y { (a.y, b.y) } else { (b.y, a.y) };
+    minx <= p.x && p.x <= maxx && miny <= p.y && p.y <= maxy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn easy_orientations() {
+        let a = pt(0.0, 0.0);
+        let b = pt(1.0, 0.0);
+        assert_eq!(orient2d(a, b, pt(0.0, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, b, pt(0.0, -1.0)), Orientation::Clockwise);
+        assert_eq!(orient2d(a, b, pt(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn exact_collinearity_on_fine_grid() {
+        // Points on the line y = x with coordinates that are exactly
+        // representable: the predicate must report collinear, not a tiny turn.
+        let a = pt(0.5, 0.5);
+        let b = pt(12.0, 12.0);
+        let c = pt(1024.25, 1024.25);
+        assert_eq!(orient2d(a, b, c), Orientation::Collinear);
+    }
+
+    #[test]
+    fn nearly_collinear_triples_are_classified_consistently() {
+        // Classic robustness torture: walk a point across a line in ULP-sized
+        // steps; the reported orientation must be monotone (CW, maybe
+        // collinear, then CCW) — a naive evaluation flip-flops.
+        let a = pt(0.0, 0.0);
+        let b = pt(1e17, 1e17);
+        let mut seen_ccw = false;
+        let mut last = Orientation::Clockwise;
+        for i in -10..=10 {
+            let c = pt(0.5, 0.5 + (i as f64) * f64::EPSILON);
+            let o = orient2d(a, b, c);
+            if o == Orientation::CounterClockwise {
+                seen_ccw = true;
+            }
+            if seen_ccw {
+                assert_eq!(
+                    o,
+                    Orientation::CounterClockwise,
+                    "orientation regressed after going CCW at step {i}"
+                );
+            }
+            if o == Orientation::Collinear {
+                assert_ne!(last, Orientation::CounterClockwise);
+            }
+            last = o;
+        }
+        assert!(seen_ccw);
+    }
+
+    #[test]
+    fn exact_path_agrees_with_integer_arithmetic() {
+        // All coordinates small integers: determinant computable exactly in
+        // i64; compare signs against the robust predicate.
+        let pts = [-3i64, -1, 0, 1, 2, 5];
+        for &ax in &pts {
+            for &ay in &pts {
+                for &bx in &pts {
+                    for &by in &pts {
+                        for &cx in &pts {
+                            for &cy in &pts {
+                                let det =
+                                    (ax - cx) * (by - cy) - (ay - cy) * (bx - cx);
+                                let want = Orientation::from_sign(det as f64);
+                                let got = orient2d(
+                                    pt(ax as f64, ay as f64),
+                                    pt(bx as f64, by as f64),
+                                    pt(cx as f64, cy as f64),
+                                );
+                                assert_eq!(got, want);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_cw_ccw() {
+        assert_eq!(
+            Orientation::CounterClockwise.reversed(),
+            Orientation::Clockwise
+        );
+        assert_eq!(Orientation::Collinear.reversed(), Orientation::Collinear);
+    }
+
+    #[test]
+    fn point_on_segment_inclusive_of_endpoints() {
+        let a = pt(0.0, 0.0);
+        let b = pt(4.0, 2.0);
+        assert!(point_on_segment(a, b, a));
+        assert!(point_on_segment(a, b, b));
+        assert!(point_on_segment(a, b, pt(2.0, 1.0)));
+        assert!(!point_on_segment(a, b, pt(2.0, 1.0001)));
+        assert!(!point_on_segment(a, b, pt(6.0, 3.0))); // collinear, outside
+    }
+
+    #[test]
+    fn expansion_helpers_roundtrip() {
+        let (hi, lo) = two_sum(1e16, 1.0);
+        assert_eq!(hi + lo, 1e16 + 1.0);
+        assert_eq!(hi, 1e16); // 1.0 lost in naive sum, captured in lo
+        assert_eq!(lo, 1.0);
+
+        let (p, e) = two_product(1e8 + 1.0, 1e8 + 1.0);
+        // (1e8+1)^2 = 10000000200000001, not representable in f64; the pair
+        // (p, e) must reconstruct it exactly in integer arithmetic.
+        assert_eq!(p as i128 + e as i128, 10_000_000_200_000_001i128);
+    }
+}

@@ -1,0 +1,301 @@
+//! Line segments and robust segment–segment intersection.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::predicates::{orient2d, orient2d_sign, Orientation};
+
+/// A directed line segment from `a` to `b`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+/// Result of intersecting two segments.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SegmentIntersection {
+    /// The segments share no point.
+    None,
+    /// The segments meet in exactly one point (crossing or touching).
+    At(Point),
+    /// The segments are collinear and overlap along a sub-segment, returned
+    /// as its two endpoints (equal when the overlap is a single point).
+    Overlap(Point, Point),
+}
+
+impl Segment {
+    /// Construct a segment.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Direction vector `b - a`.
+    #[inline]
+    pub fn dir(&self) -> Point {
+        self.b - self.a
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn len2(&self) -> f64 {
+        self.dir().norm2()
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.dir().norm()
+    }
+
+    /// True if start and end coincide exactly.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// True if the segment is horizontal (zero y-extent).
+    #[inline]
+    pub fn is_horizontal(&self) -> bool {
+        self.a.y == self.b.y
+    }
+
+    /// Tight bounding box.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        BBox::new(
+            self.a.x.min(self.b.x),
+            self.a.y.min(self.b.y),
+            self.a.x.max(self.b.x),
+            self.a.y.max(self.b.y),
+        )
+    }
+
+    /// The reversed segment `b → a`.
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// x-coordinate of the segment's supporting line at height `y`.
+    ///
+    /// Exact at the endpoints (returns the endpoint x verbatim so that
+    /// repeated evaluation at event scanlines yields bit-identical
+    /// coordinates — the stitching phase depends on this).
+    ///
+    /// # Panics
+    /// Debug-panics on horizontal segments.
+    #[inline]
+    pub fn x_at_y(&self, y: f64) -> f64 {
+        debug_assert!(!self.is_horizontal(), "x_at_y on a horizontal segment");
+        if y == self.a.y {
+            return self.a.x;
+        }
+        if y == self.b.y {
+            return self.b.x;
+        }
+        let t = (y - self.a.y) / (self.b.y - self.a.y);
+        self.a.x + t * (self.b.x - self.a.x)
+    }
+
+    /// Intersection of two closed segments.
+    ///
+    /// Existence is decided with robust orientation predicates; the returned
+    /// point of a transversal crossing is the floating-point parametric
+    /// intersection (exact existence, approximate location — the standard
+    /// contract of floating-point clipping, cf. GPC).
+    pub fn intersect(&self, o: &Segment) -> SegmentIntersection {
+        let (p1, p2, p3, p4) = (self.a, self.b, o.a, o.b);
+        let d1 = orient2d(p3, p4, p1);
+        let d2 = orient2d(p3, p4, p2);
+        let d3 = orient2d(p1, p2, p3);
+        let d4 = orient2d(p1, p2, p4);
+
+        use Orientation::*;
+
+        if d1 == Collinear && d2 == Collinear {
+            // Collinear: project on the dominant axis and intersect ranges.
+            return self.collinear_overlap(o);
+        }
+
+        let proper = ((d1 == CounterClockwise) != (d2 == CounterClockwise))
+            && d1 != Collinear
+            && d2 != Collinear
+            && ((d3 == CounterClockwise) != (d4 == CounterClockwise))
+            && d3 != Collinear
+            && d4 != Collinear;
+
+        if proper {
+            return SegmentIntersection::At(self.cross_point(o));
+        }
+
+        // Touching cases: an endpoint of one lies on the other.
+        if d1 == Collinear && in_box(p3, p4, p1) {
+            return SegmentIntersection::At(p1);
+        }
+        if d2 == Collinear && in_box(p3, p4, p2) {
+            return SegmentIntersection::At(p2);
+        }
+        if d3 == Collinear && in_box(p1, p2, p3) {
+            return SegmentIntersection::At(p3);
+        }
+        if d4 == Collinear && in_box(p1, p2, p4) {
+            return SegmentIntersection::At(p4);
+        }
+        SegmentIntersection::None
+    }
+
+    /// Parametric crossing point of two non-parallel supporting lines.
+    ///
+    /// Callers must have established that a transversal crossing exists.
+    pub fn cross_point(&self, o: &Segment) -> Point {
+        let r = self.dir();
+        let s = o.dir();
+        let denom = r.cross(&s);
+        debug_assert!(denom != 0.0, "cross_point on parallel segments");
+        let t = (o.a - self.a).cross(&s) / denom;
+        // Clamp into [0,1] to guard against rounding pushing the point
+        // marginally outside the segment.
+        let t = t.clamp(0.0, 1.0);
+        self.a.lerp(&self.b, t)
+    }
+
+    fn collinear_overlap(&self, o: &Segment) -> SegmentIntersection {
+        // Order both segments along the dominant axis of `self`.
+        let horizontal_dominant =
+            (self.b.x - self.a.x).abs() >= (self.b.y - self.a.y).abs();
+        let key = |p: &Point| if horizontal_dominant { p.x } else { p.y };
+
+        let (mut s0, mut s1) = (self.a, self.b);
+        if key(&s0) > key(&s1) {
+            std::mem::swap(&mut s0, &mut s1);
+        }
+        let (mut t0, mut t1) = (o.a, o.b);
+        if key(&t0) > key(&t1) {
+            std::mem::swap(&mut t0, &mut t1);
+        }
+        let lo = if key(&s0) >= key(&t0) { s0 } else { t0 };
+        let hi = if key(&s1) <= key(&t1) { s1 } else { t1 };
+        if key(&lo) > key(&hi) {
+            SegmentIntersection::None
+        } else if lo == hi {
+            SegmentIntersection::At(lo)
+        } else {
+            SegmentIntersection::Overlap(lo, hi)
+        }
+    }
+
+    /// Signed area of the triangle `(a, b, p)` (robust sign only).
+    #[inline]
+    pub fn side_of(&self, p: Point) -> f64 {
+        orient2d_sign(self.a, self.b, p)
+    }
+}
+
+#[inline]
+fn in_box(a: Point, b: Point, p: Point) -> bool {
+    a.x.min(b.x) <= p.x && p.x <= a.x.max(b.x) && a.y.min(b.y) <= p.y && p.y <= a.y.max(b.y)
+}
+
+/// Shorthand constructor for tests and examples.
+#[inline]
+pub fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+    Segment::new(Point::new(ax, ay), Point::new(bx, by))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn proper_crossing() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        let t = seg(0.0, 2.0, 2.0, 0.0);
+        assert_eq!(s.intersect(&t), SegmentIntersection::At(pt(1.0, 1.0)));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(0.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.intersect(&t), SegmentIntersection::None);
+        // Nearly touching but not quite.
+        let u = seg(1.0 + 1e-9, 0.0, 2.0, 0.5);
+        assert_eq!(s.intersect(&u), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn endpoint_touching_reports_the_shared_point() {
+        let s = seg(0.0, 0.0, 1.0, 1.0);
+        let t = seg(1.0, 1.0, 2.0, 0.0);
+        assert_eq!(s.intersect(&t), SegmentIntersection::At(pt(1.0, 1.0)));
+        // T-junction: endpoint of t in the interior of s.
+        let t2 = seg(0.5, 0.5, 3.0, 0.0);
+        assert_eq!(s.intersect(&t2), SegmentIntersection::At(pt(0.5, 0.5)));
+    }
+
+    #[test]
+    fn collinear_overlap_cases() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        // Full overlap of a sub-segment.
+        match s.intersect(&seg(1.0, 0.0, 3.0, 0.0)) {
+            SegmentIntersection::Overlap(a, b) => {
+                assert_eq!((a, b), (pt(1.0, 0.0), pt(3.0, 0.0)));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+        // Collinear touching at a single point.
+        assert_eq!(
+            s.intersect(&seg(4.0, 0.0, 6.0, 0.0)),
+            SegmentIntersection::At(pt(4.0, 0.0))
+        );
+        // Collinear but disjoint.
+        assert_eq!(s.intersect(&seg(5.0, 0.0, 6.0, 0.0)), SegmentIntersection::None);
+        // Vertical collinear overlap exercises the other projection axis.
+        let v = seg(0.0, 0.0, 0.0, 4.0);
+        match v.intersect(&seg(0.0, 3.0, 0.0, 8.0)) {
+            SegmentIntersection::Overlap(a, b) => {
+                assert_eq!((a, b), (pt(0.0, 3.0), pt(0.0, 4.0)));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x_at_y_is_exact_at_endpoints() {
+        let s = seg(0.1, 0.1, 0.7, 0.9);
+        assert_eq!(s.x_at_y(0.1), 0.1);
+        assert_eq!(s.x_at_y(0.9), 0.7);
+        let mid = s.x_at_y(0.5);
+        assert!(mid > 0.1 && mid < 0.7);
+    }
+
+    #[test]
+    fn cross_point_is_clamped_to_the_segment() {
+        let s = seg(0.0, 0.0, 1.0, 1.0);
+        let t = seg(0.0, 1.0, 1.0, 0.0);
+        let p = s.cross_point(&t);
+        assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);
+    }
+
+    #[test]
+    fn bbox_and_predicates() {
+        let s = seg(2.0, -1.0, 0.0, 3.0);
+        assert_eq!(s.bbox(), BBox::new(0.0, -1.0, 2.0, 3.0));
+        assert!(!s.is_horizontal());
+        assert!(seg(0.0, 2.0, 5.0, 2.0).is_horizontal());
+        assert!(seg(1.0, 1.0, 1.0, 1.0).is_degenerate());
+        assert_eq!(s.reversed().a, pt(0.0, 3.0));
+    }
+
+    #[test]
+    fn side_of_sign() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        assert!(s.side_of(pt(0.5, 1.0)) > 0.0);
+        assert!(s.side_of(pt(0.5, -1.0)) < 0.0);
+        assert_eq!(s.side_of(pt(9.0, 0.0)), 0.0);
+    }
+}

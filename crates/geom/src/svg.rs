@@ -1,0 +1,121 @@
+//! Minimal SVG rendering of polygon sets — a debugging and documentation
+//! aid for the examples and for inspecting clip results visually.
+
+use crate::bbox::BBox;
+use crate::polygon::{FillRule, PolygonSet};
+use std::fmt::Write as _;
+
+/// One layer in an SVG rendering.
+#[derive(Clone, Debug)]
+pub struct SvgLayer<'a> {
+    /// The geometry to draw.
+    pub polygon: &'a PolygonSet,
+    /// CSS fill color (e.g. `"#1f77b4"`, `"none"`).
+    pub fill: &'a str,
+    /// CSS stroke color.
+    pub stroke: &'a str,
+    /// Fill opacity in [0, 1].
+    pub opacity: f64,
+}
+
+/// Render layers into a standalone SVG document, `width` pixels wide, with
+/// the viewport fitted to the union of all layer bounding boxes (plus 2%
+/// margin). The y axis is flipped so +y points up, as in the geometry.
+pub fn render(layers: &[SvgLayer<'_>], width: u32, fill_rule: FillRule) -> String {
+    let mut bb = BBox::EMPTY;
+    for l in layers {
+        bb = bb.union(&l.polygon.bbox());
+    }
+    if bb.is_empty() {
+        bb = BBox::new(0.0, 0.0, 1.0, 1.0);
+    }
+    let mx = bb.width().max(1e-12) * 0.02;
+    let my = bb.height().max(1e-12) * 0.02;
+    let bb = BBox::new(bb.xmin - mx, bb.ymin - my, bb.xmax + mx, bb.ymax + my);
+    let height = (width as f64 * bb.height() / bb.width()).ceil().max(1.0) as u32;
+    let rule = match fill_rule {
+        FillRule::EvenOdd => "evenodd",
+        FillRule::NonZero => "nonzero",
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="{} {} {} {}">"#,
+        bb.xmin,
+        -bb.ymax, // y flip: top of the viewBox is the max geometric y
+        bb.width(),
+        bb.height()
+    );
+    for l in layers {
+        let mut d = String::new();
+        for c in l.polygon.contours() {
+            for (i, p) in c.points().iter().enumerate() {
+                let cmd = if i == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{} {} ", p.x, -p.y);
+            }
+            d.push_str("Z ");
+        }
+        let _ = writeln!(
+            s,
+            r#"  <path d="{}" fill="{}" fill-rule="{rule}" fill-opacity="{}" stroke="{}" stroke-width="{}" vector-effect="non-scaling-stroke"/>"#,
+            d.trim_end(),
+            l.fill,
+            l.opacity,
+            l.stroke,
+            bb.width() / width as f64
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contour::rect;
+
+    #[test]
+    fn renders_valid_svg_structure() {
+        let a = PolygonSet::from_contour(rect(0.0, 0.0, 2.0, 1.0));
+        let b = PolygonSet::from_contour(rect(1.0, 0.5, 3.0, 2.0));
+        let svg = render(
+            &[
+                SvgLayer { polygon: &a, fill: "#1f77b4", stroke: "none", opacity: 0.5 },
+                SvgLayer { polygon: &b, fill: "#d62728", stroke: "black", opacity: 0.5 },
+            ],
+            400,
+            FillRule::EvenOdd,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("evenodd"));
+        // Both rects appear as closed subpaths.
+        assert_eq!(svg.matches('Z').count(), 2);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let a = PolygonSet::from_contour(rect(0.0, 5.0, 1.0, 9.0));
+        let svg = render(
+            &[SvgLayer { polygon: &a, fill: "red", stroke: "none", opacity: 1.0 }],
+            100,
+            FillRule::NonZero,
+        );
+        // Geometry y ∈ [5, 9] must appear as path y ∈ [-9, -5].
+        assert!(svg.contains("-9"));
+        assert!(svg.contains("nonzero"));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let e = PolygonSet::new();
+        let svg = render(
+            &[SvgLayer { polygon: &e, fill: "red", stroke: "none", opacity: 1.0 }],
+            100,
+            FillRule::EvenOdd,
+        );
+        assert!(svg.contains("viewBox"));
+    }
+}

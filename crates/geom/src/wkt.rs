@@ -1,0 +1,279 @@
+//! Well-Known Text (WKT) reading and writing for polygon sets.
+//!
+//! Supports the subset GIS polygon workflows need: `POLYGON`,
+//! `MULTIPOLYGON` and `GEOMETRYCOLLECTION`-free round-tripping of contour
+//! sets. Under the even-odd model a `POLYGON ((outer), (hole), ...)` maps
+//! directly onto a [`PolygonSet`]'s contours, and a `MULTIPOLYGON` simply
+//! concatenates them.
+
+use crate::contour::Contour;
+use crate::point::Point;
+use crate::polygon::PolygonSet;
+use std::fmt::Write as _;
+
+/// Error from WKT parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WktError {
+    /// Human-readable description with the offending position.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WKT error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Serialize as `POLYGON` (single contour set with holes) or
+/// `MULTIPOLYGON`-compatible text. Every contour is closed by repeating its
+/// first vertex, as WKT requires. Empty sets serialize as `POLYGON EMPTY`.
+pub fn to_wkt(p: &PolygonSet) -> String {
+    if p.is_empty() {
+        return "POLYGON EMPTY".to_string();
+    }
+    let mut s = String::from("POLYGON (");
+    for (i, c) in p.contours().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('(');
+        for (j, pt) in c.points().iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{} {}", pt.x, pt.y);
+        }
+        // Close the ring.
+        if let Some(first) = c.points().first() {
+            let _ = write!(s, ", {} {}", first.x, first.y);
+        }
+        s.push(')');
+    }
+    s.push(')');
+    s
+}
+
+/// Parse `POLYGON (...)`, `MULTIPOLYGON (...)` or `POLYGON EMPTY` into a
+/// polygon set (all rings concatenated; fill rule decides holes).
+pub fn from_wkt(input: &str) -> Result<PolygonSet, WktError> {
+    let mut p = Parser { s: input.as_bytes(), i: 0 };
+    p.skip_ws();
+    let tag = p.ident()?;
+    match tag.to_ascii_uppercase().as_str() {
+        "POLYGON" => {
+            p.skip_ws();
+            if p.try_keyword("EMPTY") {
+                p.expect_end()?;
+                return Ok(PolygonSet::new());
+            }
+            let rings = p.ring_list()?;
+            p.expect_end()?;
+            Ok(PolygonSet::from_contours(rings))
+        }
+        "MULTIPOLYGON" => {
+            p.skip_ws();
+            if p.try_keyword("EMPTY") {
+                p.expect_end()?;
+                return Ok(PolygonSet::new());
+            }
+            p.expect(b'(')?;
+            let mut all = Vec::new();
+            loop {
+                p.skip_ws();
+                all.extend(p.ring_list()?);
+                p.skip_ws();
+                if p.try_char(b',') {
+                    continue;
+                }
+                p.expect(b')')?;
+                break;
+            }
+            p.expect_end()?;
+            Ok(PolygonSet::from_contours(all))
+        }
+        other => Err(p.err(&format!("unsupported geometry `{other}`"))),
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, m: &str) -> WktError {
+        WktError { message: m.to_string(), position: self.i }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, WktError> {
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_alphabetic() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a geometry tag"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        let end = self.i + kw.len();
+        if end <= self.s.len()
+            && self.s[self.i..end].eq_ignore_ascii_case(kw.as_bytes())
+        {
+            self.i = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_char(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), WktError> {
+        if self.try_char(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), WktError> {
+        self.skip_ws();
+        if self.i == self.s.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(self.s[self.i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    /// `((x y, x y, ...), (x y, ...), ...)` — one polygon's ring list.
+    fn ring_list(&mut self) -> Result<Vec<Contour>, WktError> {
+        self.expect(b'(')?;
+        let mut rings = Vec::new();
+        loop {
+            rings.push(self.ring()?);
+            if self.try_char(b',') {
+                continue;
+            }
+            self.expect(b')')?;
+            break;
+        }
+        Ok(rings)
+    }
+
+    /// `(x y, x y, ...)` — one ring.
+    fn ring(&mut self) -> Result<Contour, WktError> {
+        self.expect(b'(')?;
+        let mut pts = Vec::new();
+        loop {
+            let x = self.number()?;
+            let y = self.number()?;
+            pts.push(Point::new(x, y));
+            if self.try_char(b',') {
+                continue;
+            }
+            self.expect(b')')?;
+            break;
+        }
+        Ok(Contour::new(pts)) // drops the duplicated closing vertex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contour::rect;
+
+    #[test]
+    fn roundtrip_single_ring() {
+        let p = PolygonSet::from_contour(rect(0.0, 0.0, 2.0, 1.0));
+        let wkt = to_wkt(&p);
+        assert_eq!(wkt, "POLYGON ((0 0, 2 0, 2 1, 0 1, 0 0))");
+        let q = from_wkt(&wkt).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_with_hole() {
+        let p = PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 4.0, 4.0),
+            rect(1.0, 1.0, 2.0, 2.0),
+        ]);
+        let q = from_wkt(&to_wkt(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn parses_multipolygon() {
+        let q = from_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+        )
+        .unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.vertex_count(), 6);
+    }
+
+    #[test]
+    fn empty_and_whitespace_tolerance() {
+        assert!(from_wkt("POLYGON EMPTY").unwrap().is_empty());
+        assert_eq!(to_wkt(&PolygonSet::new()), "POLYGON EMPTY");
+        let q = from_wkt("  polygon ( ( 0 0 , 1 0 , 0.5 1.5 , 0 0 ) )  ").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.contours()[0].len(), 3);
+    }
+
+    #[test]
+    fn scientific_notation_and_negatives() {
+        let q = from_wkt("POLYGON ((-1e-3 0, 2.5E2 0, 0 1.25, -1e-3 0))").unwrap();
+        let pts = q.contours()[0].points();
+        assert_eq!(pts[0].x, -1e-3);
+        assert_eq!(pts[1].x, 250.0);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert!(from_wkt("LINESTRING (0 0, 1 1)").is_err());
+        assert!(from_wkt("POLYGON ((0 0, 1 1)").is_err()); // unbalanced
+        assert!(from_wkt("POLYGON ((0 zero, 1 1, 0 0))").is_err());
+        let e = from_wkt("POLYGON ((0 0, 1 1, 2 0, 0 0)) junk").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        assert!(e.position > 0);
+        assert!(e.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the geometry kernel: algebraic identities of the
+//! robust predicates and segment intersection, on adversarially scaled
+//! coordinates.
+
+use polyclip_geom::predicates::{orient2d, orient2d_sign, point_on_segment, Orientation};
+use polyclip_geom::{Point, Segment, SegmentIntersection};
+use proptest::prelude::*;
+
+fn arb_coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e3f64..1.0e3,
+        -1.0f64..1.0,
+        // Large magnitudes stress the filtered predicate's error bound.
+        -1.0e12f64..1.0e12,
+    ]
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (arb_coord(), arb_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn orientation_is_antisymmetric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
+        prop_assert_eq!(orient2d(a, b, c), orient2d(a, c, b).reversed());
+    }
+
+    #[test]
+    fn orientation_is_cyclic(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let o = orient2d(a, b, c);
+        prop_assert_eq!(o, orient2d(b, c, a));
+        prop_assert_eq!(o, orient2d(c, a, b));
+    }
+
+    #[test]
+    fn degenerate_triples_are_collinear(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(orient2d(a, a, b), Orientation::Collinear);
+        prop_assert_eq!(orient2d(a, b, b), Orientation::Collinear);
+        prop_assert_eq!(orient2d(a, b, a), Orientation::Collinear);
+    }
+
+    #[test]
+    fn midpoints_are_never_strictly_sided(a in arb_point(), b in arb_point()) {
+        // The rounded midpoint must lie within half an ulp of the segment:
+        // the robust predicate may return Collinear or a side, but the two
+        // half tests must never *both* claim strict sides with large
+        // magnitude (sanity of the filter's error bound).
+        let m = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+        let s1 = orient2d_sign(a, b, m);
+        // The sign can be nonzero (m rounds off the line) but tiny compared
+        // to the triangle with a genuinely offset point.
+        let span = (b - a).norm();
+        if span > 0.0 {
+            let offset = Point::new(m.x - (b.y - a.y), m.y + (b.x - a.x));
+            let s2 = orient2d_sign(a, b, offset).abs();
+            prop_assert!(s1.abs() <= s2 * 1e-9 + f64::EPSILON * s2 + s2 * 0.0 + s2,
+                "midpoint more sided than a unit-offset point");
+        }
+    }
+
+    #[test]
+    fn intersection_is_symmetric(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        let s = Segment::new(a, b);
+        let t = Segment::new(c, d);
+        let st = s.intersect(&t);
+        let ts = t.intersect(&s);
+        // Existence must agree; the reported point may differ only within
+        // the overlap for collinear cases.
+        prop_assert_eq!(
+            matches!(st, SegmentIntersection::None),
+            matches!(ts, SegmentIntersection::None)
+        );
+        if let (SegmentIntersection::At(p), SegmentIntersection::At(q)) = (st, ts) {
+            // The parametric point's absolute error scales with the segment
+            // lengths (t has ~1 ulp of relative error along the segment).
+            let tol = 1e-9 * (1.0 + s.len() + t.len());
+            prop_assert!(p.dist(&q) <= tol, "{} vs {} (tol {})", p, q, tol);
+        }
+    }
+
+    #[test]
+    fn reported_points_lie_on_both_boxes(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        let s = Segment::new(a, b);
+        let t = Segment::new(c, d);
+        if let SegmentIntersection::At(p) = s.intersect(&t) {
+            let slack = 1e-9 * (1.0 + s.len() + t.len());
+            let grow = |bb: polyclip_geom::BBox| polyclip_geom::BBox::new(
+                bb.xmin - slack,
+                bb.ymin - slack,
+                bb.xmax + slack,
+                bb.ymax + slack,
+            );
+            prop_assert!(grow(s.bbox()).contains(p), "{} outside subject box", p);
+            prop_assert!(grow(t.bbox()).contains(p), "{} outside clip box", p);
+        }
+    }
+
+    #[test]
+    fn shared_endpoint_always_intersects(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let s = Segment::new(a, b);
+        let t = Segment::new(b, c);
+        prop_assert!(!matches!(s.intersect(&t), SegmentIntersection::None));
+    }
+
+    #[test]
+    fn point_on_segment_accepts_vertices_and_rejects_offsets(a in arb_point(), b in arb_point()) {
+        prop_assert!(point_on_segment(a, b, a));
+        prop_assert!(point_on_segment(a, b, b));
+        let d = b - a;
+        if d.norm() > 1e-6 {
+            // A point clearly off the supporting line.
+            let off = Point::new(a.x - d.y, a.y + d.x);
+            prop_assert!(!point_on_segment(a, b, off));
+        }
+    }
+
+    #[test]
+    fn x_at_y_is_monotone_consistent(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
+        prop_assume!(a.y != b.y);
+        let s = if a.y < b.y { Segment::new(a, b) } else { Segment::new(b, a) };
+        let y = s.a.y + t * (s.b.y - s.a.y);
+        prop_assume!(y >= s.a.y && y <= s.b.y);
+        let x = s.x_at_y(y);
+        let (lo, hi) = if s.a.x <= s.b.x { (s.a.x, s.b.x) } else { (s.b.x, s.a.x) };
+        let slack = 1e-9 * (1.0 + lo.abs().max(hi.abs()));
+        prop_assert!(x >= lo - slack && x <= hi + slack);
+    }
+}

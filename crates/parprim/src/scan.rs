@@ -1,0 +1,217 @@
+//! Prefix sums (scans), sequential and parallel.
+//!
+//! Lemma 3 of the paper reduces "is this vertex contributing?" to an even-odd
+//! parity test expressed as an all-prefix-sums problem over edge labels. The
+//! parallel scan here is the classic two-pass blocked algorithm: per-block
+//! reduction, scan of block sums, then per-block rescan — `O(n)` work,
+//! `O(log n)` depth with enough processors, matching the PRAM bound used in
+//! the paper's analysis.
+
+use crate::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Sequential inclusive scan: `out[i] = op(x[0], ..., x[i])`.
+pub fn inclusive_scan<T, F>(xs: &[T], op: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for &x in xs {
+        let v = match acc {
+            None => x,
+            Some(a) => op(a, x),
+        };
+        out.push(v);
+        acc = Some(v);
+    }
+    out
+}
+
+/// Sequential exclusive scan: `out[i] = op(id, x[0], ..., x[i-1])`.
+pub fn exclusive_scan<T, F>(xs: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = identity;
+    for &x in xs {
+        out.push(acc);
+        acc = op(acc, x);
+    }
+    out
+}
+
+/// Parallel inclusive scan (blocked two-pass).
+///
+/// `op` must be associative; the identity is only required for the exclusive
+/// variant. Falls back to the sequential scan below [`SEQ_CUTOFF`].
+pub fn par_inclusive_scan<T, F>(xs: &[T], op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let n = xs.len();
+    if n <= SEQ_CUTOFF {
+        return inclusive_scan(xs, op);
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let block = n.div_ceil(threads * 4).max(1);
+
+    // Pass 1: per-block totals.
+    let totals: Vec<T> = xs
+        .par_chunks(block)
+        .map(|c| {
+            let mut acc = c[0];
+            for &x in &c[1..] {
+                acc = op(acc, x);
+            }
+            acc
+        })
+        .collect();
+
+    // Scan of block totals (small, sequential).
+    let offsets = exclusive_scan_opt(&totals, &op);
+
+    // Pass 2: rescan each block seeded with its offset.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    {
+        out.reserve(n);
+    }
+    out.resize(n, xs[0]); // placeholder values, fully overwritten below
+    out.par_chunks_mut(block)
+        .zip(xs.par_chunks(block))
+        .enumerate()
+        .for_each(|(bi, (oc, ic))| {
+            let mut acc = match &offsets[bi] {
+                Some(seed) => op(*seed, ic[0]),
+                None => ic[0],
+            };
+            oc[0] = acc;
+            for i in 1..ic.len() {
+                acc = op(acc, ic[i]);
+                oc[i] = acc;
+            }
+        });
+    out
+}
+
+/// Exclusive scan without an identity element: `out[i] = Some(total of
+/// blocks 0..i)`, `None` for `i == 0`.
+fn exclusive_scan_opt<T, F>(xs: &[T], op: &F) -> Vec<Option<T>>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for &x in xs {
+        out.push(acc);
+        acc = Some(match acc {
+            None => x,
+            Some(a) => op(a, x),
+        });
+    }
+    out
+}
+
+/// Parallel exclusive scan.
+pub fn par_exclusive_scan<T, F>(xs: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    // Exclusive = shift of inclusive with identity in front.
+    let inc = par_inclusive_scan(xs, &op);
+    let mut out = Vec::with_capacity(xs.len());
+    out.push(identity);
+    out.extend_from_slice(&inc[..xs.len() - 1]);
+    out
+}
+
+/// The paper's Lemma 3 parity test, vectorized.
+///
+/// Given edge labels (`true` = the edge belongs to the *other* polygon),
+/// returns for every position whether the count of other-polygon edges at or
+/// before it is **odd** — i.e. whether a vertex of this polygon lying just
+/// after that edge is inside the other polygon and therefore *contributing*.
+pub fn parity_prefix(labels: &[bool]) -> Vec<bool> {
+    inclusive_scan(
+        &labels.iter().map(|&b| b as u32).collect::<Vec<_>>(),
+        |a, b| a + b,
+    )
+    .into_iter()
+    .map(|c| c % 2 == 1)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_scan_matches_manual() {
+        assert_eq!(inclusive_scan(&[1, 2, 3, 4], |a, b| a + b), vec![1, 3, 6, 10]);
+        assert_eq!(inclusive_scan::<i32, _>(&[], |a, b| a + b), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn exclusive_scan_matches_manual() {
+        assert_eq!(
+            exclusive_scan(&[1, 2, 3, 4], 0, |a, b| a + b),
+            vec![0, 1, 3, 6]
+        );
+    }
+
+    #[test]
+    fn par_scan_agrees_with_sequential_across_sizes() {
+        for n in [0usize, 1, 2, 100, SEQ_CUTOFF, SEQ_CUTOFF + 1, 50_000] {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 97).collect();
+            let seq = inclusive_scan(&xs, |a, b| a + b);
+            let par = par_inclusive_scan(&xs, |a, b| a + b);
+            assert_eq!(seq, par, "inclusive mismatch at n={n}");
+            let seqx = exclusive_scan(&xs, 0, |a, b| a + b);
+            let parx = par_exclusive_scan(&xs, 0, |a, b| a + b);
+            assert_eq!(seqx, parx, "exclusive mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn par_scan_with_non_commutative_op() {
+        // Max-suffix-like op: (a, b) -> concat order matters. Use string-ish
+        // encoding via pairs (first, last) to detect order violations.
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct Chain(u64, u64);
+        let op = |a: Chain, b: Chain| Chain(a.0, b.1);
+        let xs: Vec<Chain> = (0..20_000u64).map(|i| Chain(i, i)).collect();
+        let par = par_inclusive_scan(&xs, op);
+        for (i, c) in par.iter().enumerate() {
+            assert_eq!(*c, Chain(0, i as u64));
+        }
+    }
+
+    #[test]
+    fn parity_prefix_is_lemma3() {
+        // Labels: edges of the clip polygon marked true. A subject vertex is
+        // contributing when an odd number of clip edges lie to its left.
+        let labels = [false, true, false, true, true, false];
+        assert_eq!(
+            parity_prefix(&labels),
+            vec![false, true, true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn scan_on_floats_is_deterministic() {
+        let xs: Vec<f64> = (0..10_000).map(|i| (i % 7) as f64 * 0.5).collect();
+        let a = par_inclusive_scan(&xs, |x, y| x + y);
+        let b = par_inclusive_scan(&xs, |x, y| x + y);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Segmented scans — the flat-data-parallel form of "a prefix sum per
+//! scanbeam".
+//!
+//! Step 3 of the paper's Algorithm 1 runs four parity prefix sums *in every
+//! scanbeam*. On a PRAM (or GPU, per the paper's conclusion) the standard
+//! formulation concatenates all beams into one array with segment-start
+//! flags and runs a single **segmented scan**: the combine operator stops at
+//! segment boundaries, so one `O(n)`-work, `O(log n)`-depth pass computes
+//! every beam's prefix sums at once, independent of how skewed the beam
+//! sizes are — exactly the load-balance argument for the flat formulation.
+
+use crate::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Sequential segmented inclusive scan: `flags[i]` marks the first element
+/// of a segment; within each segment, `out[i] = op(seg_start.. ..=i)`.
+pub fn seg_inclusive_scan<T, F>(xs: &[T], flags: &[bool], op: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    assert_eq!(xs.len(), flags.len());
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        let v = match (flags[i], acc) {
+            (false, Some(a)) => op(a, x),
+            _ => x,
+        };
+        out.push(v);
+        acc = Some(v);
+    }
+    out
+}
+
+/// Parallel segmented inclusive scan via the classic flag-carrying trick:
+/// lift `(value, flag)` pairs into a monoid whose combine respects segment
+/// starts, then run an ordinary parallel scan.
+pub fn par_seg_inclusive_scan<T, F>(xs: &[T], flags: &[bool], op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    assert_eq!(xs.len(), flags.len());
+    let n = xs.len();
+    if n <= SEQ_CUTOFF {
+        return seg_inclusive_scan(xs, flags, op);
+    }
+    // (value, started): combine(a, b) = if b.started { b } else { (op(a.v, b.v), a.started) }
+    let lifted: Vec<(T, bool)> = xs
+        .par_iter()
+        .zip(flags.par_iter())
+        .map(|(&x, &f)| (x, f))
+        .collect();
+    let combined = crate::scan::par_inclusive_scan(&lifted, |a, b| {
+        if b.1 {
+            b
+        } else {
+            (op(a.0, b.0), a.1)
+        }
+    });
+    combined.into_par_iter().map(|(v, _)| v).collect()
+}
+
+/// Per-segment totals (the last scanned value of each segment), paired with
+/// the segment's start index. Sequential helper used by the tests and by
+/// count-style reductions.
+pub fn segment_totals<T, F>(xs: &[T], flags: &[bool], op: F) -> Vec<(usize, T)>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let scanned = seg_inclusive_scan(xs, flags, op);
+    let mut out = Vec::new();
+    for i in 0..xs.len() {
+        let last_of_segment = i + 1 == xs.len() || flags[i + 1];
+        if last_of_segment {
+            let start = (0..=i).rev().find(|&j| flags[j]).unwrap_or(0);
+            out.push((start, scanned[i]));
+        }
+    }
+    out
+}
+
+/// Build segment-start flags from a CSR offset array (`offsets[i]` = start
+/// of segment i, last entry = total length).
+pub fn flags_from_offsets(offsets: &[usize]) -> Vec<bool> {
+    let total = *offsets.last().unwrap_or(&0);
+    let mut flags = vec![false; total];
+    for &o in &offsets[..offsets.len().saturating_sub(1)] {
+        if o < total {
+            flags[o] = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_restarts_at_flags() {
+        let xs = [1u32, 2, 3, 4, 5, 6];
+        let flags = [true, false, false, true, false, false];
+        assert_eq!(
+            seg_inclusive_scan(&xs, &flags, |a, b| a + b),
+            vec![1, 3, 6, 4, 9, 15]
+        );
+    }
+
+    #[test]
+    fn singleton_segments_are_identity() {
+        let xs = [7u32, 8, 9];
+        let flags = [true, true, true];
+        assert_eq!(seg_inclusive_scan(&xs, &flags, |a, b| a + b), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 40_000;
+        let xs: Vec<u64> = (0..n as u64).map(|i| i % 13).collect();
+        // Segments of irregular length (skewed, like scanbeams).
+        let mut flags = vec![false; n];
+        let mut i = 0;
+        let mut step = 1;
+        while i < n {
+            flags[i] = true;
+            i += step;
+            step = step % 97 + 1;
+        }
+        let seq = seg_inclusive_scan(&xs, &flags, |a, b| a + b);
+        let par = par_seg_inclusive_scan(&xs, &flags, |a, b| a + b);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn lemma3_parity_across_all_beams_at_once() {
+        // Two beams' clip-edge labels, concatenated: parity prefix per beam
+        // in one pass — the flat form of the paper's Lemma 3.
+        let labels = [1u32, 0, 1, /* beam 2 */ 1, 1, 0, 1];
+        let flags = [true, false, false, true, false, false, false];
+        let parity: Vec<bool> = seg_inclusive_scan(&labels, &flags, |a, b| a + b)
+            .into_iter()
+            .map(|c| c % 2 == 1)
+            .collect();
+        assert_eq!(parity, vec![true, true, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn totals_and_offsets_roundtrip() {
+        let offsets = [0usize, 3, 3, 7];
+        let flags = flags_from_offsets(&offsets);
+        assert_eq!(flags, vec![true, false, false, true, false, false, false]);
+        let xs = [1u32; 7];
+        let totals = segment_totals(&xs, &flags, |a, b| a + b);
+        assert_eq!(totals, vec![(0, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = par_seg_inclusive_scan::<u32, _>(&[], &[], |a, b| a + b);
+        assert!(out.is_empty());
+        assert!(flags_from_offsets(&[0]).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Parallel merge sort.
+//!
+//! The PRAM analysis assumes Cole's pipelined O(log n)-time merge sort. On a
+//! multicore, the practical equivalent is a fork-join merge sort whose merge
+//! step is itself parallel via rank splitting (the "merge path" technique):
+//! O(n log n) work and O(log³ n) span — polylogarithmic depth, exactly the
+//! regime the paper's Lemmas exploit.
+
+use crate::SEQ_CUTOFF;
+
+/// Sort a slice in parallel by a key-extraction comparison.
+///
+/// Stable within sequential base cases; overall stability is preserved
+/// because merges take from the left run on ties.
+pub fn par_merge_sort<T, F>(xs: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    let n = xs.len();
+    if n <= SEQ_CUTOFF {
+        xs.sort_by(cmp);
+        return;
+    }
+    let mut buf = vec![T::default(); n];
+    sort_into(xs, &mut buf, cmp, false);
+}
+
+/// Recursive sort: if `into_buf`, the sorted output lands in `buf`,
+/// otherwise in `xs`. Both slices have equal length.
+fn sort_into<T, F>(xs: &mut [T], buf: &mut [T], cmp: F, into_buf: bool)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    let n = xs.len();
+    if n <= SEQ_CUTOFF {
+        xs.sort_by(cmp);
+        if into_buf {
+            buf.copy_from_slice(xs);
+        }
+        return;
+    }
+    let mid = n / 2;
+    let (xl, xr) = xs.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    // Sort halves into the *opposite* location, then merge back.
+    rayon::join(
+        || sort_into(xl, bl, cmp, !into_buf),
+        || sort_into(xr, br, cmp, !into_buf),
+    );
+    if into_buf {
+        // Halves are in xs; merge xs -> buf.
+        par_merge_into(xl, xr, buf, cmp);
+    } else {
+        par_merge_into(bl, br, xs, cmp);
+    }
+}
+
+/// Parallel merge of two sorted runs into `out` (`out.len() == a.len() +
+/// b.len()`), splitting recursively by the median rank.
+pub fn par_merge<T, F>(a: &[T], b: &[T], cmp: F) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    let mut out = vec![T::default(); a.len() + b.len()];
+    par_merge_into(a, b, &mut out, cmp);
+    out
+}
+
+fn par_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if out.len() <= SEQ_CUTOFF {
+        seq_merge_into(a, b, out, cmp);
+        return;
+    }
+    // Split the larger run at its midpoint; binary-search the split value's
+    // rank in the smaller run; recurse on the two halves in parallel.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    // NOTE: after a potential swap, ties must still prefer the originally
+    // left run; using `<=`-style partition keeps the merge correct (it may
+    // reorder equal elements, acceptable for our key types which are total).
+    let am = a.len() / 2;
+    let pivot = &a[am];
+    let bm = b.partition_point(|x| cmp(x, pivot) == std::cmp::Ordering::Less);
+    let (a_lo, a_hi) = a.split_at(am);
+    let (b_lo, b_hi) = b.split_at(bm);
+    let (out_lo, out_hi) = out.split_at_mut(am + bm);
+    rayon::join(
+        || par_merge_into(a_lo, b_lo, out_lo, cmp),
+        || par_merge_into(a_hi, b_hi, out_hi, cmp),
+    );
+}
+
+fn seq_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&b[j], &a[i]) == std::cmp::Ordering::Less {
+            out[k] = b[j];
+            j += 1;
+        } else {
+            out[k] = a[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    if i < a.len() {
+        out[k..].copy_from_slice(&a[i..]);
+    } else {
+        out[k..].copy_from_slice(&b[j..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(mut s: u64) -> impl FnMut() -> u64 {
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn sorts_random_inputs_of_many_sizes() {
+        let mut rng = xorshift(42);
+        for n in [0usize, 1, 2, 3, 100, SEQ_CUTOFF, SEQ_CUTOFF + 7, 100_000] {
+            let mut xs: Vec<u64> = (0..n).map(|_| rng() % 1000).collect();
+            let mut want = xs.clone();
+            want.sort_unstable();
+            par_merge_sort(&mut xs, |a, b| a.cmp(b));
+            assert_eq!(xs, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed() {
+        let mut asc: Vec<u64> = (0..50_000).collect();
+        let want = asc.clone();
+        par_merge_sort(&mut asc, |a, b| a.cmp(b));
+        assert_eq!(asc, want);
+
+        let mut desc: Vec<u64> = (0..50_000).rev().collect();
+        par_merge_sort(&mut desc, |a, b| a.cmp(b));
+        assert_eq!(desc, want);
+    }
+
+    #[test]
+    fn sorts_by_custom_comparator() {
+        let mut xs: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i % 13, i)).collect();
+        par_merge_sort(&mut xs, |a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        for w in xs.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn par_merge_basic() {
+        let a = [1, 3, 5, 7];
+        let b = [2, 4, 6];
+        assert_eq!(par_merge(&a, &b, |x, y| x.cmp(y)), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(par_merge(&a, &[], |x, y| x.cmp(y)), a.to_vec());
+        assert_eq!(par_merge(&[], &b, |x, y| x.cmp(y)), b.to_vec());
+    }
+
+    #[test]
+    fn par_merge_large_runs() {
+        let a: Vec<u64> = (0..60_000).map(|i| i * 2).collect();
+        let b: Vec<u64> = (0..60_000).map(|i| i * 2 + 1).collect();
+        let merged = par_merge(&a, &b, |x, y| x.cmp(y));
+        let want: Vec<u64> = (0..120_000).collect();
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn duplicates_survive_sorting() {
+        let mut xs = vec![3u32; 10_000];
+        xs.extend(vec![1u32; 10_000]);
+        par_merge_sort(&mut xs, |a, b| a.cmp(b));
+        assert_eq!(xs.iter().filter(|&&x| x == 1).count(), 10_000);
+        assert_eq!(xs.iter().filter(|&&x| x == 3).count(), 10_000);
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,128 @@
+//! `polyclip` — command-line polygon clipping.
+//!
+//! ```sh
+//! polyclip <op> <subject.wkt> <clip.wkt> [-o out.wkt] [--svg out.svg]
+//!          [--fill-rule evenodd|nonzero] [--slabs N] [--stats]
+//! ```
+//!
+//! `op` is one of `intersection`, `union`, `difference`, `xor`. Inputs are
+//! WKT `POLYGON`/`MULTIPOLYGON` files; output is WKT on stdout or `-o`, and
+//! optionally an SVG rendering of subject (blue), clip (red) and result
+//! (green).
+
+use polyclip::geom::svg::{render, SvgLayer};
+use polyclip::geom::wkt::{from_wkt, to_wkt};
+use polyclip::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: polyclip <intersection|union|difference|xor> <subject.wkt> <clip.wkt>\n\
+         \x20      [-o out.wkt] [--svg out.svg] [--fill-rule evenodd|nonzero]\n\
+         \x20      [--slabs N] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let op = match args[0].as_str() {
+        "intersection" => BoolOp::Intersection,
+        "union" => BoolOp::Union,
+        "difference" => BoolOp::Difference,
+        "xor" => BoolOp::Xor,
+        _ => usage(),
+    };
+
+    let mut out_path: Option<String> = None;
+    let mut svg_path: Option<String> = None;
+    let mut opts = ClipOptions::default();
+    let mut slabs: Option<usize> = None;
+    let mut stats = false;
+    let mut it = args[3..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out_path = it.next().cloned(),
+            "--svg" => svg_path = it.next().cloned(),
+            "--fill-rule" => match it.next().map(String::as_str) {
+                Some("evenodd") => opts.fill_rule = FillRule::EvenOdd,
+                Some("nonzero") => opts.fill_rule = FillRule::NonZero,
+                _ => usage(),
+            },
+            "--slabs" => slabs = it.next().and_then(|s| s.parse().ok()),
+            "--stats" => stats = true,
+            _ => usage(),
+        }
+    }
+
+    let read = |path: &str| -> Result<PolygonSet, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        from_wkt(text.trim()).map_err(|e| format!("{path}: {e}"))
+    };
+    let (subject, clip_p) = match (read(&args[1]), read(&args[2])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (result, st) = match slabs {
+        Some(p) if p > 1 => {
+            let r = clip_pair_slabs(&subject, &clip_p, op, p, &opts);
+            (r.output, None)
+        }
+        _ => {
+            let (out, st) = clip_with_stats(&subject, &clip_p, op, &opts);
+            (out, Some(st))
+        }
+    };
+
+    if stats {
+        if let Some(st) = st {
+            eprintln!(
+                "n={} k={} k'={} beams={} out_contours={} out_vertices={} area={:.6}",
+                st.n_edges,
+                st.k_intersections,
+                st.k_prime,
+                st.n_beams,
+                st.out_contours,
+                st.out_vertices,
+                eo_area(&result)
+            );
+        } else {
+            eprintln!("contours={} area={:.6}", result.len(), eo_area(&result));
+        }
+    }
+
+    let wkt = to_wkt(&result);
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, wkt + "\n") {
+                eprintln!("error writing {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{wkt}"),
+    }
+
+    if let Some(p) = svg_path {
+        let doc = render(
+            &[
+                SvgLayer { polygon: &subject, fill: "#1f77b4", stroke: "none", opacity: 0.3 },
+                SvgLayer { polygon: &clip_p, fill: "#d62728", stroke: "none", opacity: 0.3 },
+                SvgLayer { polygon: &result, fill: "#2ca02c", stroke: "#145214", opacity: 0.85 },
+            ],
+            800,
+            opts.fill_rule,
+        );
+        if let Err(e) = std::fs::write(&p, doc) {
+            eprintln!("error writing {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,395 @@
+//! Greiner–Hormann polygon clipping.
+//!
+//! The algorithm the paper uses for the `rectangleClip` step of Algorithm 2.
+//! It computes boolean operations on two *simple* polygons in general
+//! position (no vertex of one on an edge of the other, no collinear
+//! overlapping edges): intersection vertices are inserted into both vertex
+//! rings, marked alternately as entry/exit, and result contours are traced
+//! by switching rings at each intersection.
+//!
+//! Degenerate configurations are a documented limitation of the original
+//! algorithm; the scanbeam engine in `polyclip-core` is the robust general
+//! clipper, and this implementation serves as the fast baseline the paper
+//! benchmarks against for rectangular clips.
+
+use polyclip_geom::{Contour, Point, PolygonSet};
+
+/// Boolean operation for [`gh_clip`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GhOp {
+    /// Region inside both polygons.
+    Intersection,
+    /// Region inside either polygon.
+    Union,
+    /// Region inside `subject` but not `clip`.
+    Difference,
+}
+
+const NONE: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    p: Point,
+    next: usize,
+    prev: usize,
+    neighbor: usize,
+    intersect: bool,
+    entry: bool,
+    visited: bool,
+}
+
+impl Node {
+    fn vertex(p: Point) -> Self {
+        Node {
+            p,
+            next: NONE,
+            prev: NONE,
+            neighbor: NONE,
+            intersect: false,
+            entry: false,
+            visited: false,
+        }
+    }
+}
+
+/// Clip two simple polygons (single contours) with Greiner–Hormann.
+///
+/// Returns the result contours. Inputs must be simple and in general
+/// position; both orientations are accepted.
+pub fn gh_clip(subject: &Contour, clip: &Contour, op: GhOp) -> PolygonSet {
+    if !subject.is_valid() || !clip.is_valid() {
+        return degenerate_result(subject, clip, op);
+    }
+    let spts = subject.points();
+    let cpts = clip.points();
+    let (ns, nc) = (spts.len(), cpts.len());
+
+    // Phase 1: pairwise edge intersections with parametric positions.
+    // inters[k] = (i, t, j, u, point): subject edge i at parameter t meets
+    // clip edge j at parameter u.
+    let mut inters: Vec<(usize, f64, usize, f64, Point)> = Vec::new();
+    for i in 0..ns {
+        let (s0, s1) = (spts[i], spts[(i + 1) % ns]);
+        let ds = s1 - s0;
+        for j in 0..nc {
+            let (c0, c1) = (cpts[j], cpts[(j + 1) % nc]);
+            let dc = c1 - c0;
+            let denom = ds.cross(&dc);
+            if denom == 0.0 {
+                continue; // parallel (general position: no overlap handling)
+            }
+            let w = c0 - s0;
+            let t = w.cross(&dc) / denom;
+            let u = w.cross(&ds) / denom;
+            if t > 0.0 && t < 1.0 && u > 0.0 && u < 1.0 {
+                inters.push((i, t, j, u, s0.lerp(&s1, t)));
+            }
+        }
+    }
+
+    if inters.is_empty() {
+        return no_intersection_result(subject, clip, op);
+    }
+
+    // Build both rings in one arena. Subject ring first.
+    let mut nodes: Vec<Node> = Vec::with_capacity(ns + nc + 2 * inters.len());
+    let mut sub_ids: Vec<usize> = vec![NONE; inters.len()];
+    let mut clip_ids: Vec<usize> = vec![NONE; inters.len()];
+
+    let s_head = build_ring(&mut nodes, spts, &mut |edge| {
+        let mut on_edge: Vec<(f64, usize)> = inters
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.0 == edge)
+            .map(|(k, it)| (it.1, k))
+            .collect();
+        on_edge.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        on_edge
+    }, &inters, &mut sub_ids);
+
+    let c_head = build_ring(&mut nodes, cpts, &mut |edge| {
+        let mut on_edge: Vec<(f64, usize)> = inters
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.2 == edge)
+            .map(|(k, it)| (it.3, k))
+            .collect();
+        on_edge.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        on_edge
+    }, &inters, &mut clip_ids);
+
+    // Cross-link neighbors.
+    for k in 0..inters.len() {
+        let (a, b) = (sub_ids[k], clip_ids[k]);
+        nodes[a].neighbor = b;
+        nodes[b].neighbor = a;
+    }
+
+    // Phase 2: entry/exit marking. Walking a ring from its first original
+    // vertex, intersections alternate entering/leaving the other polygon.
+    let (invert_s, invert_c) = match op {
+        GhOp::Intersection => (false, false),
+        GhOp::Union => (true, true),
+        GhOp::Difference => (true, false),
+    };
+    mark_entries(&mut nodes, s_head, clip, invert_s);
+    mark_entries(&mut nodes, c_head, subject, invert_c);
+
+    // Phase 3: trace result contours.
+    let mut out = PolygonSet::new();
+    while let Some(start) = nodes.iter().position(|n| n.intersect && !n.visited) {
+        let mut pts: Vec<Point> = Vec::new();
+        let mut cur = start;
+        pts.push(nodes[cur].p);
+        loop {
+            nodes[cur].visited = true;
+            let nb = nodes[cur].neighbor;
+            nodes[nb].visited = true;
+            if nodes[cur].entry {
+                loop {
+                    cur = nodes[cur].next;
+                    if nodes[cur].intersect {
+                        break;
+                    }
+                    pts.push(nodes[cur].p);
+                }
+            } else {
+                loop {
+                    cur = nodes[cur].prev;
+                    if nodes[cur].intersect {
+                        break;
+                    }
+                    pts.push(nodes[cur].p);
+                }
+            }
+            cur = nodes[cur].neighbor;
+            if cur == start {
+                break;
+            }
+            pts.push(nodes[cur].p);
+        }
+        out.push(Contour::new(pts));
+    }
+    out
+}
+
+/// Build a circular ring for `pts` in `nodes`, inserting the intersection
+/// nodes of each edge ordered by parameter. `on_edge(i)` returns the sorted
+/// `(t, inter_index)` list of edge `i`; `ids[k]` receives the node index of
+/// intersection `k` in this ring.
+fn build_ring(
+    nodes: &mut Vec<Node>,
+    pts: &[Point],
+    on_edge: &mut dyn FnMut(usize) -> Vec<(f64, usize)>,
+    inters: &[(usize, f64, usize, f64, Point)],
+    ids: &mut [usize],
+) -> usize {
+    let head = nodes.len();
+    let mut prev = NONE;
+    for (i, &p) in pts.iter().enumerate() {
+        let v = nodes.len();
+        nodes.push(Node::vertex(p));
+        if prev != NONE {
+            nodes[prev].next = v;
+            nodes[v].prev = prev;
+        }
+        prev = v;
+        for (_, k) in on_edge(i) {
+            let w = nodes.len();
+            let mut n = Node::vertex(inters[k].4);
+            n.intersect = true;
+            nodes.push(n);
+            nodes[prev].next = w;
+            nodes[w].prev = prev;
+            prev = w;
+            ids[k] = w;
+        }
+    }
+    nodes[prev].next = head;
+    nodes[head].prev = prev;
+    head
+}
+
+/// Alternate entry/exit flags along the ring starting at `head` (an
+/// original vertex), seeded by whether that vertex is inside `other`.
+fn mark_entries(nodes: &mut [Node], head: usize, other: &Contour, invert: bool) {
+    let mut entry = !other.contains_even_odd(nodes[head].p);
+    if invert {
+        entry = !entry;
+    }
+    let mut cur = head;
+    loop {
+        if nodes[cur].intersect {
+            nodes[cur].entry = entry;
+            entry = !entry;
+        }
+        cur = nodes[cur].next;
+        if cur == head {
+            break;
+        }
+    }
+}
+
+/// Result when the boundaries do not cross: decided by containment.
+fn no_intersection_result(subject: &Contour, clip: &Contour, op: GhOp) -> PolygonSet {
+    let s_in_c = clip.contains_even_odd(subject.points()[0]);
+    let c_in_s = subject.contains_even_odd(clip.points()[0]);
+    match op {
+        GhOp::Intersection => {
+            if s_in_c {
+                PolygonSet::from_contour(subject.clone())
+            } else if c_in_s {
+                PolygonSet::from_contour(clip.clone())
+            } else {
+                PolygonSet::new()
+            }
+        }
+        GhOp::Union => {
+            if s_in_c {
+                PolygonSet::from_contour(clip.clone())
+            } else if c_in_s {
+                PolygonSet::from_contour(subject.clone())
+            } else {
+                PolygonSet::from_contours(vec![subject.clone(), clip.clone()])
+            }
+        }
+        GhOp::Difference => {
+            if s_in_c {
+                PolygonSet::new()
+            } else if c_in_s {
+                // Subject with a hole: even-odd representation, two contours.
+                PolygonSet::from_contours(vec![subject.clone(), clip.clone()])
+            } else {
+                PolygonSet::from_contour(subject.clone())
+            }
+        }
+    }
+}
+
+fn degenerate_result(subject: &Contour, clip: &Contour, op: GhOp) -> PolygonSet {
+    match op {
+        GhOp::Intersection => PolygonSet::new(),
+        GhOp::Union => PolygonSet::from_contours(vec![subject.clone(), clip.clone()]),
+        GhOp::Difference => PolygonSet::from_contour(subject.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::point::pt;
+    use polyclip_geom::FillRule;
+
+    fn area(p: &PolygonSet) -> f64 {
+        // Even-odd area via signed contour areas works for GH outputs
+        // because traced contours do not overlap each other except for
+        // hole nesting, which signed orientation handles if holes come out
+        // oppositely wound; take abs per contour for the simple cases here.
+        p.contours().iter().map(|c| c.signed_area()).sum::<f64>().abs()
+    }
+
+    fn offset_squares() -> (Contour, Contour) {
+        (rect(0.0, 0.0, 2.0, 2.0), rect(1.0, 1.0, 3.0, 3.0))
+    }
+
+    #[test]
+    fn intersection_of_offset_squares() {
+        let (a, b) = offset_squares();
+        let r = gh_clip(&a, &b, GhOp::Intersection);
+        assert_eq!(r.len(), 1);
+        assert!((area(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_of_offset_squares() {
+        let (a, b) = offset_squares();
+        let r = gh_clip(&a, &b, GhOp::Union);
+        assert_eq!(r.len(), 1);
+        assert!((area(&r) - 7.0).abs() < 1e-12, "area={}", area(&r));
+    }
+
+    #[test]
+    fn difference_of_offset_squares() {
+        let (a, b) = offset_squares();
+        let r = gh_clip(&a, &b, GhOp::Difference);
+        assert_eq!(r.len(), 1);
+        assert!((area(&r) - 3.0).abs() < 1e-12, "area={}", area(&r));
+        // The notch corner (1.5, 1.5) must be outside the result.
+        assert!(!r.contains(pt(1.5, 1.5), FillRule::EvenOdd));
+        assert!(r.contains(pt(0.5, 0.5), FillRule::EvenOdd));
+    }
+
+    #[test]
+    fn disjoint_polygons() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(5.0, 5.0, 6.0, 6.0);
+        assert!(gh_clip(&a, &b, GhOp::Intersection).is_empty());
+        assert_eq!(gh_clip(&a, &b, GhOp::Union).len(), 2);
+        let d = gh_clip(&a, &b, GhOp::Difference);
+        assert_eq!(d.len(), 1);
+        assert!((area(&d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_polygons() {
+        let outer = rect(0.0, 0.0, 4.0, 4.0);
+        let inner = rect(1.0, 1.0, 2.0, 2.0);
+        let i = gh_clip(&outer, &inner, GhOp::Intersection);
+        assert!((area(&i) - 1.0).abs() < 1e-12);
+        let u = gh_clip(&outer, &inner, GhOp::Union);
+        assert!((area(&u) - 16.0).abs() < 1e-12);
+        // outer − inner: ring with hole, even-odd two contours, area 15.
+        let d = gh_clip(&outer, &inner, GhOp::Difference);
+        assert_eq!(d.len(), 2);
+        assert!(!d.contains(pt(1.5, 1.5), FillRule::EvenOdd));
+        assert!(d.contains(pt(0.5, 0.5), FillRule::EvenOdd));
+        // inner − outer = empty.
+        assert!(gh_clip(&inner, &outer, GhOp::Difference).is_empty());
+    }
+
+    #[test]
+    fn concave_subject() {
+        // L-shape ∩ square over the notch area.
+        let l = Contour::from_xy(&[
+            (0.0, 0.0),
+            (3.0, 0.0),
+            (3.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (0.0, 3.0),
+        ]);
+        let sq = rect(0.5, 0.5, 2.5, 2.5);
+        let r = gh_clip(&l, &sq, GhOp::Intersection);
+        // Overlap: [0.5,2.5]x[0.5,1.0] plus [0.5,1.0]x[1.0,2.5]
+        let want = 2.0 * 0.5 + 0.5 * 1.5;
+        assert!((area(&r) - want).abs() < 1e-12, "area={}", area(&r));
+    }
+
+    #[test]
+    fn crossing_strips_make_multiple_output_contours() {
+        // A plus-sign style crossing: vertical strip ∩ horizontal strip is
+        // one square; vertical ∪ horizontal is a cross (one contour);
+        // vertical − horizontal is two pieces.
+        let v = rect(1.0, 0.0, 2.0, 3.0);
+        let h = rect(0.0, 1.0, 3.0, 2.0);
+        let i = gh_clip(&v, &h, GhOp::Intersection);
+        assert_eq!(i.len(), 1);
+        assert!((area(&i) - 1.0).abs() < 1e-12);
+        let d = gh_clip(&v, &h, GhOp::Difference);
+        assert_eq!(d.len(), 2);
+        let total: f64 = d.contours().iter().map(|c| c.area()).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+        let u = gh_clip(&v, &h, GhOp::Union);
+        assert_eq!(u.len(), 1);
+        assert!((area(&u) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orientation_insensitivity() {
+        let (a, mut b) = offset_squares();
+        b.reverse();
+        let r = gh_clip(&a, &b, GhOp::Intersection);
+        assert!((area(&r) - 1.0).abs() < 1e-12);
+    }
+}

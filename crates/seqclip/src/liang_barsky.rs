@@ -1,0 +1,150 @@
+//! Liang–Barsky parametric segment clipping against a rectangle.
+//!
+//! One of the two classical algorithms (§II-B) whose parallelizations
+//! predate the paper. Kept as a baseline and as a utility for rectangle
+//! windowing in the examples.
+
+use polyclip_geom::{BBox, Point, Segment};
+
+/// Clip segment `s` to the closed rectangle `r`.
+///
+/// Returns the clipped segment and its parameter range `(t0, t1)` along the
+/// original segment, or `None` when the segment misses the rectangle.
+pub fn clip_segment_to_rect(s: &Segment, r: &BBox) -> Option<(Segment, (f64, f64))> {
+    let d = s.dir();
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+
+    // For each of the four half-planes: p·t <= q.
+    let checks = [
+        (-d.x, s.a.x - r.xmin), // x >= xmin
+        (d.x, r.xmax - s.a.x),  // x <= xmax
+        (-d.y, s.a.y - r.ymin), // y >= ymin
+        (d.y, r.ymax - s.a.y),  // y <= ymax
+    ];
+    for &(p, q) in &checks {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None; // parallel and outside
+            }
+        } else {
+            let t = q / p;
+            if p < 0.0 {
+                if t > t1 {
+                    return None;
+                }
+                if t > t0 {
+                    t0 = t;
+                }
+            } else {
+                if t < t0 {
+                    return None;
+                }
+                if t < t1 {
+                    t1 = t;
+                }
+            }
+        }
+    }
+    let a = if t0 == 0.0 { s.a } else { s.a.lerp(&s.b, t0) };
+    let b = if t1 == 1.0 { s.b } else { s.a.lerp(&s.b, t1) };
+    Some((Segment::new(a, b), (t0, t1)))
+}
+
+/// Clip a polyline (open chain) to a rectangle, returning the visible runs.
+pub fn clip_polyline_to_rect(pts: &[Point], r: &BBox) -> Vec<Vec<Point>> {
+    let mut runs: Vec<Vec<Point>> = Vec::new();
+    let mut cur: Vec<Point> = Vec::new();
+    for w in pts.windows(2) {
+        match clip_segment_to_rect(&Segment::new(w[0], w[1]), r) {
+            Some((seg, (t0, t1))) => {
+                if cur.is_empty() {
+                    cur.push(seg.a);
+                } else if *cur.last().unwrap() != seg.a {
+                    runs.push(std::mem::take(&mut cur));
+                    cur.push(seg.a);
+                }
+                cur.push(seg.b);
+                if t1 < 1.0 {
+                    runs.push(std::mem::take(&mut cur));
+                }
+                let _ = t0;
+            }
+            None => {
+                if !cur.is_empty() {
+                    runs.push(std::mem::take(&mut cur));
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        runs.push(cur);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::point::pt;
+    use polyclip_geom::segment::seg;
+
+    fn unit() -> BBox {
+        BBox::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn fully_inside_unchanged() {
+        let s = seg(0.2, 0.2, 0.8, 0.6);
+        let (c, (t0, t1)) = clip_segment_to_rect(&s, &unit()).unwrap();
+        assert_eq!(c, s);
+        assert_eq!((t0, t1), (0.0, 1.0));
+    }
+
+    #[test]
+    fn crossing_through_is_trimmed_on_both_ends() {
+        let s = seg(-1.0, 0.5, 2.0, 0.5);
+        let (c, _) = clip_segment_to_rect(&s, &unit()).unwrap();
+        assert_eq!(c, seg(0.0, 0.5, 1.0, 0.5));
+    }
+
+    #[test]
+    fn diagonal_corner_to_corner() {
+        let s = seg(-1.0, -1.0, 2.0, 2.0);
+        let (c, _) = clip_segment_to_rect(&s, &unit()).unwrap();
+        assert!((c.a.x - 0.0).abs() < 1e-12 && (c.a.y - 0.0).abs() < 1e-12);
+        assert!((c.b.x - 1.0).abs() < 1e-12 && (c.b.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_segments_rejected() {
+        assert!(clip_segment_to_rect(&seg(2.0, 2.0, 3.0, 3.0), &unit()).is_none());
+        assert!(clip_segment_to_rect(&seg(-0.5, 0.5, 0.5, 2.0), &unit()).is_none()); // passes corner outside
+        assert!(clip_segment_to_rect(&seg(-1.0, 1.5, 2.0, 1.5), &unit()).is_none()); // parallel above
+    }
+
+    #[test]
+    fn touching_the_boundary_counts() {
+        let (c, _) = clip_segment_to_rect(&seg(-1.0, 1.0, 2.0, 1.0), &unit()).unwrap();
+        assert_eq!(c, seg(0.0, 1.0, 1.0, 1.0));
+        let (p, _) = clip_segment_to_rect(&seg(1.0, 1.0, 2.0, 2.0), &unit()).unwrap();
+        assert!(p.is_degenerate());
+        assert_eq!(p.a, pt(1.0, 1.0));
+    }
+
+    #[test]
+    fn polyline_splits_into_visible_runs() {
+        // A zig-zag leaving and re-entering the window.
+        let pts = [
+            pt(0.1, 0.5),
+            pt(1.5, 0.5), // exits right
+            pt(1.5, 0.9),
+            pt(0.9, 0.9), // re-enters
+            pt(0.9, 0.1),
+        ];
+        let runs = clip_polyline_to_rect(&pts, &unit());
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].first().unwrap(), &pt(0.1, 0.5));
+        assert_eq!(runs[1].last().unwrap(), &pt(0.9, 0.1));
+    }
+}

@@ -1,0 +1,26 @@
+//! Sequential baseline clippers.
+//!
+//! The paper positions its contribution against the classical sequential
+//! algorithms; this crate implements them from scratch:
+//!
+//! * [`sutherland_hodgman`] — clipping against a *convex* region (the
+//!   algorithm whose prior parallelizations the paper's §II-B reviews);
+//! * [`liang_barsky`] — parametric segment-vs-rectangle clipping;
+//! * [`greiner_hormann`] — general simple-polygon boolean operations, the
+//!   algorithm the paper itself uses for the `rectangleClip` step of
+//!   Algorithm 2 ("we used Greiner-Hormann since we found it to be faster
+//!   than GPC for rectangular clipping");
+//! * [`band`] — the specialized horizontal-slab clip used by our Algorithm 2
+//!   realization: Sutherland–Hodgman against the two horizontal half-planes,
+//!   whose only artifacts are horizontal boundary runs that the scanbeam
+//!   engine ignores by construction.
+
+pub mod band;
+pub mod greiner_hormann;
+pub mod liang_barsky;
+pub mod sutherland_hodgman;
+
+pub use band::{band_clip, rect_clip, xband_clip};
+pub use greiner_hormann::{gh_clip, GhOp};
+pub use liang_barsky::clip_segment_to_rect;
+pub use sutherland_hodgman::{clip_to_convex, clip_to_halfplane};

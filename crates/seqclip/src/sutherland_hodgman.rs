@@ -1,0 +1,157 @@
+//! Sutherland–Hodgman clipping against a convex region.
+//!
+//! The classic re-entrant clipper: the subject contour is clipped against
+//! each half-plane bounded by a clip edge in turn. Correct for arbitrary
+//! subject contours when the clip region is convex; output may contain
+//! degenerate boundary runs where the subject left and re-entered the
+//! region — callers that feed the result into the scanbeam engine are immune
+//! to those (they carry no area).
+
+use polyclip_geom::{Contour, Point, Segment};
+
+/// Clip `subject` to the closed half-plane **left of** the directed line
+/// `a → b`.
+pub fn clip_to_halfplane(subject: &Contour, a: Point, b: Point) -> Contour {
+    let pts = subject.points();
+    let n = pts.len();
+    if n == 0 {
+        return Contour::default();
+    }
+    let line = Segment::new(a, b);
+    let inside = |p: Point| line.side_of(p) >= 0.0;
+    let mut out: Vec<Point> = Vec::with_capacity(n + 4);
+    for i in 0..n {
+        let cur = pts[i];
+        let prev = pts[(i + n - 1) % n];
+        let (cin, pin) = (inside(cur), inside(prev));
+        if cin {
+            if !pin {
+                out.push(edge_crossing(prev, cur, &line));
+            }
+            out.push(cur);
+        } else if pin {
+            out.push(edge_crossing(prev, cur, &line));
+        }
+    }
+    Contour::new(out)
+}
+
+/// Crossing point of segment `p → q` with the (infinite) clip line.
+fn edge_crossing(p: Point, q: Point, line: &Segment) -> Point {
+    let d = line.dir();
+    let denom = d.cross(&(q - p));
+    if denom == 0.0 {
+        // Segment parallel to the line but straddling it can only happen
+        // through rounding; either endpoint is on the line then.
+        return p;
+    }
+    let t = d.cross(&(p - line.a)) / -denom;
+    let t = t.clamp(0.0, 1.0);
+    p.lerp(&q, t)
+}
+
+/// Clip `subject` against a convex counterclockwise `clip` contour.
+///
+/// # Panics
+/// Debug-panics if `clip` is not convex; results are meaningless for
+/// non-convex clip regions (use the scanbeam engine for those).
+pub fn clip_to_convex(subject: &Contour, clip: &Contour) -> Contour {
+    debug_assert!(clip.is_convex(), "Sutherland-Hodgman needs a convex clip region");
+    debug_assert!(clip.is_ccw(), "clip contour must be counterclockwise");
+    let mut cur = subject.clone();
+    let cpts = clip.points();
+    let m = cpts.len();
+    for i in 0..m {
+        if cur.is_empty() {
+            break;
+        }
+        cur = clip_to_halfplane(&cur, cpts[i], cpts[(i + 1) % m]);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::point::pt;
+
+    #[test]
+    fn square_clipped_by_overlapping_square() {
+        let subject = rect(0.0, 0.0, 2.0, 2.0);
+        let clip = rect(1.0, 1.0, 3.0, 3.0);
+        let out = clip_to_convex(&subject, &clip);
+        assert_eq!(out.area(), 1.0);
+        assert_eq!(out.bbox(), polyclip_geom::BBox::new(1.0, 1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn subject_fully_inside_is_unchanged() {
+        let subject = rect(1.0, 1.0, 2.0, 2.0);
+        let clip = rect(0.0, 0.0, 3.0, 3.0);
+        let out = clip_to_convex(&subject, &clip);
+        assert_eq!(out.area(), 1.0);
+    }
+
+    #[test]
+    fn subject_fully_outside_vanishes() {
+        let subject = rect(5.0, 5.0, 6.0, 6.0);
+        let clip = rect(0.0, 0.0, 3.0, 3.0);
+        let out = clip_to_convex(&subject, &clip);
+        assert!(out.is_empty() || out.area() == 0.0);
+    }
+
+    #[test]
+    fn triangle_against_triangle() {
+        let subject = Contour::from_xy(&[(0.0, 0.0), (4.0, 0.0), (2.0, 4.0)]);
+        let clip = Contour::from_xy(&[(0.0, 1.0), (4.0, 1.0), (2.0, 5.0)]);
+        let out = clip_to_convex(&subject, &clip);
+        // Overlap is a quadrilateral strictly above y = 1 and inside both.
+        assert!(out.is_valid());
+        assert!(out.area() > 0.0);
+        assert!(out.bbox().ymin >= 1.0 - 1e-12);
+        for p in out.points() {
+            assert!(subject.contains_even_odd(*p) || on_boundary(&subject, *p));
+            assert!(clip.contains_even_odd(*p) || on_boundary(&clip, *p));
+        }
+    }
+
+    fn on_boundary(c: &Contour, p: Point) -> bool {
+        c.edges().any(|e| {
+            polyclip_geom::predicates::point_on_segment(e.a, e.b, p)
+                || p.dist(&e.a) < 1e-9
+                || e.side_of(p).abs() < 1e-9 && e.bbox().contains(p)
+        })
+    }
+
+    #[test]
+    fn halfplane_keeps_left() {
+        let sq = rect(0.0, 0.0, 2.0, 2.0);
+        // Vertical line x = 1 directed upward keeps x <= 1.
+        let out = clip_to_halfplane(&sq, pt(1.0, 0.0), pt(1.0, 5.0));
+        assert_eq!(out.area(), 2.0);
+        assert!(out.bbox().xmax <= 1.0);
+    }
+
+    #[test]
+    fn concave_subject_against_rect_preserves_area() {
+        // L-shaped subject, clip to a rect covering half of it.
+        let l = Contour::from_xy(&[
+            (0.0, 0.0),
+            (2.0, 0.0),
+            (2.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 2.0),
+            (0.0, 2.0),
+        ]);
+        let clip = rect(0.0, 0.0, 2.0, 1.0);
+        let out = clip_to_convex(&l, &clip);
+        assert!((out.area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_subject() {
+        let out = clip_to_convex(&Contour::default(), &rect(0.0, 0.0, 1.0, 1.0));
+        assert!(out.is_empty());
+    }
+}

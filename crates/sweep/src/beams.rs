@@ -1,0 +1,472 @@
+//! Scanbeam partitioning (Step 2 of Algorithm 1).
+//!
+//! Every non-horizontal edge is split at each event y interior to its span,
+//! producing *sub-edges* that span exactly one scanbeam. The split vertices
+//! are the paper's **virtual vertices**; their total count is the k' term of
+//! the output-sensitive complexity. Two backends implement the partition:
+//!
+//! * [`PartitionBackend::DirectScan`] — count sub-edges per edge, prefix-sum,
+//!   scatter, sort by (beam, x): the plain count→allocate→fill pattern;
+//! * [`PartitionBackend::SegmentTree`] — the paper's §III-E construction: a
+//!   segment tree over the event intervals answers "which edges are active
+//!   in beam i" with counting queries first and reporting queries after the
+//!   output-sensitive allocation.
+//!
+//! Both produce identical [`BeamSet`]s (asserted in tests); the bench suite
+//! compares their cost (ablation `ablation_partition_backend`).
+
+use crate::edges::{InputEdge, Source};
+use crate::events::event_index;
+use polyclip_geom::OrdF64;
+use polyclip_segtree::SegmentTree;
+use rayon::prelude::*;
+
+/// A fragment of an input edge spanning exactly one scanbeam.
+#[derive(Clone, Copy, Debug)]
+pub struct SubEdge {
+    /// Index of the scanbeam this fragment lives in.
+    pub beam: u32,
+    /// x-coordinate at the beam's bottom scanline.
+    pub xb: f64,
+    /// x-coordinate at the beam's top scanline.
+    pub xt: f64,
+    /// Source polygon of the original edge.
+    pub src: Source,
+    /// Winding direction of the original edge (+1 up, −1 down).
+    pub winding: i8,
+    /// Id of the original edge.
+    pub edge_id: u32,
+}
+
+impl SubEdge {
+    /// Lexicographic key ordering fragments left-to-right inside a beam:
+    /// bottom x first, top x as tiebreak (two non-crossing fragments sharing
+    /// their bottom vertex diverge at the top), edge id for determinism.
+    #[inline]
+    pub fn order_key(&self) -> (u32, OrdF64, OrdF64, u32) {
+        (
+            self.beam,
+            OrdF64::new(self.xb),
+            OrdF64::new(self.xt),
+            self.edge_id,
+        )
+    }
+}
+
+/// Forced split points: exact vertices that override the interpolated x when
+/// an edge is split at an intersection y. Both edges of a crossing share the
+/// *same* intersection vertex, which keeps the stitched output watertight.
+#[derive(Clone, Debug, Default)]
+pub struct ForcedSplits {
+    /// CSR over edge ids: `items[start[id]..start[id+1]]`, sorted by y.
+    start: Vec<usize>,
+    items: Vec<(f64, f64)>, // (y, x)
+}
+
+impl ForcedSplits {
+    /// No forced splits (Round A).
+    pub fn empty(n_edges: usize) -> Self {
+        ForcedSplits {
+            start: vec![0; n_edges + 1],
+            items: Vec::new(),
+        }
+    }
+
+    /// Build from `(edge_id, y, x)` triples; duplicates (same edge, same y)
+    /// collapse to one entry.
+    pub fn build(n_edges: usize, mut triples: Vec<(u32, f64, f64)>) -> Self {
+        triples.sort_unstable_by(|a, b| {
+            (a.0, OrdF64::new(a.1)).cmp(&(b.0, OrdF64::new(b.1)))
+        });
+        triples.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        let mut start = vec![0usize; n_edges + 1];
+        for &(id, _, _) in &triples {
+            start[id as usize + 1] += 1;
+        }
+        for i in 0..n_edges {
+            start[i + 1] += start[i];
+        }
+        let items = triples.into_iter().map(|(_, y, x)| (y, x)).collect();
+        ForcedSplits { start, items }
+    }
+
+    /// The forced x for `edge` at exactly `y`, if any.
+    #[inline]
+    pub fn forced_x(&self, edge: u32, y: f64) -> Option<f64> {
+        let s = &self.items[self.start[edge as usize]..self.start[edge as usize + 1]];
+        s.binary_search_by(|&(fy, _)| OrdF64::new(fy).cmp(&OrdF64::new(y)))
+            .ok()
+            .map(|i| s[i].1)
+    }
+
+    /// All forced split y's of `edge`.
+    #[inline]
+    pub fn splits_of(&self, edge: u32) -> &[(f64, f64)] {
+        &self.items[self.start[edge as usize]..self.start[edge as usize + 1]]
+    }
+
+    /// Total forced vertices.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no forced vertices exist.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Which implementation performs the Step-2 partition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PartitionBackend {
+    /// Count → prefix sum → scatter → sort. Default.
+    #[default]
+    DirectScan,
+    /// Parallel segment tree with count-then-report queries (§III-E).
+    SegmentTree,
+}
+
+/// Edges partitioned into scanbeams: the scanbeam table of the paper,
+/// with per-beam sub-edges sorted left-to-right.
+#[derive(Clone, Debug)]
+pub struct BeamSet {
+    /// Sorted distinct event y's; beam `i` spans `ys[i]..ys[i+1]`.
+    pub ys: Vec<f64>,
+    beam_start: Vec<usize>,
+    sub: Vec<SubEdge>,
+}
+
+impl BeamSet {
+    /// Partition `edges` into the scanbeams bounded by `ys`.
+    ///
+    /// `ys` must contain every edge endpoint y (and every forced split y);
+    /// `parallel` switches the fill and sort to rayon.
+    pub fn build(
+        edges: &[InputEdge],
+        ys: Vec<f64>,
+        forced: &ForcedSplits,
+        backend: PartitionBackend,
+        parallel: bool,
+    ) -> Self {
+        let n_beams = ys.len().saturating_sub(1);
+        let mut sub: Vec<SubEdge> = match backend {
+            PartitionBackend::DirectScan => {
+                if parallel {
+                    edges
+                        .par_iter()
+                        .flat_map_iter(|e| EdgeSplitter::new(e, &ys, forced))
+                        .collect()
+                } else {
+                    edges
+                        .iter()
+                        .flat_map(|e| EdgeSplitter::new(e, &ys, forced))
+                        .collect()
+                }
+            }
+            PartitionBackend::SegmentTree => {
+                // Intervals in elementary-beam index space.
+                let intervals: Vec<(usize, usize)> = edges
+                    .iter()
+                    .map(|e| (event_index(&ys, e.lo.y), event_index(&ys, e.hi.y)))
+                    .collect();
+                let tree = if parallel {
+                    SegmentTree::par_build(n_beams, &intervals)
+                } else {
+                    SegmentTree::build(n_beams, &intervals)
+                };
+                let (offsets, items) = tree.par_stab_all();
+                // Reporting phase: each (beam, edge) pair becomes a sub-edge.
+                let make = |beam: usize, id: u32| -> SubEdge {
+                    let e = &edges[id as usize];
+                    sub_edge_for(e, &ys, beam, forced)
+                };
+                if parallel {
+                    (0..n_beams)
+                        .into_par_iter()
+                        .flat_map_iter(|b| {
+                            items[offsets[b]..offsets[b + 1]]
+                                .iter()
+                                .map(move |&id| make(b, id))
+                        })
+                        .collect()
+                } else {
+                    (0..n_beams)
+                        .flat_map(|b| {
+                            items[offsets[b]..offsets[b + 1]]
+                                .iter()
+                                .map(move |&id| make(b, id))
+                        })
+                        .collect()
+                }
+            }
+        };
+
+        if parallel {
+            sub.par_sort_unstable_by_key(|s| s.order_key());
+        } else {
+            sub.sort_unstable_by_key(|s| s.order_key());
+        }
+
+        // CSR over beams.
+        let mut beam_start = vec![0usize; n_beams + 1];
+        for s in &sub {
+            beam_start[s.beam as usize + 1] += 1;
+        }
+        for i in 0..n_beams {
+            beam_start[i + 1] += beam_start[i];
+        }
+        BeamSet { ys, beam_start, sub }
+    }
+
+    /// Number of scanbeams.
+    #[inline]
+    pub fn n_beams(&self) -> usize {
+        self.ys.len().saturating_sub(1)
+    }
+
+    /// The sub-edges of beam `i`, sorted left-to-right.
+    #[inline]
+    pub fn beam(&self, i: usize) -> &[SubEdge] {
+        &self.sub[self.beam_start[i]..self.beam_start[i + 1]]
+    }
+
+    /// Bottom scanline of beam `i`.
+    #[inline]
+    pub fn y_bot(&self, i: usize) -> f64 {
+        self.ys[i]
+    }
+
+    /// Top scanline of beam `i`.
+    #[inline]
+    pub fn y_top(&self, i: usize) -> f64 {
+        self.ys[i + 1]
+    }
+
+    /// Total sub-edge count; `total_sub_edges() - n_input_edges` is the
+    /// number of virtual vertices k' introduced by the partition.
+    #[inline]
+    pub fn total_sub_edges(&self) -> usize {
+        self.sub.len()
+    }
+}
+
+/// Compute the sub-edge of `e` in `beam` (both boundary x's).
+fn sub_edge_for(e: &InputEdge, ys: &[f64], beam: usize, forced: &ForcedSplits) -> SubEdge {
+    let yb = ys[beam];
+    let yt = ys[beam + 1];
+    SubEdge {
+        beam: beam as u32,
+        xb: x_on_edge(e, yb, forced),
+        xt: x_on_edge(e, yt, forced),
+        src: e.src,
+        winding: e.winding,
+        edge_id: e.id,
+    }
+}
+
+/// x of edge `e` at event height `y`: endpoint-exact, then forced vertices,
+/// then interpolation. Pure function of its arguments, so the two beams
+/// sharing a scanline obtain bit-identical coordinates.
+#[inline]
+fn x_on_edge(e: &InputEdge, y: f64, forced: &ForcedSplits) -> f64 {
+    if y == e.lo.y {
+        e.lo.x
+    } else if y == e.hi.y {
+        e.hi.x
+    } else if let Some(x) = forced.forced_x(e.id, y) {
+        x
+    } else {
+        e.x_at_y(y)
+    }
+}
+
+/// Iterator yielding the sub-edges of one input edge, bottom to top.
+struct EdgeSplitter<'a> {
+    e: &'a InputEdge,
+    ys: &'a [f64],
+    forced: &'a ForcedSplits,
+    cur: usize,
+    end: usize,
+    /// x at the current (lower) boundary, reused as the next xb.
+    x_cur: f64,
+}
+
+impl<'a> EdgeSplitter<'a> {
+    fn new(e: &'a InputEdge, ys: &'a [f64], forced: &'a ForcedSplits) -> Self {
+        let i0 = event_index(ys, e.lo.y);
+        let i1 = event_index(ys, e.hi.y);
+        debug_assert!(i0 < i1, "edge must span at least one beam");
+        EdgeSplitter {
+            e,
+            ys,
+            forced,
+            cur: i0,
+            end: i1,
+            x_cur: e.lo.x,
+        }
+    }
+}
+
+impl Iterator for EdgeSplitter<'_> {
+    type Item = SubEdge;
+
+    fn next(&mut self) -> Option<SubEdge> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let beam = self.cur;
+        let xb = self.x_cur;
+        let xt = x_on_edge(self.e, self.ys[beam + 1], self.forced);
+        self.x_cur = xt;
+        self.cur += 1;
+        Some(SubEdge {
+            beam: beam as u32,
+            xb,
+            xt,
+            src: self.e.src,
+            winding: self.e.winding,
+            edge_id: self.e.id,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur;
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::collect_edges;
+    use crate::events::event_ys;
+    use polyclip_geom::PolygonSet;
+
+    fn beams_of(
+        p: &PolygonSet,
+        q: &PolygonSet,
+        backend: PartitionBackend,
+        parallel: bool,
+    ) -> (Vec<InputEdge>, BeamSet) {
+        let edges = collect_edges(p, q);
+        let ys = event_ys(&edges, &[], false);
+        let forced = ForcedSplits::empty(edges.len());
+        let bs = BeamSet::build(&edges, ys, &forced, backend, parallel);
+        (edges, bs)
+    }
+
+    #[test]
+    fn triangle_splits_into_two_beams() {
+        // Triangle with apex between the base corners' y's.
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 1.0), (2.0, 2.0)]);
+        let (edges, bs) = beams_of(&p, &PolygonSet::new(), PartitionBackend::DirectScan, false);
+        assert_eq!(edges.len(), 3);
+        assert_eq!(bs.n_beams(), 2);
+        // Beam 0 (y 0..1): edges (0,0)-(4,1) and (0,0)-(2,2) → 2 sub-edges.
+        assert_eq!(bs.beam(0).len(), 2);
+        // Beam 1 (y 1..2): edges (4,1)-(2,2) and (0,0)-(2,2) → 2 sub-edges.
+        assert_eq!(bs.beam(1).len(), 2);
+        // k': edge (0,0)-(2,2) was split once.
+        assert_eq!(bs.total_sub_edges(), 4);
+        // Sub-edges are x-sorted within their beams.
+        for b in 0..bs.n_beams() {
+            let s = bs.beam(b);
+            for w in s.windows(2) {
+                assert!(w[0].order_key() <= w[1].order_key());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_scanline_coordinates_match_exactly() {
+        let p = PolygonSet::from_xy(&[(0.1, 0.0), (4.3, 0.7), (2.9, 2.1), (0.4, 1.3)]);
+        let q = PolygonSet::from_xy(&[(1.0, 0.3), (3.0, 0.2), (2.0, 1.9)]);
+        let (_, bs) = beams_of(&p, &q, PartitionBackend::DirectScan, false);
+        // For every pair of vertically adjacent beams, each edge present in
+        // both must have top-x (below) == bottom-x (above), bit-exact.
+        for b in 0..bs.n_beams().saturating_sub(1) {
+            for lo in bs.beam(b) {
+                for hi in bs.beam(b + 1) {
+                    if lo.edge_id == hi.edge_id {
+                        assert_eq!(lo.xt.to_bits(), hi.xb.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_tree_backend_agrees_with_direct_scan() {
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (5.0, 0.5), (4.0, 3.0), (1.0, 2.5)]);
+        let q = PolygonSet::from_xy(&[(2.0, 1.0), (6.0, 1.5), (3.0, 4.0)]);
+        for parallel in [false, true] {
+            let (_, a) = beams_of(&p, &q, PartitionBackend::DirectScan, parallel);
+            let (_, b) = beams_of(&p, &q, PartitionBackend::SegmentTree, parallel);
+            assert_eq!(a.n_beams(), b.n_beams());
+            assert_eq!(a.total_sub_edges(), b.total_sub_edges());
+            for i in 0..a.n_beams() {
+                let (sa, sb) = (a.beam(i), b.beam(i));
+                assert_eq!(sa.len(), sb.len(), "beam {i}");
+                for (x, y) in sa.iter().zip(sb) {
+                    assert_eq!(x.edge_id, y.edge_id);
+                    assert_eq!(x.xb.to_bits(), y.xb.to_bits());
+                    assert_eq!(x.xt.to_bits(), y.xt.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_splits_override_interpolation() {
+        // One tall edge from (0,0) to (2,4); force a vertex at (0.75, 2.0).
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 4.0), (-2.0, 4.0)]);
+        let edges = collect_edges(&p, &PolygonSet::new());
+        let diag = edges.iter().find(|e| e.lo == polyclip_geom::Point::new(0.0, 0.0) && e.hi.x == 2.0).unwrap();
+        let ys = event_ys(&edges, &[2.0], false);
+        let forced = ForcedSplits::build(edges.len(), vec![(diag.id, 2.0, 0.75)]);
+        let bs = BeamSet::build(&edges, ys, &forced, PartitionBackend::DirectScan, false);
+        // The diagonal's sub-edge below y=2 ends at x=0.75, not at 1.0.
+        let below: Vec<&SubEdge> = bs
+            .beam(0)
+            .iter()
+            .filter(|s| s.edge_id == diag.id)
+            .collect();
+        assert_eq!(below.len(), 1);
+        assert_eq!(below[0].xt, 0.75);
+        let above: Vec<&SubEdge> = bs
+            .beam(1)
+            .iter()
+            .filter(|s| s.edge_id == diag.id)
+            .collect();
+        assert_eq!(above[0].xb, 0.75);
+    }
+
+    #[test]
+    fn forced_splits_dedupe() {
+        let f = ForcedSplits::build(
+            2,
+            vec![(0, 1.0, 5.0), (0, 1.0, 5.0), (0, 2.0, 6.0), (1, 1.0, 7.0)],
+        );
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.forced_x(0, 1.0), Some(5.0));
+        assert_eq!(f.forced_x(0, 2.0), Some(6.0));
+        assert_eq!(f.forced_x(0, 3.0), None);
+        assert_eq!(f.forced_x(1, 1.0), Some(7.0));
+        assert_eq!(f.splits_of(0).len(), 2);
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (5.0, 0.5), (4.0, 3.0), (1.0, 2.5)]);
+        let q = PolygonSet::from_xy(&[(2.0, 1.0), (6.0, 1.5), (3.0, 4.0)]);
+        let (_, a) = beams_of(&p, &q, PartitionBackend::DirectScan, false);
+        let (_, b) = beams_of(&p, &q, PartitionBackend::DirectScan, true);
+        assert_eq!(a.total_sub_edges(), b.total_sub_edges());
+        for i in 0..a.n_beams() {
+            for (x, y) in a.beam(i).iter().zip(b.beam(i)) {
+                assert_eq!(x.edge_id, y.edge_id);
+                assert_eq!(x.xb.to_bits(), y.xb.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Normalized sweep edges.
+
+use polyclip_geom::{Point, PolygonSet, Segment};
+
+/// Which input polygon an edge came from. The paper's Lemma 3 parity test
+/// counts edges of *the other* polygon, so every edge carries its source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Source {
+    /// The subject polygon (B in the paper's problem definition).
+    Subject,
+    /// The clip polygon (O in the paper's problem definition).
+    Clip,
+}
+
+/// A non-horizontal polygon edge normalized for sweeping: `lo.y < hi.y`.
+#[derive(Clone, Copy, Debug)]
+pub struct InputEdge {
+    /// Lower endpoint (smaller y).
+    pub lo: Point,
+    /// Upper endpoint (larger y).
+    pub hi: Point,
+    /// Originating polygon.
+    pub src: Source,
+    /// +1 if the original contour direction was upward (lo → hi), −1 if
+    /// downward. Drives nonzero-winding classification; even-odd ignores it.
+    pub winding: i8,
+    /// Dense id, unique across both inputs; indexes auxiliary arrays.
+    pub id: u32,
+}
+
+impl InputEdge {
+    /// The edge as a bottom-to-top segment.
+    #[inline]
+    pub fn segment(&self) -> Segment {
+        Segment::new(self.lo, self.hi)
+    }
+
+    /// x-coordinate at height `y`, exact at the endpoints.
+    #[inline]
+    pub fn x_at_y(&self, y: f64) -> f64 {
+        self.segment().x_at_y(y)
+    }
+}
+
+/// Width below which two y values are considered one scanline: a handful of
+/// ulps at the given magnitude. Distinct event y's closer than this create
+/// scanbeams too thin for intersection events to be representable inside.
+#[inline]
+pub fn snap_tolerance(mag: f64) -> f64 {
+    16.0 * f64::EPSILON * mag.abs().max(f64::MIN_POSITIVE)
+}
+
+/// Greedy left-to-right snap clustering: every y within [`snap_tolerance`]
+/// of a cluster's first member maps to that member. Returns the mapping for
+/// the values that move.
+///
+/// Snapping is applied to *vertices*, so the two edges sharing a vertex see
+/// the same snapped y — edges that become horizontal are dropped without
+/// disturbing crossing parity anywhere (both endpoints land on the same
+/// scanline). This is what makes nearly-horizontal ulp-thin edges safe,
+/// where simply dropping them would leave an odd crossing count in the thin
+/// strip between their endpoints.
+pub fn snap_map(mut ys: Vec<OrdF64>) -> std::collections::HashMap<u64, f64> {
+    use std::collections::HashMap;
+    ys.sort_unstable();
+    ys.dedup();
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < ys.len() {
+        let rep = ys[i].get();
+        let tol = snap_tolerance(rep);
+        let mut j = i + 1;
+        while j < ys.len() && ys[j].get() - rep <= tol {
+            map.insert(ys[j].get().to_bits(), rep);
+            j += 1;
+        }
+        i = j;
+    }
+    map
+}
+
+use polyclip_geom::OrdF64;
+
+/// Collect the sweep edges of both polygons, assigning dense ids
+/// (subject first). Vertex y's are snap-clustered (see [`snap_map`]);
+/// horizontal-after-snap and degenerate edges are dropped — they span no
+/// scanbeam and never enter an active edge set, and the engine's horizontal
+/// reconstruction regenerates their output geometry.
+pub fn collect_edges(subject: &PolygonSet, clip: &PolygonSet) -> Vec<InputEdge> {
+    // Build the vertex-y snap map across BOTH inputs so shared scanlines
+    // agree between the polygons.
+    let ys: Vec<OrdF64> = subject
+        .contours()
+        .iter()
+        .chain(clip.contours())
+        .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
+        .collect();
+    let snap = snap_map(ys);
+    let fix = |p: Point| -> Point {
+        match snap.get(&p.y.to_bits()) {
+            Some(&y) => Point::new(p.x, y),
+            None => p,
+        }
+    };
+
+    let mut out = Vec::with_capacity(subject.edge_count() + clip.edge_count());
+    let push_poly = |poly: &PolygonSet, src: Source, out: &mut Vec<InputEdge>| {
+        for contour in poly.contours() {
+            for e in contour.edges() {
+                let (a, b) = (fix(e.a), fix(e.b));
+                if a == b || a.y == b.y {
+                    continue;
+                }
+                let upward = a.y < b.y;
+                let (lo, hi) = if upward { (a, b) } else { (b, a) };
+                out.push(InputEdge {
+                    lo,
+                    hi,
+                    src,
+                    winding: if upward { 1 } else { -1 },
+                    id: out.len() as u32,
+                });
+            }
+        }
+    };
+    push_poly(subject, Source::Subject, &mut out);
+    push_poly(clip, Source::Clip, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::contour::rect;
+
+    #[test]
+    fn rect_yields_two_vertical_sweep_edges() {
+        // A rectangle has two horizontal edges (dropped) and two vertical.
+        let p = PolygonSet::from_contour(rect(0.0, 0.0, 2.0, 1.0));
+        let edges = collect_edges(&p, &PolygonSet::new());
+        assert_eq!(edges.len(), 2);
+        for e in &edges {
+            assert!(e.lo.y < e.hi.y);
+            assert_eq!(e.src, Source::Subject);
+        }
+        // CCW rectangle: right side goes up (+1), left side goes down (−1).
+        let up: Vec<_> = edges.iter().filter(|e| e.winding == 1).collect();
+        let down: Vec<_> = edges.iter().filter(|e| e.winding == -1).collect();
+        assert_eq!(up.len(), 1);
+        assert_eq!(down.len(), 1);
+        assert_eq!(up[0].lo.x, 2.0);
+        assert_eq!(down[0].lo.x, 0.0);
+    }
+
+    #[test]
+    fn ids_are_dense_and_sources_tagged() {
+        let a = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 0.0), (1.0, 2.0)]);
+        let b = PolygonSet::from_xy(&[(0.0, 1.0), (2.0, 1.0), (1.0, 3.0)]);
+        let edges = collect_edges(&a, &b);
+        // Triangles with one horizontal edge each: 2 sweep edges per input.
+        assert_eq!(edges.len(), 4);
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(e.id as usize, i);
+        }
+        assert_eq!(edges.iter().filter(|e| e.src == Source::Clip).count(), 2);
+    }
+
+    #[test]
+    fn degenerate_edges_dropped() {
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        let edges = collect_edges(&p, &PolygonSet::new());
+        // Duplicate point removed by Contour; the remaining triangle has one
+        // horizontal edge, so 2 sweep edges.
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn x_at_y_endpoint_exactness() {
+        let p = PolygonSet::from_xy(&[(0.25, 0.1), (1.5, 0.1), (0.75, 2.3)]);
+        let edges = collect_edges(&p, &PolygonSet::new());
+        for e in &edges {
+            assert_eq!(e.x_at_y(e.lo.y), e.lo.x);
+            assert_eq!(e.x_at_y(e.hi.y), e.hi.x);
+        }
+    }
+}

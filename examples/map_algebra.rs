@@ -1,0 +1,78 @@
+//! Map algebra: chained boolean operations building a non-trivial zoning
+//! map — buildable area = (city ∪ suburbs) \ (water ∪ protected) with a
+//! noise-corridor carve-out, demonstrating multi-step pipelines, holes and
+//! fill rules.
+//!
+//! ```sh
+//! cargo run --release --example map_algebra
+//! ```
+
+use polyclip::datagen::{comb, smooth_blob, star};
+use polyclip::prelude::*;
+
+fn main() {
+    let opts = ClipOptions::default();
+
+    // Land-use layers (all in the same coordinate frame).
+    let city = smooth_blob(1, Point::new(0.0, 0.0), 4.0, 600, 0.25);
+    let suburbs = smooth_blob(2, Point::new(3.5, 1.0), 3.0, 400, 0.35);
+    let lake = smooth_blob(3, Point::new(-1.5, 0.8), 1.4, 200, 0.2);
+    let river = comb(Point::new(-6.0, -2.4), 12, 0.55, 4.0); // branched waterway
+    let reserve = star(Point::new(2.0, -2.0), 0.8, 2.0, 7); // protected park
+
+    let step = |name: &str, p: &PolygonSet| {
+        println!(
+            "{name:<22} {:>3} contour(s)  area {:>9.4}",
+            p.len(),
+            eo_area(p)
+        );
+    };
+    step("city", &city);
+    step("suburbs", &suburbs);
+    step("lake", &lake);
+    step("river (comb)", &river);
+    step("reserve (star)", &reserve);
+    println!();
+
+    // metro = city ∪ suburbs
+    let metro = clip(&city, &suburbs, BoolOp::Union, &opts);
+    step("metro = c ∪ s", &metro);
+
+    // water = lake ∪ river
+    let water = clip(&lake, &river, BoolOp::Union, &opts);
+    step("water = l ∪ r", &water);
+
+    // no-build = water ∪ reserve
+    let no_build = clip(&water, &reserve, BoolOp::Union, &opts);
+    step("no-build = w ∪ p", &no_build);
+
+    // buildable = metro \ no-build — expect holes where the lake sits
+    // inside the city.
+    let buildable = clip(&metro, &no_build, BoolOp::Difference, &opts);
+    step("buildable = m \\ nb", &buildable);
+    let holes = buildable
+        .contours()
+        .iter()
+        .filter(|c| c.signed_area() < 0.0)
+        .count();
+    println!("  ({holes} hole(s) in the buildable area)\n");
+
+    // Area identities tie the pipeline together.
+    let lhs = eo_area(&metro);
+    let rhs = eo_area(&buildable) + eo_area(&clip(&metro, &no_build, BoolOp::Intersection, &opts));
+    println!("identity |metro| = |buildable| + |metro ∩ no-build|:");
+    println!("  {lhs:.9} = {rhs:.9}  (Δ = {:.2e})", (lhs - rhs).abs());
+
+    // Point queries against the final map.
+    for (label, p) in [
+        ("downtown", Point::new(0.2, -0.2)),
+        ("lake centre", Point::new(-1.5, 0.8)),
+        ("park centre", Point::new(2.0, -2.0)),
+        ("far offshore", Point::new(20.0, 0.0)),
+    ] {
+        println!(
+            "  can build at {label:<12}? {}",
+            buildable.contains(p, FillRule::EvenOdd)
+        );
+    }
+}

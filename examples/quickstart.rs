@@ -1,0 +1,62 @@
+//! Quickstart: boolean operations on two polygons.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use polyclip::prelude::*;
+
+fn main() {
+    // A square and a triangle overlapping it.
+    let square = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+    let triangle = PolygonSet::from_xy(&[(2.0, 1.0), (7.0, 2.0), (3.0, 6.0)]);
+
+    println!("subject: square   area = {:.3}", eo_area(&square));
+    println!("clip:    triangle area = {:.3}\n", eo_area(&triangle));
+
+    let opts = ClipOptions::default();
+    for (name, op) in [
+        ("intersection", BoolOp::Intersection),
+        ("union        ", BoolOp::Union),
+        ("difference   ", BoolOp::Difference),
+        ("xor          ", BoolOp::Xor),
+    ] {
+        let (out, stats) = clip_with_stats(&square, &triangle, op, &opts);
+        println!(
+            "{name} -> {} contour(s), {} vertices, area {:.4}   [n={}, k={}, k'={}]",
+            out.len(),
+            out.vertex_count(),
+            eo_area(&out),
+            stats.n_edges,
+            stats.k_intersections,
+            stats.k_prime,
+        );
+        for (i, c) in out.contours().iter().enumerate() {
+            let pts: Vec<String> = c
+                .points()
+                .iter()
+                .map(|p| format!("({:.2}, {:.2})", p.x, p.y))
+                .collect();
+            println!("    contour {i}: {}", pts.join(" "));
+        }
+    }
+
+    // The identity |A| + |B| = |A∪B| + |A∩B| holds to machine precision.
+    let u = measure_op(&square, &triangle, BoolOp::Union, &opts);
+    let i = measure_op(&square, &triangle, BoolOp::Intersection, &opts);
+    println!(
+        "\ninclusion-exclusion check: |A|+|B| = {:.12}, |A∪B|+|A∩B| = {:.12}",
+        eo_area(&square) + eo_area(&triangle),
+        u + i
+    );
+
+    // Self-intersecting inputs are first-class citizens.
+    let bowtie = PolygonSet::from_xy(&[(5.0, 0.0), (9.0, 4.0), (9.0, 0.0), (5.0, 4.0)]);
+    let band = PolygonSet::from_xy(&[(4.0, 1.0), (10.0, 1.0), (10.0, 3.0), (4.0, 3.0)]);
+    let cut = clip(&bowtie, &band, BoolOp::Intersection, &opts);
+    println!(
+        "\nbow-tie ∩ band: {} contours, area {:.4} (even-odd fill of a self-intersecting input)",
+        cut.len(),
+        eo_area(&cut)
+    );
+}

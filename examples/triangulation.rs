@@ -1,0 +1,67 @@
+//! Triangulating clipped geometry for rendering — the computer-graphics
+//! use-case from the paper's introduction. Clips a star against a blob,
+//! extracts the trapezoid decomposition and a triangle mesh, and writes an
+//! SVG showing inputs, output contours and the mesh.
+//!
+//! ```sh
+//! cargo run --release --example triangulation [out.svg]
+//! ```
+
+use polyclip::core::tess::triangle_area;
+use polyclip::datagen::{smooth_blob, star};
+use polyclip::geom::svg::{render, SvgLayer};
+use polyclip::prelude::*;
+use std::fmt::Write as _;
+
+fn main() {
+    let subject = star(Point::new(0.0, 0.0), 1.2, 2.8, 9);
+    let clip_p = smooth_blob(7, Point::new(0.8, 0.4), 2.0, 160, 0.3);
+    let opts = ClipOptions::default();
+
+    let out = clip(&subject, &clip_p, BoolOp::Intersection, &opts);
+    let traps = trapezoids(&subject, &clip_p, BoolOp::Intersection, &opts);
+    let tris = triangulate(&subject, &clip_p, BoolOp::Intersection, &opts);
+
+    let contour_area = eo_area(&out);
+    let trap_area: f64 = traps.iter().map(|t| t.area()).sum();
+    let tri_area: f64 = tris.iter().map(triangle_area).sum();
+
+    println!("star ∩ blob:");
+    println!("  contours     : {} ({} vertices), area {:.6}", out.len(), out.vertex_count(), contour_area);
+    println!("  trapezoids   : {}, area {:.6}", traps.len(), trap_area);
+    println!("  triangles    : {}, area {:.6}", tris.len(), tri_area);
+    println!("  (three independent area computations agree to {:.1e})",
+        (contour_area - tri_area).abs().max((contour_area - trap_area).abs()));
+
+    // Compose the SVG: inputs faint, result solid, mesh as thin outlines.
+    let mesh = PolygonSet::from_contours(
+        tris.iter()
+            .map(|t| Contour::new(t.to_vec()))
+            .collect(),
+    );
+    let doc = render(
+        &[
+            SvgLayer { polygon: &subject, fill: "#1f77b4", stroke: "none", opacity: 0.15 },
+            SvgLayer { polygon: &clip_p, fill: "#d62728", stroke: "none", opacity: 0.15 },
+            SvgLayer { polygon: &out, fill: "#2ca02c", stroke: "none", opacity: 0.6 },
+            SvgLayer { polygon: &mesh, fill: "none", stroke: "#145214", opacity: 1.0 },
+        ],
+        900,
+        FillRule::EvenOdd,
+    );
+
+    let path = std::env::args().nth(1).unwrap_or_else(|| "triangulation.svg".into());
+    std::fs::write(&path, doc).expect("write SVG");
+    println!("\nwrote {path}");
+
+    // A tiny OBJ-style dump of the first few triangles, to show mesh export.
+    let mut obj = String::new();
+    for (i, t) in tris.iter().take(3).enumerate() {
+        let _ = writeln!(
+            obj,
+            "tri {i}: ({:.3},{:.3}) ({:.3},{:.3}) ({:.3},{:.3})",
+            t[0].x, t[0].y, t[1].x, t[1].y, t[2].x, t[2].y
+        );
+    }
+    println!("\nfirst triangles:\n{obj}");
+}

@@ -1,0 +1,196 @@
+//! Oracle tests: the clipped output is validated point-by-point against
+//! independent reference implementations — Monte-Carlo membership sampling
+//! against the inputs' own point-in-polygon tests, and brute-force O(n²)
+//! intersection counting.
+
+use polyclip::prelude::*;
+use polyclip::sweep::{collect_edges, cross::brute_force_crossings};
+
+fn lcg(s: &mut u64) -> f64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*s >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+fn rand_poly(s: &mut u64, n: usize, span: f64) -> PolygonSet {
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (lcg(s) * span, lcg(s) * span)).collect();
+    PolygonSet::from_xy(&pts)
+}
+
+fn blob(s: &mut u64, cx: f64, cy: f64, n: usize) -> PolygonSet {
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+            let r = 0.4 + 0.6 * lcg(s);
+            (cx + r * ang.cos(), cy + r * ang.sin())
+        })
+        .collect();
+    PolygonSet::from_xy(&pts)
+}
+
+/// Distance from `p` to the nearest input edge (to excuse boundary points).
+fn dist_to_edges(polys: &[&PolygonSet], p: Point) -> f64 {
+    let mut best = f64::INFINITY;
+    for poly in polys {
+        for e in poly.edges() {
+            let d = e.dir();
+            let t = if d.norm2() > 0.0 {
+                ((p - e.a).dot(&d) / d.norm2()).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            best = best.min(p.dist(&e.a.lerp(&e.b, t)));
+        }
+    }
+    best
+}
+
+#[test]
+fn monte_carlo_membership_oracle() {
+    let mut s = 0xfeed_beefu64;
+    let opts = ClipOptions::sequential();
+    let mut checked = 0usize;
+    for trial in 0..60 {
+        let (a, b) = if trial % 2 == 0 {
+            (blob(&mut s, 0.0, 0.0, 14), blob(&mut s, 0.5, 0.3, 14))
+        } else {
+            (rand_poly(&mut s, 8, 2.0), rand_poly(&mut s, 8, 2.0))
+        };
+        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+            let out = clip(&a, &b, op, &opts);
+            for _ in 0..50 {
+                let p = Point::new(lcg(&mut s) * 3.0 - 0.5, lcg(&mut s) * 3.0 - 0.5);
+                if dist_to_edges(&[&a, &b], p) < 1e-7 {
+                    continue; // boundary points are implementation-defined
+                }
+                let want = op.keep(
+                    a.contains(p, FillRule::EvenOdd),
+                    b.contains(p, FillRule::EvenOdd),
+                );
+                let got = out.contains(p, FillRule::EvenOdd);
+                assert_eq!(
+                    want, got,
+                    "trial {trial} op {op:?} at ({}, {}): input membership says {want}, output says {got}",
+                    p.x, p.y
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 8_000, "oracle must actually sample ({checked})");
+}
+
+#[test]
+fn monte_carlo_nonzero_fill_rule() {
+    let mut s = 0x1234_5678u64;
+    let mut opts = ClipOptions::sequential();
+    opts.fill_rule = FillRule::NonZero;
+    for trial in 0..30 {
+        let a = rand_poly(&mut s, 8, 2.0);
+        let b = rand_poly(&mut s, 8, 2.0);
+        let out = clip(&a, &b, BoolOp::Union, &opts);
+        for _ in 0..40 {
+            let p = Point::new(lcg(&mut s) * 3.0 - 0.5, lcg(&mut s) * 3.0 - 0.5);
+            if dist_to_edges(&[&a, &b], p) < 1e-7 {
+                continue;
+            }
+            let want = a.contains(p, FillRule::NonZero) || b.contains(p, FillRule::NonZero);
+            // Engine outputs are canonical: under either rule they read the
+            // same, so query with even-odd.
+            let got = out.contains(p, FillRule::EvenOdd);
+            assert_eq!(want, got, "trial {trial} at ({}, {})", p.x, p.y);
+        }
+    }
+}
+
+#[test]
+fn intersection_counts_match_bruteforce() {
+    let mut s = 0x0badu64;
+    for trial in 0..40 {
+        let a = blob(&mut s, 0.0, 0.0, 20);
+        let b = blob(&mut s, 0.3, 0.2, 20);
+        let edges = collect_edges(&a, &b);
+        let brute = brute_force_crossings(&edges).len();
+        let (_, stats) = clip_with_stats(&a, &b, BoolOp::Intersection, &ClipOptions::sequential());
+        assert_eq!(
+            stats.k_intersections, brute,
+            "trial {trial}: inversion discovery vs brute force"
+        );
+    }
+}
+
+#[test]
+fn greiner_hormann_cross_validation_on_convex_pairs() {
+    use polyclip::seqclip::{clip_to_convex, gh_clip, GhOp};
+    let mut s = 0xabcdefu64;
+    for trial in 0..25 {
+        // Convex-ish inputs: circles with mild radius wobble stay convex
+        // enough for SH when regular; use pure circles for SH validity.
+        let n = 12 + (trial % 5) * 4;
+        let a = polyclip::datagen::circle(Point::new(lcg(&mut s), lcg(&mut s)), 1.0, n);
+        let b = polyclip::datagen::circle(Point::new(lcg(&mut s) + 0.4, lcg(&mut s)), 0.9, n);
+        let (ca, cb) = (&a.contours()[0], &b.contours()[0]);
+
+        let engine = measure_op(&a, &b, BoolOp::Intersection, &ClipOptions::sequential());
+        let sh = clip_to_convex(ca, cb).area();
+        let gh: f64 = gh_clip(ca, cb, GhOp::Intersection)
+            .contours()
+            .iter()
+            .map(|c| c.signed_area())
+            .sum::<f64>()
+            .abs();
+        assert!(
+            (engine - sh).abs() < 1e-9 * (1.0 + engine),
+            "trial {trial}: engine {engine} vs Sutherland-Hodgman {sh}"
+        );
+        assert!(
+            (engine - gh).abs() < 1e-9 * (1.0 + engine),
+            "trial {trial}: engine {engine} vs Greiner-Hormann {gh}"
+        );
+    }
+}
+
+#[test]
+fn liang_barsky_cross_validation() {
+    use polyclip::geom::Segment;
+    use polyclip::seqclip::clip_segment_to_rect;
+    // Every Liang–Barsky clipped segment must lie inside the rect, preserve
+    // collinearity, and exist iff the segment truly hits the rect.
+    let r = BBox::new(0.0, 0.0, 1.0, 1.0);
+    let rect_poly = PolygonSet::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+    let mut s = 0x777u64;
+    for _ in 0..500 {
+        let a = Point::new(lcg(&mut s) * 3.0 - 1.0, lcg(&mut s) * 3.0 - 1.0);
+        let b = Point::new(lcg(&mut s) * 3.0 - 1.0, lcg(&mut s) * 3.0 - 1.0);
+        let seg = Segment::new(a, b);
+        match clip_segment_to_rect(&seg, &r) {
+            Some((c, (t0, t1))) => {
+                assert!(t0 <= t1 + 1e-12);
+                for p in [c.a, c.b] {
+                    assert!(p.x >= -1e-9 && p.x <= 1.0 + 1e-9);
+                    assert!(p.y >= -1e-9 && p.y <= 1.0 + 1e-9);
+                }
+                // Clipped endpoints stay on the original supporting line.
+                assert!(seg.side_of(c.a).abs() < 1e-9);
+                assert!(seg.side_of(c.b).abs() < 1e-9);
+            }
+            None => {
+                // Midpoint samples must all be outside the rect.
+                for k in 0..=10 {
+                    let p = a.lerp(&b, k as f64 / 10.0);
+                    assert!(
+                        !rect_poly.contains(p, FillRule::EvenOdd) || dist_to_box(&r, p) < 1e-9,
+                        "rejected segment passes through the rect at {p}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn dist_to_box(r: &BBox, p: Point) -> f64 {
+    let dx = (r.xmin - p.x).max(0.0).max(p.x - r.xmax);
+    let dy = (r.ymin - p.y).max(0.0).max(p.y - r.ymax);
+    dx.max(dy).abs()
+}

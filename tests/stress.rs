@@ -1,0 +1,196 @@
+//! Stress and robustness tests: pathological shapes (spirals, combs,
+//! donuts), near-degenerate perturbations, and serialization round-trips
+//! through the clipping pipeline.
+
+use polyclip::datagen::{comb, donut, perturbed, smooth_blob, spiral, synthetic_pair};
+use polyclip::geom::geojson::{from_geojson, to_geojson};
+use polyclip::geom::wkt::{from_wkt, to_wkt};
+use polyclip::prelude::*;
+use polyclip::core::assert_canonical;
+
+fn seq() -> ClipOptions {
+    ClipOptions::sequential()
+}
+
+fn check_all_ops(a: &PolygonSet, b: &PolygonSet, label: &str) {
+    for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+        let out = clip(a, b, op, &seq());
+        let stitched = eo_area(&out);
+        let measured = measure_op(a, b, op, &seq());
+        assert!(
+            (stitched - measured).abs() < 1e-6 * (1.0 + measured),
+            "{label} {op:?}: stitched {stitched} vs measured {measured}"
+        );
+        assert_canonical(&out);
+    }
+}
+
+#[test]
+fn spiral_against_blob() {
+    let s = spiral(Point::new(0.0, 0.0), 3.0, 0.3, 600);
+    let b = smooth_blob(3, Point::new(0.5, 0.2), 2.0, 300, 0.2);
+    check_all_ops(&s, &b, "spiral×blob");
+    // A spiral ∩ blob has many separate arm segments.
+    let i = clip(&s, &b, BoolOp::Intersection, &seq());
+    assert!(i.len() >= 3, "expected several arm pieces, got {}", i.len());
+}
+
+#[test]
+fn spiral_against_spiral() {
+    let a = spiral(Point::new(0.0, 0.0), 3.0, 0.25, 400);
+    let b = spiral(Point::new(0.3, 0.1), 2.5, 0.3, 400);
+    check_all_ops(&a, &b, "spiral×spiral");
+}
+
+#[test]
+fn interlocking_combs() {
+    // Two combs with offset teeth: intersection is the tooth overlap grid.
+    let a = comb(Point::new(0.0, 0.0), 12, 0.5, 3.0);
+    // Raised enough that the combs' bases don't overlap: only teeth cross.
+    let b = comb(Point::new(0.25, 0.0), 12, 0.5, 3.0).translate(Point::new(0.0, 1.0));
+    check_all_ops(&a, &b, "comb×comb");
+    // Axis-aligned combs: every crossing involves a horizontal edge, so the
+    // sweep's k stays 0 — but the overlap grid of teeth must come out as
+    // many separate pieces.
+    let i = clip(&a, &b, BoolOp::Intersection, &seq());
+    assert!(i.len() >= 10, "expected a grid of tooth overlaps, got {}", i.len());
+}
+
+#[test]
+fn donut_against_donut() {
+    let a = donut(1, Point::new(0.0, 0.0), 1.5, 96, 0.5);
+    let b = donut(2, Point::new(1.0, 0.3), 1.5, 96, 0.5);
+    check_all_ops(&a, &b, "donut×donut");
+    // The union of two overlapping donuts still excludes both holes where
+    // they are not covered by the other ring.
+    let u = clip(&a, &b, BoolOp::Union, &seq());
+    assert!(
+        !u.contains(Point::new(-0.4, -0.2), FillRule::EvenOdd)
+            || a.contains(Point::new(-0.4, -0.2), FillRule::EvenOdd)
+            || b.contains(Point::new(-0.4, -0.2), FillRule::EvenOdd)
+    );
+}
+
+#[test]
+fn near_degenerate_perturbations() {
+    // Identical squares jittered by amounts from large to ulp-scale: the
+    // engine must survive every regime (exactly-shared edges at 0.0).
+    let base = PolygonSet::from_xy(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+    for amp in [0.0, 1e-3, 1e-9, 1e-13, 1e-15] {
+        let b = perturbed(&base, amp, 42);
+        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Xor] {
+            let out = clip(&base, &b, op, &seq());
+            let area = eo_area(&out);
+            match op {
+                BoolOp::Intersection | BoolOp::Union => {
+                    assert!(
+                        (area - 1.0).abs() < 0.02 + 10.0 * amp,
+                        "amp {amp} {op:?}: area {area}"
+                    );
+                }
+                _ => {
+                    assert!(area < 0.02 + 10.0 * amp, "amp {amp} xor: area {area}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_tiling_partition_of_unity() {
+    // A 6×6 grid of touching tiles: their union must be the full square and
+    // pairwise intersections empty (shared edges only).
+    let mut tiles = Vec::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            tiles.push(PolygonSet::from_xy(&[
+                (i as f64, j as f64),
+                (i as f64 + 1.0, j as f64),
+                (i as f64 + 1.0, j as f64 + 1.0),
+                (i as f64, j as f64 + 1.0),
+            ]));
+        }
+    }
+    let u = polyclip::core::union_all(&tiles, &seq());
+    assert!((eo_area(&u) - 36.0).abs() < 1e-9);
+    assert_eq!(u.len(), 1, "tiles must dissolve into one square");
+    assert_eq!(u.contours()[0].len(), 4);
+    let i01 = clip(&tiles[0], &tiles[1], BoolOp::Intersection, &seq());
+    assert!(eo_area(&i01) < 1e-12);
+}
+
+#[test]
+fn algo2_on_pathological_shapes() {
+    let s = spiral(Point::new(0.0, 0.0), 3.0, 0.3, 400);
+    let c = comb(Point::new(-4.0, -4.0), 10, 0.45, 8.0);
+    let want = measure_op(&s, &c, BoolOp::Intersection, &seq());
+    for slabs in [3usize, 9, 17] {
+        let r = clip_pair_slabs(&s, &c, BoolOp::Intersection, slabs, &seq());
+        assert!(
+            (eo_area(&r.output) - want).abs() < 1e-6 * (1.0 + want),
+            "slabs {slabs}"
+        );
+    }
+}
+
+#[test]
+fn wkt_roundtrip_through_clipping() {
+    let (a, b) = synthetic_pair(256, 5);
+    let out = clip(&a, &b, BoolOp::Intersection, &seq());
+    let back = from_wkt(&to_wkt(&out)).unwrap();
+    assert_eq!(out, back);
+}
+
+#[test]
+fn geojson_roundtrip_through_clipping() {
+    let (a, b) = synthetic_pair(256, 6);
+    let out = clip(&a, &b, BoolOp::Union, &seq());
+    for multi in [false, true] {
+        let back = from_geojson(&to_geojson(&out, multi)).unwrap();
+        assert_eq!(out, back, "multi={multi}");
+    }
+}
+
+#[test]
+fn serialization_formats_agree() {
+    let d = donut(7, Point::new(0.0, 0.0), 1.0, 32, 0.5);
+    let via_wkt = from_wkt(&to_wkt(&d)).unwrap();
+    let via_geojson = from_geojson(&to_geojson(&d, false)).unwrap();
+    assert_eq!(via_wkt, via_geojson);
+}
+
+#[test]
+fn repeated_dissolve_of_heavy_overlap_is_stable() {
+    // 20 random blobs unioned, then dissolved repeatedly: area fixed.
+    let blobs: Vec<PolygonSet> = (0..20)
+        .map(|i| {
+            smooth_blob(
+                i,
+                Point::new((i % 5) as f64 * 0.8, (i / 5) as f64 * 0.8),
+                1.0,
+                64,
+                0.3,
+            )
+        })
+        .collect();
+    let mut u = polyclip::core::union_all(&blobs, &seq());
+    let area0 = eo_area(&u);
+    for _ in 0..3 {
+        u = dissolve(&u, &seq());
+        assert!((eo_area(&u) - area0).abs() < 1e-9 * (1.0 + area0));
+    }
+    assert_canonical(&u);
+}
+
+#[test]
+fn huge_coordinate_offsets() {
+    // The same clip far from the origin: relative geometry preserved.
+    let (a, b) = synthetic_pair(128, 9);
+    let near = measure_op(&a, &b, BoolOp::Intersection, &seq());
+    let d = Point::new(1e7, -1e7);
+    let far = measure_op(&a.translate(d), &b.translate(d), BoolOp::Intersection, &seq());
+    assert!(
+        (near - far).abs() < 1e-4 * (1.0 + near),
+        "near {near} vs far {far}"
+    );
+}
