@@ -56,7 +56,12 @@ fn bench_output_sensitivity(c: &mut Criterion) {
     let n = 8_000;
     let a = smooth_blob(5, Point::new(0.0, 0.0), 1.0, n, 0.3);
     // Increasing overlap: k grows while n stays fixed.
-    for (name, dx) in [("disjoint", 3.0), ("touching", 1.9), ("half", 1.0), ("deep", 0.3)] {
+    for (name, dx) in [
+        ("disjoint", 3.0),
+        ("touching", 1.9),
+        ("half", 1.0),
+        ("deep", 0.3),
+    ] {
         let b = smooth_blob(9, Point::new(dx, 0.05), 1.0, n, 0.3);
         let (_, stats) = clip_with_stats(&a, &b, BoolOp::Intersection, &seq);
         let id = format!("{name}_k{}", stats.k_intersections);
@@ -89,8 +94,8 @@ fn bench_intersection_discovery(c: &mut Criterion) {
     // Lemma 4's inversion-based discovery vs the classical Bentley–Ottmann
     // sweep (paper §II's reference line-intersection approach).
     use polyclip::sweep::{
-        bentley_ottmann, collect_edges, discover_intersections, event_ys, BeamSet,
-        ForcedSplits, PartitionBackend as PB,
+        bentley_ottmann, collect_edges, discover_intersections, event_ys, BeamSet, ForcedSplits,
+        PartitionBackend as PB,
     };
     let mut g = c.benchmark_group("ablation_intersection_discovery");
     g.sample_size(10);
@@ -100,8 +105,13 @@ fn bench_intersection_discovery(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("inversions", n), &n, |bch, _| {
             bch.iter(|| {
                 let ys = event_ys(&edges, &[], false);
-                let beams =
-                    BeamSet::build(&edges, ys, &ForcedSplits::empty(edges.len()), PB::DirectScan, false);
+                let beams = BeamSet::build(
+                    &edges,
+                    ys,
+                    &ForcedSplits::empty(edges.len()),
+                    PB::DirectScan,
+                    false,
+                );
                 discover_intersections(&beams, &edges, false)
             })
         });

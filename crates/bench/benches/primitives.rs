@@ -109,5 +109,11 @@ fn bench_segtree(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scan, bench_sort, bench_inversions, bench_segtree);
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_sort,
+    bench_inversions,
+    bench_segtree
+);
 criterion_main!(benches);

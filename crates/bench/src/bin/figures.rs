@@ -15,9 +15,7 @@ use polyclip::datagen::{synthetic_pair, table3_spec};
 use polyclip::parprim::inversions::report_inversion_values;
 use polyclip::prelude::*;
 use polyclip::seqclip::{gh_clip, GhOp};
-use polyclip::sweep::{
-    collect_edges, event_ys, BeamSet, ForcedSplits, PartitionBackend, Source,
-};
+use polyclip::sweep::{collect_edges, event_ys, BeamSet, ForcedSplits, PartitionBackend, Source};
 use polyclip_bench::*;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -51,8 +49,7 @@ fn main() {
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "pram",
+            "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "pram",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -90,10 +87,7 @@ fn table1() -> Vec<ResultTable> {
     let xs = [5u32, 6, 7, 9, 1, 2, 3, 4];
     let mut pairs = report_inversion_values(&xs);
     pairs.sort_unstable();
-    let mut t = ResultTable::new(
-        "table1_inversions",
-        &["input", "inversions", "pairs"],
-    );
+    let mut t = ResultTable::new("table1_inversions", &["input", "inversions", "pairs"]);
     t.push_row(vec![
         format!("{xs:?}"),
         pairs.len().to_string(),
@@ -103,12 +97,11 @@ fn table1() -> Vec<ResultTable> {
             .collect::<Vec<_>>()
             .join(" "),
     ]);
-    t
-        .push_row(vec![
-            "paper".into(),
-            "16".into(),
-            "all left×right pairs (Table I)".into(),
-        ]);
+    t.push_row(vec![
+        "paper".into(),
+        "16".into(),
+        "all left×right pairs (Table I)".into(),
+    ]);
     vec![t]
 }
 
@@ -167,7 +160,14 @@ fn table2() -> Vec<ResultTable> {
     );
     let mut s = ResultTable::new(
         "table2_summary",
-        &["beams", "k", "k_prime", "out_contours", "out_vertices", "area"],
+        &[
+            "beams",
+            "k",
+            "k_prime",
+            "out_contours",
+            "out_vertices",
+            "area",
+        ],
     );
     s.push_row(vec![
         stats.n_beams.to_string(),
@@ -217,13 +217,21 @@ fn table3(cfg: &Config) -> Vec<ResultTable> {
 fn fig7() -> Vec<ResultTable> {
     let mut t = ResultTable::new(
         "fig7_seq_scaling",
-        &["n_edges", "intersect_ms", "union_ms", "us_per_edge", "k", "k_prime"],
+        &[
+            "n_edges",
+            "intersect_ms",
+            "union_ms",
+            "us_per_edge",
+            "k",
+            "k_prime",
+        ],
     );
     let seq = ClipOptions::sequential();
-    for n in [1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000] {
+    for n in [
+        1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000,
+    ] {
         let (a, b) = synthetic_pair(n, 42);
-        let ((_, stats), ti) =
-            time_best(2, || clip_with_stats(&a, &b, BoolOp::Intersection, &seq));
+        let ((_, stats), ti) = time_best(2, || clip_with_stats(&a, &b, BoolOp::Intersection, &seq));
         let (_, tu) = time_best(2, || clip(&a, &b, BoolOp::Union, &seq));
         t.push_row(vec![
             n.to_string(),
@@ -256,8 +264,7 @@ fn fig8() -> Vec<ResultTable> {
         let (a, b) = synthetic_pair(n, 42);
         let (_, t_seq) = time_best(2, || clip(&a, &b, BoolOp::Intersection, &seq));
         for &slabs in SLAB_SWEEP {
-            let (r, measured) =
-                time(|| clip_pair_slabs(&a, &b, BoolOp::Intersection, slabs, &seq));
+            let (r, measured) = time(|| clip_pair_slabs(&a, &b, BoolOp::Intersection, slabs, &seq));
             let crit = critical_path(&r.times);
             t.push_row(vec![
                 n.to_string(),
@@ -327,9 +334,8 @@ fn fig10(cfg: &Config) -> Vec<ResultTable> {
         // Intersection.
         let mut base = Duration::ZERO;
         for &slabs in SLAB_SWEEP {
-            let (r, measured) = time(|| {
-                overlay_intersection(&a, &b, slabs, SlabAssignment::UniqueOwner, &opts)
-            });
+            let (r, measured) =
+                time(|| overlay_intersection(&a, &b, slabs, SlabAssignment::UniqueOwner, &opts));
             let crit = overlay_critical_path(&r);
             if slabs == 1 {
                 base = crit;
@@ -411,9 +417,8 @@ fn fig12(cfg: &Config) -> Vec<ResultTable> {
 
         // Sequential baselines.
         let (gh_ms, seq_ms) = if is_intersect {
-            let (_, t_seq) = time(|| {
-                overlay_intersection(&a, &b, 1, SlabAssignment::UniqueOwner, &opts)
-            });
+            let (_, t_seq) =
+                time(|| overlay_intersection(&a, &b, 1, SlabAssignment::UniqueOwner, &opts));
             let (_, t_gh) = time(|| gh_pairwise_intersection(&a, &b));
             (ms(t_gh), t_seq)
         } else {
@@ -456,8 +461,16 @@ fn pram_table() -> Vec<ResultTable> {
     let mut t = ResultTable::new(
         "pram_theory",
         &[
-            "n_edges", "k", "k_prime", "work", "span",
-            "T_1", "T_64", "T_inf", "speedup_64", "speedup_paper_p",
+            "n_edges",
+            "k",
+            "k_prime",
+            "work",
+            "span",
+            "T_1",
+            "T_64",
+            "T_inf",
+            "speedup_64",
+            "speedup_paper_p",
         ],
     );
     for n in [1_000usize, 4_000, 16_000, 64_000] {
@@ -502,11 +515,7 @@ fn gh_pairwise_intersection(a: &Layer, b: &Layer) -> usize {
             if !boxes_a[i].intersects(&boxes_b[j]) {
                 continue;
             }
-            let out = gh_clip(
-                &fa.contours()[0],
-                &fb.contours()[0],
-                GhOp::Intersection,
-            );
+            let out = gh_clip(&fa.contours()[0], &fb.contours()[0], GhOp::Intersection);
             produced += out.len();
         }
     }

@@ -193,11 +193,7 @@ mod tests {
 
     #[test]
     fn ascii_bars_scale_to_width() {
-        let s = ascii_bars(
-            &["a".to_string(), "b".to_string()],
-            &[1.0, 2.0],
-            10,
-        );
+        let s = ascii_bars(&["a".to_string(), "b".to_string()], &[1.0, 2.0], 10);
         assert!(s.lines().count() == 2);
         assert!(s.contains("##########"));
     }

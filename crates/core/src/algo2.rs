@@ -20,10 +20,13 @@
 //! of the paper's Figure 9 and the per-slab load profile of Figure 11.
 
 use crate::classify::BoolOp;
-use crate::engine::{clip, ClipOptions};
+use crate::engine::{try_clip_with_stats, ClipOptions};
+use crate::resilience::{self, ClipError, ClipOutcome, Degradation, InputRole};
+use crate::stats::ClipStats;
 use polyclip_geom::{OrdF64, PolygonSet};
 use polyclip_seqclip::band_clip;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Wall-clock phase breakdown of one Algorithm-2 run (Figure 9 / 11 data).
@@ -73,7 +76,7 @@ fn avg(v: &[Duration]) -> Duration {
 }
 
 /// Result of an Algorithm-2 run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Algo2Result {
     /// The clipped polygon set.
     pub output: PolygonSet,
@@ -81,6 +84,11 @@ pub struct Algo2Result {
     pub times: PhaseTimes,
     /// Number of slabs actually used (≤ requested when few events exist).
     pub slabs: usize,
+    /// Engine counters aggregated across the slab workers (sums, except
+    /// `refine_rounds` which takes the per-slab maximum).
+    pub stats: ClipStats,
+    /// Degradations absorbed across all slabs, in slab order.
+    pub degradations: Vec<Degradation>,
 }
 
 /// How Algorithm 2 fuses its per-slab partial outputs (Step 8).
@@ -95,12 +103,107 @@ pub enum MergeStrategy {
     Tree,
 }
 
+/// One slab worker's contribution: its partial output plus everything the
+/// aggregate needs (stats, degradations, phase timings).
+struct SlabPartial {
+    output: PolygonSet,
+    stats: ClipStats,
+    degradations: Vec<Degradation>,
+    t_partition: Duration,
+    t_clip: Duration,
+}
+
+/// Run one slab through the recovery ladder.
+///
+/// Attempt 0 runs the configured engine; if the worker panics, attempt 1
+/// retries the identical computation (transient faults); if that panics
+/// too, a final attempt re-runs the slab on the *pristine* configuration —
+/// sequential, default partition backend, fault plan stripped. The
+/// pristine attempt computes the same band on the same engine family, so a
+/// successful fallback is bit-identical to an unfaulted run. Only when all
+/// three attempts die does the slab surface [`ClipError::SlabPanic`].
+fn run_slab(
+    slab: usize,
+    band: Option<(f64, f64)>,
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    seq: &ClipOptions,
+) -> Result<SlabPartial, ClipError> {
+    let attempt_with =
+        |opts: &ClipOptions,
+         attempt: u32|
+         -> Result<Result<(ClipOutcome, Duration, Duration), ClipError>, String> {
+            catch_unwind(AssertUnwindSafe(|| {
+                resilience::maybe_panic_slab(opts, slab, attempt);
+                let t0 = Instant::now();
+                let (s_band, c_band) = match band {
+                    Some((lo, hi)) => (band_clip(subject, lo, hi), band_clip(clip_p, lo, hi)),
+                    None => (subject.clone(), clip_p.clone()),
+                };
+                let t_partition = t0.elapsed();
+                let t1 = Instant::now();
+                try_clip_with_stats(&s_band, &c_band, op, opts)
+                    .map(|outcome| (outcome, t_partition, t1.elapsed()))
+            }))
+            .map_err(|p| resilience::panic_message(p.as_ref()))
+        };
+
+    let finish = |outcome: ClipOutcome,
+                  t_partition: Duration,
+                  t_clip: Duration,
+                  recovery: Option<Degradation>| {
+        let mut degradations = outcome.degradations;
+        let mut stats = outcome.stats;
+        if let Some(d) = recovery {
+            stats.slab_retries += 1;
+            degradations.push(d);
+        }
+        SlabPartial {
+            output: outcome.result,
+            stats,
+            degradations,
+            t_partition,
+            t_clip,
+        }
+    };
+
+    let mut last_panic = String::new();
+    for attempt in 0..2u32 {
+        match attempt_with(seq, attempt) {
+            Ok(Ok((outcome, t_partition, t_clip))) => {
+                let recovery = (attempt > 0).then_some(Degradation::SlabRetry { slab });
+                return Ok(finish(outcome, t_partition, t_clip, recovery));
+            }
+            // A typed error is deterministic — retrying cannot help.
+            Ok(Err(e)) => return Err(e),
+            Err(msg) => last_panic = msg,
+        }
+    }
+    match attempt_with(&resilience::pristine(seq), 2) {
+        Ok(Ok((outcome, t_partition, t_clip))) => Ok(finish(
+            outcome,
+            t_partition,
+            t_clip,
+            Some(Degradation::SlabFallback { slab }),
+        )),
+        Ok(Err(e)) => Err(e),
+        Err(msg) => Err(ClipError::SlabPanic {
+            slab,
+            message: if msg.is_empty() { last_panic } else { msg },
+        }),
+    }
+}
+
 /// Clip a pair of polygon sets with the slab-partitioned Algorithm 2.
 ///
 /// `n_slabs` is the paper's `p` (one slab per thread); the per-slab work
 /// runs on the current rayon pool. `opts` configures fill rule etc.; the
 /// per-slab engine always runs sequentially, parallelism comes from the
 /// slab fan-out, exactly as in the paper.
+///
+/// Lenient wrapper over [`try_clip_pair_slabs`]: errors (non-finite input,
+/// a slab dead on every recovery attempt) yield an empty result.
 pub fn clip_pair_slabs(
     subject: &PolygonSet,
     clip_p: &PolygonSet,
@@ -108,7 +211,14 @@ pub fn clip_pair_slabs(
     n_slabs: usize,
     opts: &ClipOptions,
 ) -> Algo2Result {
-    clip_pair_slabs_with(subject, clip_p, op, n_slabs, opts, MergeStrategy::Sequential)
+    clip_pair_slabs_with(
+        subject,
+        clip_p,
+        op,
+        n_slabs,
+        opts,
+        MergeStrategy::Sequential,
+    )
 }
 
 /// [`clip_pair_slabs`] with an explicit Step-8 merge strategy.
@@ -120,7 +230,54 @@ pub fn clip_pair_slabs_with(
     opts: &ClipOptions,
     merge_strategy: MergeStrategy,
 ) -> Algo2Result {
+    try_clip_pair_slabs_with(subject, clip_p, op, n_slabs, opts, merge_strategy).unwrap_or_default()
+}
+
+/// Fallible Algorithm 2 with per-slab panic isolation.
+///
+/// Every slab worker runs under `catch_unwind`; a panicked slab is retried
+/// once and then recomputed on the pristine sequential engine (see
+/// [`Degradation::SlabRetry`] / [`Degradation::SlabFallback`]). Errors are
+/// typed: non-finite inputs are rejected up front, and a slab that dies on
+/// every rung of the ladder surfaces as [`ClipError::SlabPanic`].
+pub fn try_clip_pair_slabs(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    n_slabs: usize,
+    opts: &ClipOptions,
+) -> Result<Algo2Result, ClipError> {
+    try_clip_pair_slabs_with(
+        subject,
+        clip_p,
+        op,
+        n_slabs,
+        opts,
+        MergeStrategy::Sequential,
+    )
+}
+
+/// [`try_clip_pair_slabs`] with an explicit Step-8 merge strategy.
+pub fn try_clip_pair_slabs_with(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    n_slabs: usize,
+    opts: &ClipOptions,
+    merge_strategy: MergeStrategy,
+) -> Result<Algo2Result, ClipError> {
     let t_start = Instant::now();
+    // Non-finite coordinates would poison the event ordering below before
+    // any slab worker (and its input gate) ever runs; reject them here.
+    for (set, role) in [(subject, InputRole::Subject), (clip_p, InputRole::Clip)] {
+        if let Some((contour, vertex)) = set.first_non_finite() {
+            return Err(ClipError::NonFiniteInput {
+                role,
+                contour,
+                vertex,
+            });
+        }
+    }
     let seq = ClipOptions {
         parallel: false,
         ..*opts
@@ -137,56 +294,60 @@ pub fn clip_pair_slabs_with(
     ys.dedup();
 
     if ys.len() < 2 || n_slabs <= 1 {
-        // Degenerate instance or a single slab: plain sequential clip.
-        let t0 = Instant::now();
-        let output = clip(subject, clip_p, op, &seq);
+        // Degenerate instance or a single slab: one unbanded worker, still
+        // under the recovery ladder (slab index 0).
+        let partial = run_slab(0, None, subject, clip_p, op, &seq)?;
         let times = PhaseTimes {
             per_slab_partition: vec![Duration::ZERO],
-            per_slab_clip: vec![t0.elapsed()],
+            per_slab_clip: vec![partial.t_clip],
             merge: Duration::ZERO,
             total: t_start.elapsed(),
         };
-        return Algo2Result { output, times, slabs: 1 };
+        return Ok(Algo2Result {
+            output: partial.output,
+            times,
+            slabs: 1,
+            stats: partial.stats,
+            degradations: partial.degradations,
+        });
     }
 
     // Equal-event-count slab boundaries over [ymin, ymax].
     let boundaries = slab_boundaries(&ys, n_slabs);
     let slabs = boundaries.len() - 1;
 
-    // Steps 4–6 per slab, in parallel.
-    let partials: Vec<(PolygonSet, Duration, Duration)> = (0..slabs)
+    // Steps 4–6 per slab, in parallel, each under the recovery ladder.
+    let partials: Vec<Result<SlabPartial, ClipError>> = (0..slabs)
         .into_par_iter()
         .map(|i| {
-            let (lo, hi) = (boundaries[i], boundaries[i + 1]);
-            let t0 = Instant::now();
-            let s_band = band_clip(subject, lo, hi);
-            let c_band = band_clip(clip_p, lo, hi);
-            let t_part = t0.elapsed();
-            let t1 = Instant::now();
-            let out = clip(&s_band, &c_band, op, &seq);
-            (out, t_part, t1.elapsed())
+            let band = (boundaries[i], boundaries[i + 1]);
+            run_slab(i, Some(band), subject, clip_p, op, &seq)
         })
         .collect();
-
-    let per_slab_partition: Vec<Duration> = partials.iter().map(|p| p.1).collect();
-    let per_slab_clip: Vec<Duration> = partials.iter().map(|p| p.2).collect();
+    let mut parts: Vec<PolygonSet> = Vec::with_capacity(slabs);
+    let mut per_slab_partition: Vec<Duration> = Vec::with_capacity(slabs);
+    let mut per_slab_clip: Vec<Duration> = Vec::with_capacity(slabs);
+    let mut stats = ClipStats::default();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    for partial in partials {
+        let p = partial?;
+        parts.push(p.output);
+        per_slab_partition.push(p.t_partition);
+        per_slab_clip.push(p.t_clip);
+        stats.absorb(&p.stats);
+        degradations.extend(p.degradations);
+    }
 
     // Step 8: merge partial outputs at the interior slab boundaries.
     let t_merge = Instant::now();
     let interior = &boundaries[1..boundaries.len() - 1];
     let output = match merge_strategy {
-        MergeStrategy::Sequential => {
-            merge_slab_outputs(partials.into_iter().map(|p| p.0), interior, &seq)
-        }
-        MergeStrategy::Tree => merge_slab_outputs_tree(
-            partials.into_iter().map(|p| p.0).collect(),
-            interior,
-            &seq,
-        ),
+        MergeStrategy::Sequential => merge_slab_outputs(parts.into_iter(), interior, &seq),
+        MergeStrategy::Tree => merge_slab_outputs_tree(parts, interior, &seq),
     };
     let merge = t_merge.elapsed();
 
-    Algo2Result {
+    Ok(Algo2Result {
         output,
         times: PhaseTimes {
             per_slab_partition,
@@ -195,24 +356,32 @@ pub fn clip_pair_slabs_with(
             total: t_start.elapsed(),
         },
         slabs,
-    }
+        stats,
+        degradations,
+    })
 }
 
 /// Slab boundaries with roughly equal event counts per slab; first and last
 /// are the extreme event y's, interior boundaries are event quantiles.
+/// Empty input yields no boundaries (no slabs to cut).
 pub fn slab_boundaries(sorted_ys: &[OrdF64], n_slabs: usize) -> Vec<f64> {
     let m = sorted_ys.len();
+    let Some(first) = sorted_ys.first() else {
+        return Vec::new();
+    };
     let mut b: Vec<f64> = Vec::with_capacity(n_slabs + 1);
-    b.push(sorted_ys[0].get());
+    let mut prev = first.get();
+    b.push(prev);
     for i in 1..n_slabs {
         let idx = i * (m - 1) / n_slabs;
         let y = sorted_ys[idx].get();
-        if y > *b.last().unwrap() {
+        if y > prev {
             b.push(y);
+            prev = y;
         }
     }
     let last = sorted_ys[m - 1].get();
-    if last > *b.last().unwrap() {
+    if last > prev {
         b.push(last);
     }
     b
@@ -356,11 +525,7 @@ pub fn merge_slab_outputs_tree(
                 let (b, seams_b) = &pair[1];
                 // The seam joining the two halves is the last of `a`'s.
                 let join = *seams_a.last().expect("non-top chunk has a seam");
-                let merged = merge_slab_outputs(
-                    [a.clone(), b.clone()].into_iter(),
-                    &[join],
-                    opts,
-                );
+                let merged = merge_slab_outputs([a.clone(), b.clone()].into_iter(), &[join], opts);
                 // Seams still open after this node: b's trailing seam.
                 (merged, seams_b.clone())
             })
@@ -388,7 +553,12 @@ mod tests {
     fn matches_engine_on_offset_squares_for_all_ops() {
         let a = sq(0.0, 0.0, 2.0, 2.0);
         let b = sq(1.0, 1.0, 3.0, 3.0);
-        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+        for op in [
+            BoolOp::Intersection,
+            BoolOp::Union,
+            BoolOp::Difference,
+            BoolOp::Xor,
+        ] {
             for slabs in [1usize, 2, 3, 7] {
                 let r = clip_pair_slabs(&a, &b, op, slabs, &seq());
                 let want = measure_op(&a, &b, op, &seq());
@@ -520,16 +690,26 @@ mod tests {
         // by many seams comes back as one 4-vertex contour.
         let a = sq(0.0, 0.0, 1.0, 10.0);
         let b = sq(0.25, 2.0, 0.75, 8.0);
-        let r = clip_pair_slabs_with(
-            &a,
-            &b,
-            BoolOp::Union,
-            6,
-            &seq(),
-            MergeStrategy::Tree,
-        );
+        let r = clip_pair_slabs_with(&a, &b, BoolOp::Union, 6, &seq(), MergeStrategy::Tree);
         assert_eq!(r.output.len(), 1);
         assert_eq!(r.output.contours()[0].len(), 4);
+    }
+
+    #[test]
+    fn slab_boundaries_of_empty_input_is_empty() {
+        assert!(slab_boundaries(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn try_variant_matches_lenient_variant() {
+        let a = sq(0.0, 0.0, 4.0, 8.0);
+        let b = sq(1.0, 1.0, 3.0, 7.0);
+        let r = try_clip_pair_slabs(&a, &b, BoolOp::Difference, 4, &seq()).unwrap();
+        let l = clip_pair_slabs(&a, &b, BoolOp::Difference, 4, &seq());
+        assert_eq!(r.output, l.output);
+        assert!(r.degradations.is_empty());
+        assert_eq!(r.stats.slab_retries, 0);
+        assert!(r.stats.n_edges > 0, "per-slab stats must aggregate");
     }
 
     #[test]

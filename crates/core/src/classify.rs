@@ -89,11 +89,13 @@ pub fn classify_beam(
             if new_keep {
                 // Entering a kept span: this sub-edge is a *left* boundary,
                 // directed downward so the interior lies on its left.
-                out.edges.push((Point::new(s.xt, y_top), Point::new(s.xb, y_bot)));
+                out.edges
+                    .push((Point::new(s.xt, y_top), Point::new(s.xb, y_bot)));
                 open = Some((s.xb, s.xt));
             } else {
                 // Leaving: a *right* boundary, directed upward.
-                out.edges.push((Point::new(s.xb, y_bot), Point::new(s.xt, y_top)));
+                out.edges
+                    .push((Point::new(s.xb, y_bot), Point::new(s.xt, y_top)));
                 let (ob, ot) = open.take().expect("leaving a span that never opened");
                 // Residual crossings inside numerically degenerate
                 // (hair-thin) beams can invert an interval; normalizing
@@ -164,7 +166,13 @@ mod tests {
         let sq = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
         let (bs, _) = beams(&sq, &PolygonSet::new());
         assert_eq!(bs.n_beams(), 1);
-        let out = classify_beam(bs.beam(0), bs.y_bot(0), bs.y_top(0), BoolOp::Union, FillRule::EvenOdd);
+        let out = classify_beam(
+            bs.beam(0),
+            bs.y_bot(0),
+            bs.y_top(0),
+            BoolOp::Union,
+            FillRule::EvenOdd,
+        );
         assert_eq!(out.bottom, vec![(0.0, 2.0)]);
         assert_eq!(out.top, vec![(0.0, 2.0)]);
         assert_eq!(out.edges.len(), 2);
@@ -185,7 +193,13 @@ mod tests {
         assert_eq!(bs.n_beams(), 3);
         let mut area = 0.0;
         for i in 0..bs.n_beams() {
-            let o = classify_beam(bs.beam(i), bs.y_bot(i), bs.y_top(i), BoolOp::Intersection, FillRule::EvenOdd);
+            let o = classify_beam(
+                bs.beam(i),
+                bs.y_bot(i),
+                bs.y_top(i),
+                BoolOp::Intersection,
+                FillRule::EvenOdd,
+            );
             area += o.area;
         }
         assert!((area - 1.0).abs() < 1e-12);
@@ -198,7 +212,9 @@ mod tests {
         let (bs, _) = beams(&a, &b);
         let total = |op: BoolOp| -> f64 {
             (0..bs.n_beams())
-                .map(|i| classify_beam(bs.beam(i), bs.y_bot(i), bs.y_top(i), op, FillRule::EvenOdd).area)
+                .map(|i| {
+                    classify_beam(bs.beam(i), bs.y_bot(i), bs.y_top(i), op, FillRule::EvenOdd).area
+                })
                 .sum()
         };
         assert!((total(BoolOp::Intersection) - 2.0).abs() < 1e-12);
@@ -216,7 +232,13 @@ mod tests {
         let a = PolygonSet::from_xy(&[(0.0, 0.0), (6.0, 0.0), (6.0, 1.0), (0.0, 1.0)]);
         let b = PolygonSet::from_xy(&[(1.0, 0.0), (2.0, 0.0), (2.0, 1.0), (1.0, 1.0)]);
         let (bs, _) = beams(&a, &b);
-        let o = classify_beam(bs.beam(0), bs.y_bot(0), bs.y_top(0), BoolOp::Difference, FillRule::EvenOdd);
+        let o = classify_beam(
+            bs.beam(0),
+            bs.y_bot(0),
+            bs.y_top(0),
+            BoolOp::Difference,
+            FillRule::EvenOdd,
+        );
         // A \ B = two spans → L R L R.
         assert_eq!(o.bottom.len(), 2);
         assert_eq!(o.edges.len(), 4);
@@ -236,7 +258,9 @@ mod tests {
         let (bs, _) = beams(&a, &PolygonSet::new());
         let area = |rule: FillRule| -> f64 {
             (0..bs.n_beams())
-                .map(|i| classify_beam(bs.beam(i), bs.y_bot(i), bs.y_top(i), BoolOp::Union, rule).area)
+                .map(|i| {
+                    classify_beam(bs.beam(i), bs.y_bot(i), bs.y_top(i), BoolOp::Union, rule).area
+                })
                 .sum()
         };
         assert!((area(FillRule::EvenOdd) - 0.0).abs() < 1e-12);

@@ -22,15 +22,18 @@
 
 use crate::classify::{classify_beam, BeamOutput, BoolOp};
 use crate::horizontal::horizontal_edges;
+use crate::resilience::{self, ClipError, ClipOutcome, Degradation, FaultPlan, InputRole};
 use crate::stats::ClipStats;
-use crate::stitch::stitch;
+use crate::stitch::stitch_counted;
+use crate::validate::sanitize_counted;
 use polyclip_geom::{FillRule, Point, PolygonSet};
+use polyclip_sweep::cross::{discover_residual_crossings, CrossEvent};
 use polyclip_sweep::{
     collect_edges, discover_intersections, event_ys, BeamSet, ForcedSplits, InputEdge,
     PartitionBackend,
 };
-use polyclip_sweep::cross::discover_residual_crossings;
 use rayon::prelude::*;
+use std::borrow::Cow;
 
 /// Configuration for the scanbeam engine.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +48,9 @@ pub struct ClipOptions {
     /// Keep the k' virtual vertices in the output instead of packing them
     /// away (useful for inspecting the scanbeam structure).
     pub keep_virtual: bool,
+    /// Deterministic fault plan for resilience testing. Inert unless the
+    /// `fault-injection` cargo feature is enabled.
+    pub faults: FaultPlan,
 }
 
 impl Default for ClipOptions {
@@ -54,6 +60,7 @@ impl Default for ClipOptions {
             parallel: true,
             backend: PartitionBackend::DirectScan,
             keep_virtual: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -99,18 +106,66 @@ fn snap_to_events(ys: &[f64], y: f64) -> f64 {
     }
 }
 
+/// Everything `prepare` absorbed and measured besides the scanbeam
+/// structure itself: degradations plus the refinement counters.
+#[derive(Debug, Default)]
+pub(crate) struct PrepReport {
+    pub(crate) degradations: Vec<Degradation>,
+    pub(crate) refine_rounds: usize,
+    pub(crate) residuals_accepted: usize,
+}
+
+/// Input gate: reject non-finite coordinates (they poison the event
+/// ordering), drop contours that provably cannot contribute area, record
+/// the drops. Borrows the input untouched in the clean case.
+fn gate_input<'a>(
+    p: &'a PolygonSet,
+    role: InputRole,
+    report: &mut PrepReport,
+) -> Result<Cow<'a, PolygonSet>, ClipError> {
+    if let Some((contour, vertex)) = p.first_non_finite() {
+        return Err(ClipError::NonFiniteInput {
+            role,
+            contour,
+            vertex,
+        });
+    }
+    let (gated, dropped) = sanitize_counted(p);
+    if dropped > 0 {
+        report.degradations.push(Degradation::SanitizedInput {
+            role,
+            dropped_contours: dropped,
+        });
+    }
+    Ok(gated)
+}
+
 /// Rounds A and B: events, partition, intersection discovery, re-partition.
-pub(crate) fn prepare(subject: &PolygonSet, clip: &PolygonSet, opts: &ClipOptions) -> Option<Prepared> {
-    let edges = collect_edges(subject, clip);
+/// `Ok(None)` means the gated instance has nothing to sweep (empty result).
+pub(crate) fn prepare(
+    subject: &PolygonSet,
+    clip: &PolygonSet,
+    opts: &ClipOptions,
+    report: &mut PrepReport,
+) -> Result<Option<Prepared>, ClipError> {
+    let subject = gate_input(subject, InputRole::Subject, report)?;
+    let clip = gate_input(clip, InputRole::Clip, report)?;
+    let edges = collect_edges(&subject, &clip);
     if edges.is_empty() {
-        return None;
+        return Ok(None);
     }
     let ys_a = event_ys(&edges, &[], opts.parallel);
     if ys_a.len() < 2 {
-        return None;
+        return Ok(None);
     }
     let empty_forced = ForcedSplits::empty(edges.len());
-    let beams_a = BeamSet::build(&edges, ys_a.clone(), &empty_forced, opts.backend, opts.parallel);
+    let beams_a = BeamSet::build(
+        &edges,
+        ys_a.clone(),
+        &empty_forced,
+        opts.backend,
+        opts.parallel,
+    );
     let crossings = discover_intersections(&beams_a, &edges, opts.parallel);
     drop(beams_a);
 
@@ -145,17 +200,40 @@ pub(crate) fn prepare(subject: &PolygonSet, clip: &PolygonSet, opts: &ClipOption
     // iteration only adds events strictly inside an offending beam, so the
     // loop terminates (bounded further by MAX_REFINE as a belt-and-braces).
     const MAX_REFINE: usize = 8;
+    let forced_exhaust = resilience::fault_exhaust_refinement(opts);
     let mut beams;
-    let mut refine = 0;
+    // Fault injection can pre-spend the round budget so the exhaustion
+    // path runs on the very first iteration.
+    let mut refine = if forced_exhaust { MAX_REFINE } else { 0 };
     loop {
         let forced = ForcedSplits::build(edges.len(), triples.clone());
         let ys_b = event_ys(&edges, &extra, opts.parallel);
         beams = BeamSet::build(&edges, ys_b, &forced, opts.backend, opts.parallel);
         refine += 1;
         if refine > MAX_REFINE {
+            // Bound hit: count what is left so the degradation report is
+            // concrete. A genuine (unfaulted) run only lands here after
+            // MAX_REFINE rounds that each made progress.
+            let leftover = discover_residual_crossings(&beams, opts.parallel).len();
+            if leftover > 0 || forced_exhaust {
+                report.degradations.push(Degradation::RefinementExhausted {
+                    rounds: MAX_REFINE,
+                    residual_crossings: leftover,
+                });
+            }
             break;
         }
-        let residual = discover_residual_crossings(&beams, opts.parallel);
+        let mut residual = discover_residual_crossings(&beams, opts.parallel);
+        if resilience::fault_residual_storm(opts) && refine == 1 {
+            // Synthetic crossing pinned to an edge endpoint: never strictly
+            // interior to the edge, so it cannot force a split — this
+            // drives the accept-residuals path below deterministically.
+            residual.push(CrossEvent {
+                e1: 0,
+                e2: 0,
+                p: edges[0].lo,
+            });
+        }
         if residual.is_empty() {
             break;
         }
@@ -176,17 +254,30 @@ pub(crate) fn prepare(subject: &PolygonSet, clip: &PolygonSet, opts: &ClipOption
         if !progressed {
             // The remaining residuals sit inside beams already at the
             // resolution limit; the cancellation/stitch phase degrades
-            // gracefully (a dropped sliver walk), so accept.
+            // gracefully (a dropped sliver walk), so accept — and report.
+            report.residuals_accepted += residual.len();
+            report.degradations.push(Degradation::ResidualsAccepted {
+                residual_crossings: residual.len(),
+            });
             break;
         }
     }
-    Some(Prepared { edges, beams, k })
+    report.refine_rounds = refine.min(MAX_REFINE);
+    Ok(Some(Prepared { edges, beams, k }))
 }
 
 /// Classify every beam (Step 3), in parallel when configured.
 fn classify_all(p: &Prepared, op: BoolOp, opts: &ClipOptions) -> Vec<BeamOutput> {
     let beams = &p.beams;
-    let run = |i: usize| classify_beam(beams.beam(i), beams.y_bot(i), beams.y_top(i), op, opts.fill_rule);
+    let run = |i: usize| {
+        classify_beam(
+            beams.beam(i),
+            beams.y_bot(i),
+            beams.y_top(i),
+            op,
+            opts.fill_rule,
+        )
+    };
     if opts.parallel {
         (0..beams.n_beams()).into_par_iter().map(run).collect()
     } else {
@@ -194,15 +285,28 @@ fn classify_all(p: &Prepared, op: BoolOp, opts: &ClipOptions) -> Vec<BeamOutput>
     }
 }
 
-/// Perform a boolean operation, returning the result and its statistics.
-pub fn clip_with_stats(
+/// Perform a boolean operation, returning the result, its statistics, and
+/// every degradation absorbed on the way — or a [`ClipError`] when no
+/// result can be produced (non-finite input coordinates).
+///
+/// This is the engine's fallible entry point; [`clip_with_stats`] and
+/// [`clip`] are lenient wrappers over it. Call
+/// [`ClipOutcome::strict`] on the returned outcome to additionally reject
+/// lossy degradations (accepted residual crossings, exhausted refinement,
+/// dropped stitch fragments).
+pub fn try_clip_with_stats(
     subject: &PolygonSet,
     clip: &PolygonSet,
     op: BoolOp,
     opts: &ClipOptions,
-) -> (PolygonSet, ClipStats) {
-    let Some(p) = prepare(subject, clip, opts) else {
-        return (PolygonSet::new(), ClipStats::default());
+) -> Result<ClipOutcome, ClipError> {
+    let mut report = PrepReport::default();
+    let Some(p) = prepare(subject, clip, opts, &mut report)? else {
+        return Ok(ClipOutcome {
+            result: PolygonSet::new(),
+            stats: ClipStats::default(),
+            degradations: report.degradations,
+        });
     };
     let outputs = classify_all(&p, op, opts);
 
@@ -212,8 +316,16 @@ pub fn clip_with_stats(
     let n_beams = p.beams.n_beams();
     let empty: &[(f64, f64)] = &[];
     let hline = |j: usize| -> Vec<(Point, Point)> {
-        let below = if j > 0 { outputs[j - 1].top.as_slice() } else { empty };
-        let above = if j < n_beams { outputs[j].bottom.as_slice() } else { empty };
+        let below = if j > 0 {
+            outputs[j - 1].top.as_slice()
+        } else {
+            empty
+        };
+        let above = if j < n_beams {
+            outputs[j].bottom.as_slice()
+        } else {
+            empty
+        };
         horizontal_edges(below, above, p.beams.ys[j])
     };
     let mut all_edges: Vec<(Point, Point)> = if opts.parallel {
@@ -224,7 +336,10 @@ pub fn clip_with_stats(
         v.par_extend((0..=n_beams).into_par_iter().flat_map_iter(hline));
         v
     } else {
-        let mut v: Vec<(Point, Point)> = outputs.iter().flat_map(|o| o.edges.iter().copied()).collect();
+        let mut v: Vec<(Point, Point)> = outputs
+            .iter()
+            .flat_map(|o| o.edges.iter().copied())
+            .collect();
         v.extend((0..=n_beams).flat_map(hline));
         v
     };
@@ -233,7 +348,12 @@ pub fn clip_with_stats(
     // zero-width spans at vertices).
     all_edges.retain(|(a, b)| a != b);
 
-    let contours = stitch(all_edges, !opts.keep_virtual);
+    let (contours, dropped) = stitch_counted(all_edges, !opts.keep_virtual);
+    if dropped > 0 {
+        report
+            .degradations
+            .push(Degradation::DroppedFragments { fragments: dropped });
+    }
     let out = PolygonSet::from_contours(contours);
 
     let stats = ClipStats {
@@ -245,16 +365,58 @@ pub fn clip_with_stats(
         n_subedges: p.beams.total_sub_edges(),
         out_contours: out.len(),
         out_vertices: out.vertex_count(),
+        refine_rounds: report.refine_rounds,
+        residuals_accepted: report.residuals_accepted,
+        slab_retries: 0,
     };
-    (out, stats)
+    Ok(ClipOutcome {
+        result: out,
+        stats,
+        degradations: report.degradations,
+    })
+}
+
+/// Fallible boolean operation: like [`clip`], but returns the
+/// [`ClipOutcome`] (result + stats + degradation report) or a typed
+/// [`ClipError`] instead of silently absorbing bad input.
+pub fn try_clip(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    opts: &ClipOptions,
+) -> Result<ClipOutcome, ClipError> {
+    try_clip_with_stats(subject, clip_p, op, opts)
+}
+
+/// Perform a boolean operation, returning the result and its statistics.
+///
+/// Lenient wrapper over [`try_clip_with_stats`]: rejected input (non-finite
+/// coordinates) yields an empty result, degradations are absorbed silently.
+pub fn clip_with_stats(
+    subject: &PolygonSet,
+    clip: &PolygonSet,
+    op: BoolOp,
+    opts: &ClipOptions,
+) -> (PolygonSet, ClipStats) {
+    match try_clip_with_stats(subject, clip, op, opts) {
+        Ok(o) => (o.result, o.stats),
+        Err(_) => (PolygonSet::new(), ClipStats::default()),
+    }
 }
 
 /// Perform a boolean operation on two polygon sets.
 ///
 /// This is the library's main entry point: arbitrary (convex, concave,
 /// multi-contour, self-intersecting) inputs, output-sensitive cost, exact
-/// parity semantics under the configured fill rule.
-pub fn clip(subject: &PolygonSet, clip_p: &PolygonSet, op: BoolOp, opts: &ClipOptions) -> PolygonSet {
+/// parity semantics under the configured fill rule. It never panics and
+/// never fails: inputs it cannot process (non-finite coordinates) produce
+/// an empty result. Use [`try_clip`] to observe errors and degradations.
+pub fn clip(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    opts: &ClipOptions,
+) -> PolygonSet {
     clip_with_stats(subject, clip_p, op, opts).0
 }
 
@@ -267,7 +429,7 @@ pub fn measure_op(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> f64 {
-    let Some(p) = prepare(subject, clip_p, opts) else {
+    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut PrepReport::default()) else {
         return 0.0;
     };
     let outputs = classify_all(&p, op, opts);
@@ -277,7 +439,12 @@ pub fn measure_op(
 /// The even-odd measure (area) of a polygon set — meaningful for arbitrary,
 /// including self-intersecting, inputs.
 pub fn eo_area(p: &PolygonSet) -> f64 {
-    measure_op(p, &PolygonSet::new(), BoolOp::Union, &ClipOptions::default())
+    measure_op(
+        p,
+        &PolygonSet::new(),
+        BoolOp::Union,
+        &ClipOptions::default(),
+    )
 }
 
 /// Canonicalize a polygon set: resolve self-intersections and overlaps into
@@ -412,7 +579,10 @@ mod tests {
         assert!(stats.k_intersections > 0);
         let area = eo_area(&out);
         let oracle = measure_op(&a, &b, BoolOp::Intersection, &opts_seq());
-        assert!((area - oracle).abs() < 1e-9, "stitched {area} vs measured {oracle}");
+        assert!(
+            (area - oracle).abs() < 1e-9,
+            "stitched {area} vs measured {oracle}"
+        );
         assert!(area > 0.0);
     }
 
@@ -449,7 +619,12 @@ mod tests {
     fn parallel_and_sequential_agree_exactly() {
         let a = PolygonSet::from_xy(&[(0.0, 0.0), (5.0, 0.5), (4.0, 3.0), (1.0, 2.5)]);
         let b = PolygonSet::from_xy(&[(2.0, -1.0), (6.0, 1.5), (3.0, 4.0)]);
-        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+        for op in [
+            BoolOp::Intersection,
+            BoolOp::Union,
+            BoolOp::Difference,
+            BoolOp::Xor,
+        ] {
             let s = clip(&a, &b, op, &opts_seq());
             let p = clip(&a, &b, op, &ClipOptions::default());
             assert_eq!(s, p, "op {op:?} must be deterministic across modes");
@@ -474,7 +649,10 @@ mod tests {
     fn empty_inputs() {
         let a = sq(0.0, 0.0, 1.0, 1.0);
         let e = PolygonSet::new();
-        assert_eq!(clip(&a, &e, BoolOp::Union, &opts_seq()), dissolve(&a, &opts_seq()));
+        assert_eq!(
+            clip(&a, &e, BoolOp::Union, &opts_seq()),
+            dissolve(&a, &opts_seq())
+        );
         assert!(clip(&a, &e, BoolOp::Intersection, &opts_seq()).is_empty());
         assert!(clip(&e, &e, BoolOp::Union, &opts_seq()).is_empty());
         let d = clip(&a, &e, BoolOp::Difference, &opts_seq());
@@ -513,7 +691,8 @@ mod tests {
         // A 5-pointed star (self-intersecting pentagram) against a square.
         let star: Vec<(f64, f64)> = (0..5)
             .map(|i| {
-                let ang = std::f64::consts::FRAC_PI_2 + (i as f64) * 4.0 * std::f64::consts::PI / 5.0;
+                let ang =
+                    std::f64::consts::FRAC_PI_2 + (i as f64) * 4.0 * std::f64::consts::PI / 5.0;
                 (ang.cos(), ang.sin())
             })
             .collect();
@@ -551,7 +730,12 @@ mod tests {
             };
             let a = quad(&mut rng);
             let b = quad(&mut rng);
-            for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+            for op in [
+                BoolOp::Intersection,
+                BoolOp::Union,
+                BoolOp::Difference,
+                BoolOp::Xor,
+            ] {
                 let stitched = eo_area(&clip(&a, &b, op, &opts_seq()));
                 let measured = measure_op(&a, &b, op, &opts_seq());
                 assert!(

@@ -18,11 +18,7 @@ use polyclip_geom::{OrdF64, Point};
 /// Horizontal boundary fragments on the scanline at height `y`, given the
 /// kept intervals of the beam below (its top scanline) and the beam above
 /// (its bottom scanline). Returned edges are directed interior-on-left.
-pub fn horizontal_edges(
-    below: &[(f64, f64)],
-    above: &[(f64, f64)],
-    y: f64,
-) -> Vec<(Point, Point)> {
+pub fn horizontal_edges(below: &[(f64, f64)], above: &[(f64, f64)], y: f64) -> Vec<(Point, Point)> {
     // Coverage deltas at each x: +1/−1 per interval boundary, tracked
     // separately for the two sides.
     let mut ev: Vec<(OrdF64, i32, i32)> = Vec::with_capacity(2 * (below.len() + above.len()));
@@ -77,13 +73,7 @@ pub fn horizontal_edges(
     debug_assert!(run_status == Status::Neither, "unbalanced interval deltas");
 
     #[inline]
-    fn emit(
-        out: &mut Vec<(Point, Point)>,
-        status: Status,
-        x0: f64,
-        x1: f64,
-        y: f64,
-    ) {
+    fn emit(out: &mut Vec<(Point, Point)>, status: Status, x0: f64, x1: f64, y: f64) {
         if x0 >= x1 {
             return;
         }

@@ -44,20 +44,33 @@ pub mod horizontal;
 pub mod ops;
 pub mod overlay;
 pub mod pram;
+pub mod resilience;
 pub mod stats;
 pub mod stitch;
 pub mod tess;
 pub mod validate;
 
-pub use algo2::{clip_pair_slabs, clip_pair_slabs_with, Algo2Result, MergeStrategy, PhaseTimes};
+pub use algo2::{
+    clip_pair_slabs, clip_pair_slabs_with, try_clip_pair_slabs, try_clip_pair_slabs_with,
+    Algo2Result, MergeStrategy, PhaseTimes,
+};
 pub use classify::BoolOp;
-pub use engine::{clip, clip_with_stats, dissolve, eo_area, measure_op, ClipOptions};
+pub use engine::{
+    clip, clip_with_stats, dissolve, eo_area, measure_op, try_clip, try_clip_with_stats,
+    ClipOptions,
+};
 pub use ops::{intersection_all, subtract_all, union_all, xor_all};
 pub use overlay::{
     overlay_difference, overlay_intersection, overlay_intersection_grid, overlay_union,
-    Layer, OverlayResult, SlabAssignment,
+    try_overlay_difference, try_overlay_intersection, try_overlay_union, Layer, OverlayResult,
+    SlabAssignment,
 };
 pub use pram::{pram_cost, PhaseCost, PramCostModel};
+pub use resilience::{ClipError, ClipOutcome, Degradation, FaultPlan, InputRole};
 pub use stats::ClipStats;
+pub use stitch::stitch_counted;
 pub use tess::{trapezoids, triangulate, Trapezoid};
-pub use validate::{assert_canonical, sanitize, validate, ValidationReport, Violation};
+pub use validate::{
+    assert_canonical, is_degenerate, sanitize, sanitize_counted, validate, ValidationReport,
+    Violation,
+};

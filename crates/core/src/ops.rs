@@ -29,7 +29,10 @@ pub fn union_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
                     || union_all(&polys[mid..], opts),
                 )
             } else {
-                (union_all(&polys[..mid], opts), union_all(&polys[mid..], opts))
+                (
+                    union_all(&polys[..mid], opts),
+                    union_all(&polys[mid..], opts),
+                )
             };
             clip(&l, &r, BoolOp::Union, opts)
         }

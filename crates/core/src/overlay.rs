@@ -19,11 +19,13 @@
 //!   improvement; the `ablation_slab_assignment` bench quantifies the
 //!   redundant work the replication scheme performs.
 
-use crate::algo2::{clip_pair_slabs, slab_boundaries, Algo2Result, PhaseTimes};
+use crate::algo2::{slab_boundaries, try_clip_pair_slabs, Algo2Result};
 use crate::classify::BoolOp;
-use crate::engine::{clip, ClipOptions};
+use crate::engine::{clip, try_clip_with_stats, ClipOptions};
+use crate::resilience::{self, ClipError, Degradation, InputRole};
 use polyclip_geom::{BBox, OrdF64, PolygonSet};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// A GIS layer: a collection of features, each a polygon set (so features
@@ -99,6 +101,8 @@ pub struct OverlayResult {
     pub partition: Duration,
     /// End-to-end wall clock.
     pub total: Duration,
+    /// Degradations absorbed across all slab workers, in slab order.
+    pub degradations: Vec<Degradation>,
 }
 
 impl OverlayResult {
@@ -121,8 +125,73 @@ impl OverlayResult {
     }
 }
 
+/// Reject layers carrying non-finite coordinates before their MBR events
+/// enter any ordered structure. `contour`/`vertex` index into the first
+/// offending feature.
+fn gate_layer(layer: &Layer, role: InputRole) -> Result<(), ClipError> {
+    for f in &layer.features {
+        if let Some((contour, vertex)) = f.first_non_finite() {
+            return Err(ClipError::NonFiniteInput {
+                role,
+                contour,
+                vertex,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Run one overlay slab worker through the same recovery ladder as
+/// Algorithm 2's slabs: attempt, retry, pristine-sequential fallback. The
+/// `work` closure receives the engine options to use for that attempt (the
+/// fallback strips the fault plan, which is what makes a recovered slab
+/// bit-identical to an unfaulted run) and returns the slab's outputs plus
+/// any engine degradations it observed.
+fn run_overlay_slab<T>(
+    slab: usize,
+    seq: &ClipOptions,
+    work: impl Fn(&ClipOptions) -> Result<(T, Vec<Degradation>), ClipError>,
+) -> Result<(T, Vec<Degradation>, Duration), ClipError> {
+    let attempt_with = |opts: &ClipOptions, attempt: u32| {
+        catch_unwind(AssertUnwindSafe(|| {
+            resilience::maybe_panic_slab(opts, slab, attempt);
+            let t0 = Instant::now();
+            work(opts).map(|(outs, degradations)| (outs, degradations, t0.elapsed()))
+        }))
+        .map_err(|p| resilience::panic_message(p.as_ref()))
+    };
+
+    let mut last_panic = String::new();
+    for attempt in 0..2u32 {
+        match attempt_with(seq, attempt) {
+            Ok(Ok((outs, mut degradations, took))) => {
+                if attempt > 0 {
+                    degradations.push(Degradation::SlabRetry { slab });
+                }
+                return Ok((outs, degradations, took));
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(msg) => last_panic = msg,
+        }
+    }
+    match attempt_with(&resilience::pristine(seq), 2) {
+        Ok(Ok((outs, mut degradations, took))) => {
+            degradations.push(Degradation::SlabFallback { slab });
+            Ok((outs, degradations, took))
+        }
+        Ok(Err(e)) => Err(e),
+        Err(msg) => Err(ClipError::SlabPanic {
+            slab,
+            message: if msg.is_empty() { last_panic } else { msg },
+        }),
+    }
+}
+
 /// Intersect two layers: pairwise intersection of MBR-overlapping features,
 /// distributed over `n_slabs` slab workers.
+///
+/// Lenient wrapper over [`try_overlay_intersection`]: errors yield an
+/// empty result.
 pub fn overlay_intersection(
     a: &Layer,
     b: &Layer,
@@ -130,7 +199,22 @@ pub fn overlay_intersection(
     assignment: SlabAssignment,
     opts: &ClipOptions,
 ) -> OverlayResult {
+    try_overlay_intersection(a, b, n_slabs, assignment, opts).unwrap_or_default()
+}
+
+/// Fallible layer intersection with per-slab panic isolation: each slab
+/// worker runs under `catch_unwind` with the retry → pristine-fallback
+/// ladder of [`try_clip_pair_slabs`](crate::algo2::try_clip_pair_slabs).
+pub fn try_overlay_intersection(
+    a: &Layer,
+    b: &Layer,
+    n_slabs: usize,
+    assignment: SlabAssignment,
+    opts: &ClipOptions,
+) -> Result<OverlayResult, ClipError> {
     let t_start = Instant::now();
+    gate_layer(a, InputRole::Subject)?;
+    gate_layer(b, InputRole::Clip)?;
     let seq = ClipOptions {
         parallel: false,
         ..*opts
@@ -179,35 +263,43 @@ pub fn overlay_intersection(
     let partition = t_part.elapsed();
     let tasks_executed: usize = tasks.iter().map(Vec::len).sum();
 
-    // Clip each slab's pair list sequentially; slabs in parallel.
-    type SlabOutput = (Vec<((u32, u32), PolygonSet)>, Duration);
-    let slab_results: Vec<SlabOutput> = tasks
+    // Clip each slab's pair list sequentially; slabs in parallel, each
+    // under the recovery ladder.
+    type SlabOutput = (Vec<((u32, u32), PolygonSet)>, Vec<Degradation>, Duration);
+    let slab_results: Vec<Result<SlabOutput, ClipError>> = tasks
         .par_iter()
-        .map(|list| {
-            let t0 = Instant::now();
-            let outs: Vec<((u32, u32), PolygonSet)> = list
-                .iter()
-                .map(|&(i, j)| {
-                    let out = clip(
+        .enumerate()
+        .map(|(slab, list)| {
+            run_overlay_slab(slab, &seq, |engine_opts| {
+                let mut degradations = Vec::new();
+                let mut outs: Vec<((u32, u32), PolygonSet)> = Vec::with_capacity(list.len());
+                for &(i, j) in list {
+                    let outcome = try_clip_with_stats(
                         &a.features[i as usize],
                         &b.features[j as usize],
                         BoolOp::Intersection,
-                        &seq,
-                    );
-                    ((i, j), out)
-                })
-                .filter(|(_, out)| !out.is_empty())
-                .collect();
-            (outs, t0.elapsed())
+                        engine_opts,
+                    )?;
+                    degradations.extend(outcome.degradations);
+                    if !outcome.result.is_empty() {
+                        outs.push(((i, j), outcome.result));
+                    }
+                }
+                Ok((outs, degradations))
+            })
         })
         .collect();
 
     // Collect, removing replicated duplicates (same pair id) — the paper's
     // "redundant output polygons … eliminated as a post-processing step".
-    let per_slab_clip: Vec<Duration> = slab_results.iter().map(|r| r.1).collect();
+    let mut per_slab_clip: Vec<Duration> = Vec::with_capacity(slab_results.len());
+    let mut degradations: Vec<Degradation> = Vec::new();
     let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     let mut features = Vec::new();
-    for (outs, _) in slab_results {
+    for r in slab_results {
+        let (outs, slab_degradations, took) = r?;
+        per_slab_clip.push(took);
+        degradations.extend(slab_degradations);
         for (pair, out) in outs {
             if seen.insert(pair) {
                 features.push(out);
@@ -215,14 +307,15 @@ pub fn overlay_intersection(
         }
     }
 
-    OverlayResult {
+    Ok(OverlayResult {
         features,
         candidate_pairs: pairs.len(),
         tasks_executed,
         per_slab_clip,
         partition,
         total: t_start.elapsed(),
-    }
+        degradations,
+    })
 }
 
 /// Union of two layers: whole-layer boolean via the slab-partitioned
@@ -234,20 +327,27 @@ pub fn overlay_intersection(
 /// hole). Features must be consistently oriented (outer rings CCW, holes
 /// CW), which every generator and engine output in this workspace is.
 pub fn overlay_union(a: &Layer, b: &Layer, n_slabs: usize, opts: &ClipOptions) -> Algo2Result {
+    try_overlay_union(a, b, n_slabs, opts).unwrap_or_default()
+}
+
+/// Fallible layer union; see [`overlay_union`]. Slab workers inherit
+/// Algorithm 2's panic isolation via [`try_clip_pair_slabs`].
+pub fn try_overlay_union(
+    a: &Layer,
+    b: &Layer,
+    n_slabs: usize,
+    opts: &ClipOptions,
+) -> Result<Algo2Result, ClipError> {
     let ma = a.merged();
     let mb = b.merged();
     if ma.is_empty() && mb.is_empty() {
-        return Algo2Result {
-            output: PolygonSet::new(),
-            times: PhaseTimes::default(),
-            slabs: 0,
-        };
+        return Ok(Algo2Result::default());
     }
     let opts = ClipOptions {
         fill_rule: polyclip_geom::FillRule::NonZero,
         ..*opts
     };
-    clip_pair_slabs(&ma, &mb, BoolOp::Union, n_slabs, &opts)
+    try_clip_pair_slabs(&ma, &mb, BoolOp::Union, n_slabs, &opts)
 }
 
 /// Uniform-grid overlay intersection — the related-work baseline the paper
@@ -325,6 +425,7 @@ pub fn overlay_intersection_grid(
         per_slab_clip,
         partition,
         total: t_start.elapsed(),
+        degradations: Vec::new(),
     }
 }
 
@@ -337,7 +438,20 @@ pub fn overlay_difference(
     n_slabs: usize,
     opts: &ClipOptions,
 ) -> OverlayResult {
+    try_overlay_difference(a, b, n_slabs, opts).unwrap_or_default()
+}
+
+/// Fallible erase overlay; see [`overlay_difference`]. Slab workers run
+/// under the same recovery ladder as [`try_overlay_intersection`].
+pub fn try_overlay_difference(
+    a: &Layer,
+    b: &Layer,
+    n_slabs: usize,
+    opts: &ClipOptions,
+) -> Result<OverlayResult, ClipError> {
     let t_start = Instant::now();
+    gate_layer(a, InputRole::Subject)?;
+    gate_layer(b, InputRole::Clip)?;
     let seq = ClipOptions {
         parallel: false,
         ..*opts
@@ -375,16 +489,19 @@ pub fn overlay_difference(
     }
     let partition = t_part.elapsed();
 
-    let slab_results: Vec<(Vec<PolygonSet>, Duration)> = tasks
+    type SlabOutput = (Vec<PolygonSet>, Vec<Degradation>, Duration);
+    let slab_results: Vec<Result<SlabOutput, ClipError>> = tasks
         .par_iter()
-        .map(|list| {
-            let t0 = Instant::now();
-            let outs: Vec<PolygonSet> = list
-                .iter()
-                .map(|&i| {
+        .enumerate()
+        .map(|(slab, list)| {
+            run_overlay_slab(slab, &seq, |engine_opts| {
+                let mut degradations = Vec::new();
+                let mut outs: Vec<PolygonSet> = Vec::with_capacity(list.len());
+                for &i in list {
                     let fa = &a.features[i as usize];
                     if partners[i as usize].is_empty() {
-                        return fa.clone();
+                        outs.push(fa.clone());
+                        continue;
                     }
                     // Subtract the union of overlapping b features.
                     let mut mask = PolygonSet::new();
@@ -393,26 +510,37 @@ pub fn overlay_difference(
                     }
                     let nz = ClipOptions {
                         fill_rule: polyclip_geom::FillRule::NonZero,
-                        ..seq
+                        ..*engine_opts
                     };
-                    clip(fa, &mask, BoolOp::Difference, &nz)
-                })
-                .filter(|o| !o.is_empty())
-                .collect();
-            (outs, t0.elapsed())
+                    let outcome = try_clip_with_stats(fa, &mask, BoolOp::Difference, &nz)?;
+                    degradations.extend(outcome.degradations);
+                    if !outcome.result.is_empty() {
+                        outs.push(outcome.result);
+                    }
+                }
+                Ok((outs, degradations))
+            })
         })
         .collect();
 
-    let per_slab_clip: Vec<Duration> = slab_results.iter().map(|r| r.1).collect();
-    let features: Vec<PolygonSet> = slab_results.into_iter().flat_map(|r| r.0).collect();
-    OverlayResult {
+    let mut per_slab_clip: Vec<Duration> = Vec::with_capacity(slab_results.len());
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut features: Vec<PolygonSet> = Vec::new();
+    for r in slab_results {
+        let (outs, slab_degradations, took) = r?;
+        per_slab_clip.push(took);
+        degradations.extend(slab_degradations);
+        features.extend(outs);
+    }
+    Ok(OverlayResult {
         tasks_executed: features.len(),
         candidate_pairs: pairs.len(),
         features,
         per_slab_clip,
         partition,
         total: t_start.elapsed(),
-    }
+        degradations,
+    })
 }
 
 /// MBR-overlapping (a, b) feature pairs via a bottom-up interval sweep.
@@ -426,12 +554,20 @@ pub fn candidate_pairs(boxes_a: &[BBox], boxes_b: &[BBox]) -> Vec<(u32, u32)> {
     let mut items: Vec<Item> = Vec::with_capacity(boxes_a.len() + boxes_b.len());
     for (i, bb) in boxes_a.iter().enumerate() {
         if !bb.is_empty() {
-            items.push(Item { ymin: bb.ymin, idx: i as u32, from_a: true });
+            items.push(Item {
+                ymin: bb.ymin,
+                idx: i as u32,
+                from_a: true,
+            });
         }
     }
     for (j, bb) in boxes_b.iter().enumerate() {
         if !bb.is_empty() {
-            items.push(Item { ymin: bb.ymin, idx: j as u32, from_a: false });
+            items.push(Item {
+                ymin: bb.ymin,
+                idx: j as u32,
+                from_a: false,
+            });
         }
     }
     items.sort_unstable_by_key(|it| OrdF64::new(it.ymin));
@@ -516,12 +652,7 @@ mod tests {
         let b = grid_layer(5, 5, 1.0, 0.9, 0.45);
         let opts = ClipOptions::sequential();
         // Ground truth: whole-layer intersection via the engine.
-        let truth = eo_area(&clip(
-            &a.merged(),
-            &b.merged(),
-            BoolOp::Intersection,
-            &opts,
-        ));
+        let truth = eo_area(&clip(&a.merged(), &b.merged(), BoolOp::Intersection, &opts));
         for assignment in [SlabAssignment::UniqueOwner, SlabAssignment::Replicate] {
             for slabs in [1usize, 2, 4] {
                 let r = overlay_intersection(&a, &b, slabs, assignment, &opts);
@@ -577,7 +708,13 @@ mod tests {
     fn empty_layers() {
         let e = Layer::default();
         let a = grid_layer(2, 2, 1.0, 0.5, 0.0);
-        let r = overlay_intersection(&a, &e, 4, SlabAssignment::UniqueOwner, &ClipOptions::sequential());
+        let r = overlay_intersection(
+            &a,
+            &e,
+            4,
+            SlabAssignment::UniqueOwner,
+            &ClipOptions::sequential(),
+        );
         assert!(r.features.is_empty());
         assert_eq!(r.candidate_pairs, 0);
         let u = overlay_union(&e, &e, 4, &ClipOptions::sequential());

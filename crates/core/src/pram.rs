@@ -79,7 +79,8 @@ pub fn pram_cost(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> PramCostModel {
-    let Some(p) = prepare(subject, clip_p, opts) else {
+    let mut report = Default::default();
+    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut report) else {
         return PramCostModel::default();
     };
     let n = p.edges.len();
@@ -130,7 +131,13 @@ pub fn pram_cost(
     for b in 0..n_beams {
         let nb = beams.beam(b).len();
         class_span = class_span.max(lg(nb.max(2)));
-        let o = classify_beam(beams.beam(b), beams.y_bot(b), beams.y_top(b), op, opts.fill_rule);
+        let o = classify_beam(
+            beams.beam(b),
+            beams.y_bot(b),
+            beams.y_top(b),
+            op,
+            opts.fill_rule,
+        );
         out_frags += o.edges.len() + o.bottom.len() * 2;
     }
     phases.push(PhaseCost {
@@ -155,6 +162,9 @@ pub fn pram_cost(
         n_subedges: n_sub,
         out_contours: 0,
         out_vertices: out_frags,
+        refine_rounds: report.refine_rounds,
+        residuals_accepted: report.residuals_accepted,
+        slab_retries: 0,
     };
     PramCostModel { phases, stats }
 }

@@ -1,0 +1,510 @@
+//! Typed errors, the degradation ladder, and the fault-injection plan.
+//!
+//! The scanbeam pipeline is built to *degrade*, not to die: numerically
+//! degenerate inputs, refinement that hits its iteration bound, or a slab
+//! worker that panics are all absorbed, repaired where possible, and
+//! **reported** instead of silently smoothed over (the pre-existing
+//! behavior) or aborting the process.
+//!
+//! Three layers cooperate:
+//!
+//! * [`ClipError`] — the conditions under which a fallible entry point
+//!   (`try_clip`, `try_clip_pair_slabs`, `try_overlay_intersection`, …)
+//!   refuses to produce a result at all. Only non-finite input coordinates
+//!   and a slab worker that keeps panicking through the whole recovery
+//!   ladder reach this level.
+//! * [`Degradation`] — everything the pipeline absorbed on the way to a
+//!   result: dropped degenerate contours, refinement rounds that gave up,
+//!   slab retries and sequential fallbacks, stitch walks that failed to
+//!   close. Collected in [`ClipOutcome::degradations`], ordered by
+//!   discovery. [`ClipOutcome::strict`] upgrades the lossy ones to errors
+//!   for callers that need exactness guarantees.
+//! * [`FaultPlan`] — a deterministic fault-injection layer (behind the
+//!   `fault-injection` cargo feature) that lets tests panic a chosen slab
+//!   worker, exhaust the refinement loop, or storm the residual-crossing
+//!   accept path, proving the recovery machinery actually runs.
+
+use crate::stats::ClipStats;
+use polyclip_geom::PolygonSet;
+use std::fmt;
+
+/// Which operand of a clip call an error or degradation refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputRole {
+    /// The first operand (the polygon being clipped).
+    Subject,
+    /// The second operand (the clip polygon).
+    Clip,
+}
+
+impl fmt::Display for InputRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputRole::Subject => write!(f, "subject"),
+            InputRole::Clip => write!(f, "clip"),
+        }
+    }
+}
+
+/// Why a fallible clipping entry point could not produce a result.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ClipError {
+    /// An input coordinate is NaN or infinite. The sweep orders events by
+    /// y; a non-finite coordinate poisons that order, so these are rejected
+    /// at the API boundary rather than detected mid-pipeline.
+    NonFiniteInput {
+        /// Which operand carries the offending coordinate.
+        role: InputRole,
+        /// Index of the offending contour within the operand.
+        contour: usize,
+        /// Index of the offending vertex within that contour.
+        vertex: usize,
+    },
+    /// The crossing-refinement loop hit its iteration bound with residual
+    /// crossings still unresolved (surfaced by [`ClipOutcome::strict`];
+    /// the lenient entry points record it as a [`Degradation`] instead).
+    RefinementExhausted {
+        /// Refinement rounds executed before giving up.
+        rounds: usize,
+        /// Residual crossings still present when the loop stopped.
+        residual_crossings: usize,
+    },
+    /// A slab worker panicked on every rung of the recovery ladder:
+    /// first attempt, retry, and the pristine sequential fallback.
+    SlabPanic {
+        /// Index of the slab whose worker died.
+        slab: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Stitching dropped boundary fragments because some walks failed to
+    /// close (surfaced by [`ClipOutcome::strict`]; the lenient entry
+    /// points record it as a [`Degradation`] instead).
+    StitchImbalance {
+        /// Fragments consumed by walks that never closed.
+        dropped_fragments: usize,
+    },
+}
+
+impl fmt::Display for ClipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClipError::NonFiniteInput {
+                role,
+                contour,
+                vertex,
+            } => write!(
+                f,
+                "non-finite coordinate in {role} input at contour {contour}, vertex {vertex}"
+            ),
+            ClipError::RefinementExhausted {
+                rounds,
+                residual_crossings,
+            } => write!(
+                f,
+                "crossing refinement exhausted after {rounds} rounds with \
+                 {residual_crossings} residual crossings"
+            ),
+            ClipError::SlabPanic { slab, message } => {
+                write!(
+                    f,
+                    "slab {slab} worker panicked after retry and fallback: {message}"
+                )
+            }
+            ClipError::StitchImbalance { dropped_fragments } => write!(
+                f,
+                "stitching dropped {dropped_fragments} boundary fragments from unclosed walks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClipError {}
+
+/// One graceful-degradation event absorbed on the way to a result.
+///
+/// Ordered by [`severity`](Degradation::severity): everything below
+/// [`Degradation::ResidualsAccepted`] leaves the result exact; everything
+/// at or above it means the result may differ from the true boolean result
+/// by resolution-limit slivers (see [`Degradation::is_lossy`]).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Degradation {
+    /// Degenerate contours (fewer than three vertices, or zero bbox
+    /// extent) were dropped from an input before sweeping. Exact: such
+    /// contours cannot contribute area.
+    SanitizedInput {
+        /// Which operand was sanitized.
+        role: InputRole,
+        /// How many contours were dropped.
+        dropped_contours: usize,
+    },
+    /// A slab worker panicked once and succeeded on the retry. Exact:
+    /// the retry runs the identical computation.
+    SlabRetry {
+        /// Index of the recovered slab.
+        slab: usize,
+    },
+    /// A slab worker panicked twice and was recovered by re-running the
+    /// slab on the pristine sequential engine (default backend, faults
+    /// stripped). Exact: the fallback computes the same band on the same
+    /// engine configuration family, bit-identical to an unfaulted run.
+    SlabFallback {
+        /// Index of the recovered slab.
+        slab: usize,
+    },
+    /// The refinement loop stopped because the remaining residual
+    /// crossings sit inside beams already at the floating-point resolution
+    /// limit and no new split made progress. Lossy at sliver scale.
+    ResidualsAccepted {
+        /// Residual crossings accepted unresolved.
+        residual_crossings: usize,
+    },
+    /// The refinement loop hit its iteration bound. Lossy at sliver scale.
+    RefinementExhausted {
+        /// Refinement rounds executed.
+        rounds: usize,
+        /// Residual crossings still present at the bound.
+        residual_crossings: usize,
+    },
+    /// Stitching dropped fragments from walks that failed to close.
+    /// Lossy: some boundary pieces are missing from the output contours.
+    DroppedFragments {
+        /// Fragments consumed by unclosed walks.
+        fragments: usize,
+    },
+}
+
+impl Degradation {
+    /// Severity rank, higher is worse. Ranks 1–3 preserve exactness;
+    /// ranks 4+ mean the result may deviate by resolution-limit slivers.
+    pub fn severity(&self) -> u8 {
+        match self {
+            Degradation::SanitizedInput { .. } => 1,
+            Degradation::SlabRetry { .. } => 2,
+            Degradation::SlabFallback { .. } => 3,
+            Degradation::ResidualsAccepted { .. } => 4,
+            Degradation::RefinementExhausted { .. } => 5,
+            Degradation::DroppedFragments { .. } => 6,
+        }
+    }
+
+    /// Whether this degradation can make the result differ from the true
+    /// boolean result (by slivers at the floating-point resolution limit).
+    pub fn is_lossy(&self) -> bool {
+        self.severity() >= 4
+    }
+
+    /// The error this degradation escalates to under
+    /// [`ClipOutcome::strict`], if it is lossy.
+    fn as_error(&self) -> Option<ClipError> {
+        match *self {
+            Degradation::ResidualsAccepted { residual_crossings } => {
+                Some(ClipError::RefinementExhausted {
+                    rounds: 0,
+                    residual_crossings,
+                })
+            }
+            Degradation::RefinementExhausted {
+                rounds,
+                residual_crossings,
+            } => Some(ClipError::RefinementExhausted {
+                rounds,
+                residual_crossings,
+            }),
+            Degradation::DroppedFragments { fragments } => Some(ClipError::StitchImbalance {
+                dropped_fragments: fragments,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::SanitizedInput {
+                role,
+                dropped_contours,
+            } => {
+                write!(
+                    f,
+                    "dropped {dropped_contours} degenerate contours from {role} input"
+                )
+            }
+            Degradation::SlabRetry { slab } => write!(f, "slab {slab} recovered on retry"),
+            Degradation::SlabFallback { slab } => {
+                write!(f, "slab {slab} recovered via sequential fallback")
+            }
+            Degradation::ResidualsAccepted { residual_crossings } => {
+                write!(
+                    f,
+                    "accepted {residual_crossings} residual crossings at resolution limit"
+                )
+            }
+            Degradation::RefinementExhausted {
+                rounds,
+                residual_crossings,
+            } => write!(
+                f,
+                "refinement bound hit after {rounds} rounds, {residual_crossings} residuals left"
+            ),
+            Degradation::DroppedFragments { fragments } => {
+                write!(
+                    f,
+                    "dropped {fragments} fragments from unclosed stitch walks"
+                )
+            }
+        }
+    }
+}
+
+/// The result of a fallible clip: the polygon, its statistics, and every
+/// degradation absorbed while producing it.
+#[derive(Clone, Debug, Default)]
+pub struct ClipOutcome {
+    /// The boolean result.
+    pub result: PolygonSet,
+    /// Output-sensitivity counters for the run.
+    pub stats: ClipStats,
+    /// Degradations absorbed, in discovery order. Empty means the run was
+    /// pristine.
+    pub degradations: Vec<Degradation>,
+}
+
+impl ClipOutcome {
+    /// Whether the run completed without absorbing any degradation.
+    pub fn is_clean(&self) -> bool {
+        self.degradations.is_empty()
+    }
+
+    /// The worst degradation absorbed, if any.
+    pub fn worst(&self) -> Option<&Degradation> {
+        self.degradations.iter().max_by_key(|d| d.severity())
+    }
+
+    /// Demand exactness: return the result only if every absorbed
+    /// degradation preserves it. Lossy degradations (accepted residuals,
+    /// exhausted refinement, dropped stitch fragments) escalate to the
+    /// corresponding [`ClipError`]; sanitized inputs, slab retries, and
+    /// slab fallbacks pass — they recover the exact answer.
+    pub fn strict(self) -> Result<(PolygonSet, ClipStats), ClipError> {
+        if let Some(err) = self
+            .degradations
+            .iter()
+            .filter(|d| d.is_lossy())
+            .max_by_key(|d| d.severity())
+            .and_then(|d| d.as_error())
+        {
+            return Err(err);
+        }
+        Ok((self.result, self.stats))
+    }
+}
+
+/// Deterministic fault plan for exercising the recovery ladder in tests.
+///
+/// Threaded through [`ClipOptions`](crate::ClipOptions); inert unless the
+/// `fault-injection` cargo feature is enabled (without the feature the
+/// type still exists so options remain source-compatible, but no fault
+/// ever fires).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic the worker of this slab index (Algorithm 2 and overlay
+    /// tasks).
+    pub panic_slab: Option<usize>,
+    /// How many attempts of the chosen slab panic before the worker is
+    /// allowed to succeed: `1` recovers on the retry, `2` (or more)
+    /// forces the pristine sequential fallback, which never panics
+    /// because the fault plan is stripped from it.
+    pub panic_attempts: u32,
+    /// Enter the refinement loop with the round budget already spent, so
+    /// the engine exercises the exhaustion path on the first iteration.
+    pub exhaust_refinement: bool,
+    /// Append a synthetic non-progressing residual crossing in the first
+    /// refinement round, forcing the accept-residuals path.
+    pub residual_storm: bool,
+}
+
+impl FaultPlan {
+    /// A plan that panics `attempts` attempts of slab `slab`.
+    pub fn panic_in_slab(slab: usize, attempts: u32) -> Self {
+        FaultPlan {
+            panic_slab: Some(slab),
+            panic_attempts: attempts,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Panic if the fault plan targets this slab at this attempt. Compiled to
+/// a no-op without the `fault-injection` feature.
+#[inline]
+pub(crate) fn maybe_panic_slab(opts: &crate::ClipOptions, slab: usize, attempt: u32) {
+    #[cfg(feature = "fault-injection")]
+    if opts.faults.panic_slab == Some(slab) && attempt < opts.faults.panic_attempts {
+        panic!("fault-injection: slab {slab} attempt {attempt}");
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = (opts, slab, attempt);
+}
+
+/// Whether the refinement loop should start with its budget spent.
+#[inline]
+pub(crate) fn fault_exhaust_refinement(opts: &crate::ClipOptions) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        opts.faults.exhaust_refinement
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = opts;
+        false
+    }
+}
+
+/// Whether to inject a synthetic non-progressing residual crossing.
+#[inline]
+pub(crate) fn fault_residual_storm(opts: &crate::ClipOptions) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        opts.faults.residual_storm
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = opts;
+        false
+    }
+}
+
+/// The pristine configuration a failed slab falls back to: sequential,
+/// default partition backend, fault plan stripped. Fill rule and virtual
+/// vertex handling are preserved — they affect the answer.
+pub(crate) fn pristine(opts: &crate::ClipOptions) -> crate::ClipOptions {
+    crate::ClipOptions {
+        parallel: false,
+        backend: polyclip_sweep::PartitionBackend::DirectScan,
+        faults: FaultPlan::default(),
+        ..*opts
+    }
+}
+
+/// Render a `catch_unwind` payload as a message for [`ClipError::SlabPanic`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ladder_is_ordered_exact_then_lossy() {
+        let ladder = [
+            Degradation::SanitizedInput {
+                role: InputRole::Subject,
+                dropped_contours: 1,
+            },
+            Degradation::SlabRetry { slab: 0 },
+            Degradation::SlabFallback { slab: 0 },
+            Degradation::ResidualsAccepted {
+                residual_crossings: 1,
+            },
+            Degradation::RefinementExhausted {
+                rounds: 8,
+                residual_crossings: 1,
+            },
+            Degradation::DroppedFragments { fragments: 2 },
+        ];
+        for w in ladder.windows(2) {
+            assert!(w[0].severity() < w[1].severity());
+        }
+        assert!(ladder.iter().take(3).all(|d| !d.is_lossy()));
+        assert!(ladder.iter().skip(3).all(|d| d.is_lossy()));
+    }
+
+    #[test]
+    fn strict_passes_exact_degradations_and_rejects_lossy_ones() {
+        let exact = ClipOutcome {
+            degradations: vec![
+                Degradation::SanitizedInput {
+                    role: InputRole::Clip,
+                    dropped_contours: 2,
+                },
+                Degradation::SlabFallback { slab: 3 },
+            ],
+            ..ClipOutcome::default()
+        };
+        assert!(!exact.is_clean());
+        assert!(exact.strict().is_ok());
+
+        let lossy = ClipOutcome {
+            degradations: vec![
+                Degradation::SlabRetry { slab: 1 },
+                Degradation::DroppedFragments { fragments: 4 },
+            ],
+            ..ClipOutcome::default()
+        };
+        assert_eq!(
+            lossy.strict().unwrap_err(),
+            ClipError::StitchImbalance {
+                dropped_fragments: 4
+            }
+        );
+    }
+
+    #[test]
+    fn worst_picks_highest_severity() {
+        let o = ClipOutcome {
+            degradations: vec![
+                Degradation::SlabRetry { slab: 0 },
+                Degradation::ResidualsAccepted {
+                    residual_crossings: 3,
+                },
+                Degradation::SanitizedInput {
+                    role: InputRole::Subject,
+                    dropped_contours: 1,
+                },
+            ],
+            ..ClipOutcome::default()
+        };
+        assert_eq!(
+            o.worst(),
+            Some(&Degradation::ResidualsAccepted {
+                residual_crossings: 3
+            })
+        );
+    }
+
+    #[test]
+    fn errors_and_degradations_render_human_readably() {
+        let e = ClipError::NonFiniteInput {
+            role: InputRole::Clip,
+            contour: 2,
+            vertex: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "non-finite coordinate in clip input at contour 2, vertex 7"
+        );
+        let d = Degradation::SlabFallback { slab: 5 };
+        assert_eq!(d.to_string(), "slab 5 recovered via sequential fallback");
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let a: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(a.as_ref()), "boom");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("kapow"));
+        assert_eq!(panic_message(b.as_ref()), "kapow");
+        let c: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(c.as_ref()), "non-string panic payload");
+    }
+}

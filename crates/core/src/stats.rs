@@ -27,6 +27,15 @@ pub struct ClipStats {
     pub out_contours: usize,
     /// Output vertices after virtual-vertex removal.
     pub out_vertices: usize,
+    /// Crossing-refinement rounds the Round-B partition ran (1 = the
+    /// first build was already crossing-free).
+    pub refine_rounds: usize,
+    /// Residual crossings accepted unresolved at the floating-point
+    /// resolution limit (0 on numerically clean instances).
+    pub residuals_accepted: usize,
+    /// Slab workers that needed a retry or a sequential fallback after a
+    /// panic (Algorithm 2 / overlay runs; always 0 for single-slab runs).
+    pub slab_retries: usize,
 }
 
 impl ClipStats {
@@ -39,6 +48,23 @@ impl ClipStats {
     pub fn work_bound(&self) -> f64 {
         let m = self.processor_bound().max(2) as f64;
         m * m.log2()
+    }
+
+    /// Accumulate another run's counters into this one — used to fold
+    /// per-slab engine statistics into a whole-instance aggregate
+    /// (refinement rounds take the maximum; everything else sums).
+    pub fn absorb(&mut self, other: &ClipStats) {
+        self.n_edges += other.n_edges;
+        self.n_events += other.n_events;
+        self.n_beams += other.n_beams;
+        self.k_intersections += other.k_intersections;
+        self.k_prime += other.k_prime;
+        self.n_subedges += other.n_subedges;
+        self.out_contours += other.out_contours;
+        self.out_vertices += other.out_vertices;
+        self.refine_rounds = self.refine_rounds.max(other.refine_rounds);
+        self.residuals_accepted += other.residuals_accepted;
+        self.slab_retries += other.slab_retries;
     }
 }
 

@@ -120,11 +120,20 @@ pub fn cancel_opposites(edges: &mut Vec<(Point, Point)>) {
 /// Fragments must be interior-on-left and balanced at every vertex; in
 /// release builds, fragments that cannot be closed into a loop (which only
 /// happens on numerically inconsistent input) are dropped rather than
-/// panicking.
-pub fn stitch(mut edges: Vec<(Point, Point)>, simplify: bool) -> Vec<Contour> {
+/// panicking. See [`stitch_counted`] when the caller needs to observe how
+/// many fragments were dropped that way.
+pub fn stitch(edges: Vec<(Point, Point)>, simplify: bool) -> Vec<Contour> {
+    stitch_counted(edges, simplify).0
+}
+
+/// [`stitch`], additionally reporting the number of fragments consumed by
+/// walks that failed to close. A non-zero count is the stitch-imbalance
+/// signal recorded as a degradation by the fallible engine entry points:
+/// the contours are still returned, but some boundary pieces are missing.
+pub fn stitch_counted(mut edges: Vec<(Point, Point)>, simplify: bool) -> (Vec<Contour>, usize) {
     cancel_opposites(&mut edges);
     if edges.is_empty() {
-        return Vec::new();
+        return (Vec::new(), 0);
     }
 
     // Outgoing adjacency per vertex.
@@ -136,6 +145,7 @@ pub fn stitch(mut edges: Vec<(Point, Point)>, simplify: bool) -> Vec<Contour> {
     let mut used = vec![false; edges.len()];
 
     let mut contours = Vec::new();
+    let mut dropped = 0usize;
     for start in 0..edges.len() {
         if used[start] {
             continue;
@@ -164,11 +174,14 @@ pub fn stitch(mut edges: Vec<(Point, Point)>, simplify: bool) -> Vec<Contour> {
             if c.is_valid() && c.signed_area() != 0.0 {
                 contours.push(c);
             }
+        } else if !closed {
+            // An unclosed walk indicates inconsistent input; its fragments
+            // stay marked used so termination is guaranteed, and the count
+            // surfaces as a stitch-imbalance degradation.
+            dropped += pts.len();
         }
-        // An unclosed walk indicates inconsistent input; fragments stay
-        // marked used so termination is guaranteed.
     }
-    contours
+    (contours, dropped)
 }
 
 /// The sharpest-left-turn successor: among unused fragments leaving `at`,
@@ -245,7 +258,7 @@ pub fn simplify_collinear(pts: Vec<Point>) -> Contour {
             keep.pop();
             continue;
         }
-        if m >= 3 && removable(*keep.last().unwrap(), keep[0], keep[1]) {
+        if m >= 3 && removable(keep[m - 1], keep[0], keep[1]) {
             keep.remove(0);
             continue;
         }
@@ -265,7 +278,11 @@ mod tests {
 
     #[test]
     fn cancellation_removes_opposite_pairs() {
-        let mut edges = vec![e(0.0, 0.0, 1.0, 0.0), e(1.0, 0.0, 0.0, 0.0), e(0.0, 0.0, 0.0, 1.0)];
+        let mut edges = vec![
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 0.0, 0.0),
+            e(0.0, 0.0, 0.0, 1.0),
+        ];
         cancel_opposites(&mut edges);
         assert_eq!(edges, vec![e(0.0, 0.0, 0.0, 1.0)]);
     }
@@ -397,5 +414,23 @@ mod tests {
     fn fully_cancelling_input_produces_nothing() {
         let edges = vec![e(0.0, 0.0, 1.0, 1.0), e(1.0, 1.0, 0.0, 0.0)];
         assert!(stitch(edges, false).is_empty());
+    }
+
+    #[test]
+    fn unclosed_walks_are_counted_and_closed_ones_survive() {
+        let edges = vec![
+            // A dead-ending two-fragment path: nothing leaves (1,1).
+            e(0.0, 0.0, 1.0, 0.0),
+            e(1.0, 0.0, 1.0, 1.0),
+            // A complete unit square elsewhere.
+            e(5.0, 0.0, 6.0, 0.0),
+            e(6.0, 0.0, 6.0, 1.0),
+            e(6.0, 1.0, 5.0, 1.0),
+            e(5.0, 1.0, 5.0, 0.0),
+        ];
+        let (cs, dropped) = stitch_counted(edges, false);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(dropped, 2);
+        assert!((cs[0].signed_area() - 1.0).abs() < 1e-12);
     }
 }

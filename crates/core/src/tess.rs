@@ -67,13 +67,19 @@ pub fn trapezoids(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> Vec<Trapezoid> {
-    let Some(p) = prepare(subject, clip_p, opts) else {
+    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut Default::default()) else {
         return Vec::new();
     };
     let beams = &p.beams;
 
     let per_beam = |i: usize| -> Vec<Trapezoid> {
-        let o = classify_beam(beams.beam(i), beams.y_bot(i), beams.y_top(i), op, opts.fill_rule);
+        let o = classify_beam(
+            beams.beam(i),
+            beams.y_bot(i),
+            beams.y_top(i),
+            op,
+            opts.fill_rule,
+        );
         o.bottom
             .iter()
             .zip(&o.top)
@@ -132,11 +138,19 @@ mod tests {
     fn trapezoid_areas_sum_to_the_measure() {
         let a = PolygonSet::from_xy(&[(0.0, 0.0), (5.0, 0.5), (4.0, 3.0), (1.0, 2.5)]);
         let b = PolygonSet::from_xy(&[(2.0, -1.0), (6.0, 1.5), (3.0, 4.0)]);
-        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+        for op in [
+            BoolOp::Intersection,
+            BoolOp::Union,
+            BoolOp::Difference,
+            BoolOp::Xor,
+        ] {
             let traps = trapezoids(&a, &b, op, &seq());
             let sum: f64 = traps.iter().map(Trapezoid::area).sum();
             let want = measure_op(&a, &b, op, &seq());
-            assert!((sum - want).abs() < 1e-9 * (1.0 + want), "{op:?}: {sum} vs {want}");
+            assert!(
+                (sum - want).abs() < 1e-9 * (1.0 + want),
+                "{op:?}: {sum} vs {want}"
+            );
         }
     }
 
@@ -184,10 +198,8 @@ mod tests {
 
     #[test]
     fn nonzero_rule_flows_through() {
-        let two = PolygonSet::from_contours(vec![
-            rect(0.0, 0.0, 1.0, 1.0),
-            rect(0.0, 0.0, 1.0, 1.0),
-        ]);
+        let two =
+            PolygonSet::from_contours(vec![rect(0.0, 0.0, 1.0, 1.0), rect(0.0, 0.0, 1.0, 1.0)]);
         let mut opts = seq();
         opts.fill_rule = FillRule::NonZero;
         let nz: f64 = trapezoids(&two, &PolygonSet::new(), BoolOp::Union, &opts)

@@ -8,7 +8,9 @@
 //! want to know whether they need a [`crate::engine::dissolve`] pass.
 
 use polyclip_geom::{PolygonSet, SegmentIntersection};
-use polyclip_sweep::{collect_edges, discover_intersections, event_ys, BeamSet, ForcedSplits, PartitionBackend};
+use polyclip_sweep::{
+    collect_edges, discover_intersections, event_ys, BeamSet, ForcedSplits, PartitionBackend,
+};
 
 /// A violation found by [`validate`].
 #[derive(Clone, PartialEq, Debug)]
@@ -63,7 +65,9 @@ pub fn validate(p: &PolygonSet) -> ValidationReport {
 
     for (ci, c) in p.contours().iter().enumerate() {
         if c.len() < 3 {
-            report.violations.push(Violation::TooFewVertices { contour: ci });
+            report
+                .violations
+                .push(Violation::TooFewVertices { contour: ci });
             continue;
         }
         if c.signed_area() == 0.0 {
@@ -72,9 +76,10 @@ pub fn validate(p: &PolygonSet) -> ValidationReport {
         let pts = c.points();
         for v in 0..pts.len() {
             if pts[v] == pts[(v + 1) % pts.len()] {
-                report
-                    .violations
-                    .push(Violation::DuplicateVertex { contour: ci, vertex: v });
+                report.violations.push(Violation::DuplicateVertex {
+                    contour: ci,
+                    vertex: v,
+                });
             }
         }
     }
@@ -93,18 +98,15 @@ pub fn validate(p: &PolygonSet) -> ValidationReport {
                 false,
             );
             for ev in discover_intersections(&beams, &edges, false) {
-                report
-                    .violations
-                    .push(Violation::EdgesCross { edges: (ev.e1, ev.e2) });
+                report.violations.push(Violation::EdgesCross {
+                    edges: (ev.e1, ev.e2),
+                });
             }
             // Collinear overlaps between distinct edges inside a beam.
             'outer: for b in 0..beams.n_beams() {
                 let sub = beams.beam(b);
                 for w in sub.windows(2) {
-                    if w[0].xb == w[1].xb
-                        && w[0].xt == w[1].xt
-                        && w[0].edge_id != w[1].edge_id
-                    {
+                    if w[0].xb == w[1].xb && w[0].xt == w[1].xt && w[0].edge_id != w[1].edge_id {
                         let (ea, eb) = (
                             edges[w[0].edge_id as usize].segment(),
                             edges[w[1].edge_id as usize].segment(),
@@ -136,16 +138,28 @@ pub fn assert_canonical(p: &PolygonSet) {
 pub fn fragments_balanced(frags: &[(polyclip_geom::Point, polyclip_geom::Point)]) -> bool {
     let mut deg: crate::stitch::PointMap<i64> = Default::default();
     for (a, b) in frags {
-        *deg.entry((polyclip_geom::OrdF64::new(a.x), polyclip_geom::OrdF64::new(a.y)))
-            .or_default() += 1;
-        *deg.entry((polyclip_geom::OrdF64::new(b.x), polyclip_geom::OrdF64::new(b.y)))
-            .or_default() -= 1;
+        *deg.entry((
+            polyclip_geom::OrdF64::new(a.x),
+            polyclip_geom::OrdF64::new(a.y),
+        ))
+        .or_default() += 1;
+        *deg.entry((
+            polyclip_geom::OrdF64::new(b.x),
+            polyclip_geom::OrdF64::new(b.y),
+        ))
+        .or_default() -= 1;
     }
     deg.values().all(|&v| v == 0)
 }
 
 /// Degenerate-input hardening helper: drop zero-area and sub-3-vertex
 /// contours from arbitrary external input before clipping.
+///
+/// Note: zero *signed* area includes self-intersecting contours whose lobes
+/// cancel exactly (a symmetric bow-tie), which the engine handles and which
+/// do enclose area under even-odd. The engine's own input gate therefore
+/// uses the strictly conservative [`sanitize_counted`] instead; reach for
+/// this function only when you know such contours are unwanted.
 pub fn sanitize(p: &PolygonSet) -> PolygonSet {
     PolygonSet::from_contours(
         p.contours()
@@ -154,6 +168,40 @@ pub fn sanitize(p: &PolygonSet) -> PolygonSet {
             .cloned()
             .collect(),
     )
+}
+
+/// Whether a contour provably cannot contribute area or sweep crossings:
+/// fewer than three vertices, or a bounding box with zero width or height
+/// (a point, or a purely horizontal/vertical sliver — its edges either
+/// never enter the sweep or cancel pairwise).
+///
+/// Deliberately weaker than the zero-signed-area test of [`sanitize`]:
+/// self-intersecting contours with cancelling lobes are *not* degenerate —
+/// they enclose area under even-odd and must reach the engine.
+pub fn is_degenerate(c: &polyclip_geom::Contour) -> bool {
+    if c.len() < 3 {
+        return true;
+    }
+    let bb = c.bbox();
+    bb.xmin == bb.xmax || bb.ymin == bb.ymax
+}
+
+/// Copy-free input gate: drop [`is_degenerate`] contours, reporting how
+/// many were dropped. Borrows the input untouched in the (overwhelmingly
+/// common) clean case and clones only when something must be removed.
+pub fn sanitize_counted(p: &PolygonSet) -> (std::borrow::Cow<'_, PolygonSet>, usize) {
+    let dropped = p.contours().iter().filter(|c| is_degenerate(c)).count();
+    if dropped == 0 {
+        return (std::borrow::Cow::Borrowed(p), 0);
+    }
+    let clean = PolygonSet::from_contours(
+        p.contours()
+            .iter()
+            .filter(|c| !is_degenerate(c))
+            .cloned()
+            .collect(),
+    );
+    (std::borrow::Cow::Owned(clean), dropped)
 }
 
 #[cfg(test)]
@@ -168,7 +216,12 @@ mod tests {
     fn clean_output_is_canonical() {
         let a = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.3), (3.0, 3.0), (0.5, 2.0)]);
         let b = PolygonSet::from_xy(&[(1.0, -1.0), (5.0, 1.0), (2.0, 4.0)]);
-        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+        for op in [
+            BoolOp::Intersection,
+            BoolOp::Union,
+            BoolOp::Difference,
+            BoolOp::Xor,
+        ] {
             let out = clip(&a, &b, op, &ClipOptions::sequential());
             assert_canonical(&out);
         }
@@ -209,11 +262,43 @@ mod tests {
         ]));
         p.push(rect(5.0, 5.0, 6.0, 6.0));
         let r = validate(&p);
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::TooFewVertices { .. })));
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::ZeroArea { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TooFewVertices { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ZeroArea { .. })));
         let clean = sanitize(&p);
         assert_eq!(clean.len(), 1);
         assert!(validate(&clean).is_canonical());
+    }
+
+    #[test]
+    fn sanitize_counted_borrows_clean_input_and_keeps_bowties() {
+        use polyclip_geom::point::pt;
+        let clean = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        // Symmetric bow-tie: signed area 0, but even-odd area 2 — the
+        // conservative gate must pass it through untouched (borrowed).
+        let (gated, dropped) = sanitize_counted(&clean);
+        assert_eq!(dropped, 0);
+        assert!(matches!(gated, std::borrow::Cow::Borrowed(_)));
+
+        let mut dirty = clean.clone();
+        dirty
+            .contours_mut()
+            .push(Contour::from_xy(&[(0.0, 0.0), (1.0, 0.0)]));
+        dirty
+            .contours_mut()
+            .push(Contour::new(vec![pt(5.0, 5.0), pt(5.0, 5.0), pt(5.0, 5.0)]));
+        // Horizontal sliver: zero bbox height.
+        dirty
+            .contours_mut()
+            .push(Contour::from_xy(&[(0.0, 7.0), (3.0, 7.0), (1.5, 7.0)]));
+        let (gated, dropped) = sanitize_counted(&dirty);
+        assert_eq!(dropped, 3);
+        assert_eq!(gated.len(), 1);
     }
 
     #[test]
@@ -232,11 +317,11 @@ mod tests {
     #[test]
     fn overlapping_collinear_edges_flagged() {
         // Two rects sharing part of an edge: x=2 overlaps on y in [0.5, 1].
-        let p = PolygonSet::from_contours(vec![
-            rect(0.0, 0.0, 2.0, 1.0),
-            rect(2.0, 0.5, 4.0, 1.5),
-        ]);
+        let p = PolygonSet::from_contours(vec![rect(0.0, 0.0, 2.0, 1.0), rect(2.0, 0.5, 4.0, 1.5)]);
         let r = validate(&p);
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::EdgesOverlap)));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgesOverlap)));
     }
 }

@@ -32,17 +32,11 @@ fn shapes() -> Vec<(&'static str, PolygonSet)> {
         ),
         (
             "ring",
-            PolygonSet::from_contours(vec![
-                rect(-0.5, -0.5, 3.0, 3.0),
-                rect(0.5, 0.5, 2.0, 2.0),
-            ]),
+            PolygonSet::from_contours(vec![rect(-0.5, -0.5, 3.0, 3.0), rect(0.5, 0.5, 2.0, 2.0)]),
         ),
         (
             "two-islands",
-            PolygonSet::from_contours(vec![
-                rect(0.0, 0.0, 1.0, 1.0),
-                rect(1.5, 1.5, 2.5, 2.5),
-            ]),
+            PolygonSet::from_contours(vec![rect(0.0, 0.0, 1.0, 1.0), rect(1.5, 1.5, 2.5, 2.5)]),
         ),
         (
             "sliver",
@@ -81,10 +75,16 @@ fn measure_identities_hold_for_every_cell() {
                 let sa = measure_op(a, &PolygonSet::new(), BoolOp::Union, &opts);
                 let sb = measure_op(b, &PolygonSet::new(), BoolOp::Union, &opts);
                 let tol = 1e-9 * (1.0 + sa + sb);
-                assert!((i + u - (sa + sb)).abs() < tol, "{rule:?} {na}×{nb}: incl-excl");
+                assert!(
+                    (i + u - (sa + sb)).abs() < tol,
+                    "{rule:?} {na}×{nb}: incl-excl"
+                );
                 assert!((d + i - sa).abs() < tol, "{rule:?} {na}×{nb}: difference");
                 assert!((x - (u - i)).abs() < tol, "{rule:?} {na}×{nb}: xor");
-                assert!(i >= -tol && u >= sa.max(sb) - tol, "{rule:?} {na}×{nb}: bounds");
+                assert!(
+                    i >= -tol && u >= sa.max(sb) - tol,
+                    "{rule:?} {na}×{nb}: bounds"
+                );
             }
         }
     }

@@ -77,7 +77,10 @@ pub fn table3_spec(id: usize) -> DatasetSpec {
             mean_edge_len: 0.00415,
             bbox: world,
             // Urban areas bunch along population centers.
-            coverage: Coverage::Clustered { clusters: 60, seed: 0xC17135 },
+            coverage: Coverage::Clustered {
+                clusters: 60,
+                seed: 0xC17135,
+            },
         },
         2 => DatasetSpec {
             name: "ne_10m_states_provinces",
@@ -101,7 +104,10 @@ pub fn table3_spec(id: usize) -> DatasetSpec {
             // The two telecom layers describe the same service region:
             // identical cluster seed → heavy mutual overlap, as in the
             // paper's Intersect(3,4)/Union(3,4).
-            coverage: Coverage::Clustered { clusters: 150, seed: 0x7E1EC0 },
+            coverage: Coverage::Clustered {
+                clusters: 150,
+                seed: 0x7E1EC0,
+            },
         },
         4 => DatasetSpec {
             name: "GML_data_2",
@@ -110,7 +116,10 @@ pub fn table3_spec(id: usize) -> DatasetSpec {
             edges: 6_262_858,
             mean_edge_len: 0.004,
             bbox: world,
-            coverage: Coverage::Clustered { clusters: 150, seed: 0x7E1EC0 },
+            coverage: Coverage::Clustered {
+                clusters: 150,
+                seed: 0x7E1EC0,
+            },
         },
         _ => panic!("Table III has datasets 1–4"),
     }
@@ -132,7 +141,10 @@ pub fn generate_layer(spec: &DatasetSpec, scale: f64, seed: u64) -> Vec<PolygonS
 
     let mut rng = StdRng::seed_from_u64(seed);
     match spec.coverage {
-        Coverage::Clustered { clusters, seed: cluster_seed } => {
+        Coverage::Clustered {
+            clusters,
+            seed: cluster_seed,
+        } => {
             // Cluster centers come from the *spec's* seed, so layers sharing
             // it (the telecom pair) co-locate and overlap.
             let mut crng = StdRng::seed_from_u64(cluster_seed);
@@ -159,8 +171,7 @@ pub fn generate_layer(spec: &DatasetSpec, scale: f64, seed: u64) -> Vec<PolygonS
                     let gy: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
                     let center = Point::new(c.x + gx * spread_x, c.y + gy * spread_y);
                     // Log-normal-ish size spread: a few big, many small.
-                    let size_mult =
-                        (-(rng.gen::<f64>().max(1e-9)).ln()).exp().min(4.0) * 0.5 + 0.5;
+                    let size_mult = (-(rng.gen::<f64>().max(1e-9)).ln()).exp().min(4.0) * 0.5 + 0.5;
                     smooth_blob(
                         seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                         center,
@@ -178,7 +189,10 @@ pub fn generate_layer(spec: &DatasetSpec, scale: f64, seed: u64) -> Vec<PolygonS
             let aspect = spec.bbox.width() / spec.bbox.height();
             let ny = ((n_features as f64 / aspect).sqrt().ceil() as usize).max(1);
             let nx = n_features.div_ceil(ny);
-            let (cw, ch) = (spec.bbox.width() / nx as f64, spec.bbox.height() / ny as f64);
+            let (cw, ch) = (
+                spec.bbox.width() / nx as f64,
+                spec.bbox.height() / ny as f64,
+            );
             let tile_r = 0.62 * cw.max(ch);
             (0..n_features)
                 .map(|i| {

@@ -14,4 +14,6 @@ pub mod gis;
 pub mod shapes;
 
 pub use gis::{generate_layer, table3_spec, DatasetSpec};
-pub use shapes::{circle, comb, donut, pentagram, perturbed, smooth_blob, spiral, star, synthetic_pair};
+pub use shapes::{
+    circle, comb, donut, pentagram, perturbed, smooth_blob, spiral, star, synthetic_pair,
+};

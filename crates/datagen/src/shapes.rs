@@ -33,7 +33,10 @@ pub fn smooth_blob(seed: u64, center: Point, radius: f64, n: usize, roughness: f
     let pts: Vec<Point> = (0..n)
         .map(|i| {
             let ang = i as f64 / n as f64 * std::f64::consts::TAU;
-            let mod_r: f64 = harmonics.iter().map(|&(k, a, p)| a * (k * ang + p).sin()).sum();
+            let mod_r: f64 = harmonics
+                .iter()
+                .map(|&(k, a, p)| a * (k * ang + p).sin())
+                .sum();
             let r = radius * (1.0 + mod_r);
             Point::new(center.x + r * ang.cos(), center.y + r * ang.sin())
         })
@@ -111,13 +114,19 @@ pub fn spiral(center: Point, turns: f64, thickness: f64, n: usize) -> PolygonSet
         let t = i as f64 / (half - 1) as f64;
         let ang = t * turns * std::f64::consts::TAU;
         let r = 0.2 + growth * (ang / std::f64::consts::TAU) + thickness;
-        pts.push(Point::new(center.x + r * ang.cos(), center.y + r * ang.sin()));
+        pts.push(Point::new(
+            center.x + r * ang.cos(),
+            center.y + r * ang.sin(),
+        ));
     }
     for i in (0..half).rev() {
         let t = i as f64 / (half - 1) as f64;
         let ang = t * turns * std::f64::consts::TAU;
         let r = 0.2 + growth * (ang / std::f64::consts::TAU);
-        pts.push(Point::new(center.x + r * ang.cos(), center.y + r * ang.sin()));
+        pts.push(Point::new(
+            center.x + r * ang.cos(),
+            center.y + r * ang.sin(),
+        ));
     }
     PolygonSet::from_contour(Contour::new(pts))
 }
@@ -238,7 +247,10 @@ mod tests {
         // A horizontal line through the middle crosses both rails of
         // several windings.
         let y = 0.05;
-        let crossings = cont.edges().filter(|e| (e.a.y <= y) != (e.b.y <= y)).count();
+        let crossings = cont
+            .edges()
+            .filter(|e| (e.a.y <= y) != (e.b.y <= y))
+            .count();
         assert!(crossings >= 8, "crossings = {crossings}");
         assert!(cont.area() > 0.0);
         // Simple: a spiral must not self-intersect.
@@ -262,7 +274,11 @@ mod tests {
         let r = perturbed(&p, 0.01, 9);
         assert_eq!(q, r);
         assert_ne!(p, q);
-        for (a, b) in p.contours()[0].points().iter().zip(q.contours()[0].points()) {
+        for (a, b) in p.contours()[0]
+            .points()
+            .iter()
+            .zip(q.contours()[0].points())
+        {
             assert!((a.x - b.x).abs() <= 0.01 && (a.y - b.y).abs() <= 0.01);
         }
     }

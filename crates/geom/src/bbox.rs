@@ -30,7 +30,12 @@ impl BBox {
     #[inline]
     pub fn new(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
         debug_assert!(xmin <= xmax && ymin <= ymax, "inverted BBox");
-        BBox { xmin, ymin, xmax, ymax }
+        BBox {
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+        }
     }
 
     /// The tightest box containing a set of points (EMPTY for no points).

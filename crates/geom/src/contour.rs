@@ -57,6 +57,13 @@ impl Contour {
         self.points.len() >= 3
     }
 
+    /// Index of the first vertex with a NaN or infinite coordinate, if any.
+    /// Non-finite coordinates poison every downstream ordering (event
+    /// sorting, bounding boxes), so clippers reject them at the boundary.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        self.points.iter().position(|p| !p.is_finite())
+    }
+
     /// Iterate over the directed edges, including the closing edge.
     pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
         let n = self.points.len();

@@ -100,10 +100,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_for_finite_values() {
-        let mut v = [OrdF64::new(3.5),
+        let mut v = [
+            OrdF64::new(3.5),
             OrdF64::new(-1.0),
             OrdF64::new(0.0),
-            OrdF64::new(2.25)];
+            OrdF64::new(2.25),
+        ];
         v.sort();
         let got: Vec<f64> = v.iter().map(|x| x.get()).collect();
         assert_eq!(got, vec![-1.0, 0.0, 2.25, 3.5]);

@@ -22,7 +22,11 @@ pub struct GeoJsonError {
 
 impl std::fmt::Display for GeoJsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "GeoJSON error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "GeoJSON error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -75,7 +79,10 @@ pub fn to_geojson(p: &PolygonSet, as_multi: bool) -> String {
 /// `FeatureCollection` (all polygonal features concatenated); other
 /// geometry types are an error.
 pub fn from_geojson(input: &str) -> Result<PolygonSet, GeoJsonError> {
-    let mut p = Json { s: input.as_bytes(), i: 0 };
+    let mut p = Json {
+        s: input.as_bytes(),
+        i: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.i != p.s.len() {
@@ -127,7 +134,10 @@ impl Value {
 }
 
 fn geojson_err(message: &str) -> GeoJsonError {
-    GeoJsonError { message: message.to_string(), position: 0 }
+    GeoJsonError {
+        message: message.to_string(),
+        position: 0,
+    }
 }
 
 fn geometry_to_polygons(v: &Value, depth: usize) -> Result<PolygonSet, GeoJsonError> {
@@ -195,8 +205,18 @@ fn rings_to_set(rings: &[Value]) -> Result<PolygonSet, GeoJsonError> {
             if pair.len() < 2 {
                 return Err(geojson_err("position needs at least two numbers"));
             }
-            let x = pair[0].as_num().ok_or_else(|| geojson_err("x not a number"))?;
-            let y = pair[1].as_num().ok_or_else(|| geojson_err("y not a number"))?;
+            let x = pair[0]
+                .as_num()
+                .ok_or_else(|| geojson_err("x not a number"))?;
+            let y = pair[1]
+                .as_num()
+                .ok_or_else(|| geojson_err("y not a number"))?;
+            // JSON has no NaN/Infinity literals, but overflowing decimals
+            // (e.g. `1e999`) parse to ±inf; reject them here so parsed
+            // geometry never carries non-finite coordinates downstream.
+            if !x.is_finite() || !y.is_finite() {
+                return Err(geojson_err("non-finite coordinate"));
+            }
             pts.push(Point::new(x, y));
         }
         contours.push(Contour::new(pts)); // drops the duplicated closer
@@ -213,7 +233,10 @@ struct Json<'a> {
 
 impl Json<'_> {
     fn err(&self, m: &str) -> GeoJsonError {
-        GeoJsonError { message: m.to_string(), position: self.i }
+        GeoJsonError {
+            message: m.to_string(),
+            position: self.i,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -346,7 +369,10 @@ impl Json<'_> {
     fn number(&mut self) -> Result<Value, GeoJsonError> {
         let start = self.i;
         while self.i < self.s.len()
-            && matches!(self.s[self.i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E'
+            )
         {
             self.i += 1;
         }
@@ -365,10 +391,7 @@ mod tests {
 
     #[test]
     fn roundtrip_polygon_with_hole() {
-        let p = PolygonSet::from_contours(vec![
-            rect(0.0, 0.0, 4.0, 4.0),
-            rect(1.0, 1.0, 2.0, 2.0),
-        ]);
+        let p = PolygonSet::from_contours(vec![rect(0.0, 0.0, 4.0, 4.0), rect(1.0, 1.0, 2.0, 2.0)]);
         let gj = to_geojson(&p, false);
         assert!(gj.starts_with(r#"{"type":"Polygon""#));
         let q = from_geojson(&gj).unwrap();
@@ -377,10 +400,7 @@ mod tests {
 
     #[test]
     fn roundtrip_multipolygon() {
-        let p = PolygonSet::from_contours(vec![
-            rect(0.0, 0.0, 1.0, 1.0),
-            rect(5.0, 5.0, 6.0, 6.0),
-        ]);
+        let p = PolygonSet::from_contours(vec![rect(0.0, 0.0, 1.0, 1.0), rect(5.0, 5.0, 6.0, 6.0)]);
         let gj = to_geojson(&p, true);
         assert!(gj.contains("MultiPolygon"));
         let q = from_geojson(&gj).unwrap();
@@ -431,10 +451,25 @@ mod tests {
         assert!(from_geojson("{}").is_err()); // no type
         assert!(from_geojson(r#"{"type":"Point","coordinates":[0,0]}"#).is_err());
         assert!(from_geojson(r#"{"type":"Polygon"}"#).is_err());
-        assert!(from_geojson(r#"{"type":"Polygon","coordinates":[[[0,"x"],[1,0],[0,0]]]}"#).is_err());
-        assert!(from_geojson(r#"{"type":"Polygon","coordinates":[[[0,0],[1,0],[0,0]]]} trailing"#).is_err());
+        assert!(
+            from_geojson(r#"{"type":"Polygon","coordinates":[[[0,"x"],[1,0],[0,0]]]}"#).is_err()
+        );
+        assert!(
+            from_geojson(r#"{"type":"Polygon","coordinates":[[[0,0],[1,0],[0,0]]]} trailing"#)
+                .is_err()
+        );
         let e = from_geojson(r#"{"type":"Polygon","coordinates":"#).unwrap_err();
         assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn overflowing_coordinates_are_rejected() {
+        // `1e999` is valid JSON but parses to +inf in f64.
+        let doc = r#"{"type":"Polygon","coordinates":[[[0,0],[1e999,0],[1,1],[0,0]]]}"#;
+        let e = from_geojson(doc).unwrap_err();
+        assert!(e.to_string().contains("non-finite"));
+        let doc = r#"{"type":"Polygon","coordinates":[[[0,0],[1,-1e999],[1,1],[0,0]]]}"#;
+        assert!(from_geojson(doc).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::contour::Contour;
 use crate::point::Point;
-use crate::predicates::{orient2d_sign, orient2d, Orientation};
+use crate::predicates::{orient2d, orient2d_sign, Orientation};
 
 /// Convex hull of a point set, as a counterclockwise contour.
 ///
@@ -25,8 +25,7 @@ pub fn convex_hull(points: &[Point]) -> Contour {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower chain.
     for &p in &pts {
-        while hull.len() >= 2
-            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= 2 && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -123,12 +122,22 @@ mod tests {
         // All collinear: hull degenerates to a segment (invalid contour).
         let line: Vec<Point> = (0..10).map(|i| pt(i as f64, i as f64 * 2.0)).collect();
         let h = convex_hull(&line);
-        assert!(h.len() <= 2, "collinear hull must collapse, got {}", h.len());
+        assert!(
+            h.len() <= 2,
+            "collinear hull must collapse, got {}",
+            h.len()
+        );
     }
 
     #[test]
     fn duplicate_points_are_harmless() {
-        let pts = [pt(0.0, 0.0), pt(0.0, 0.0), pt(1.0, 0.0), pt(1.0, 0.0), pt(0.5, 1.0)];
+        let pts = [
+            pt(0.0, 0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            pt(1.0, 0.0),
+            pt(0.5, 1.0),
+        ];
         let h = convex_hull(&pts);
         assert_eq!(h.len(), 3);
         assert!(h.is_ccw());

@@ -32,8 +32,8 @@ pub mod wkt;
 pub use bbox::BBox;
 pub use contour::Contour;
 pub use float::OrdF64;
+pub use hull::{convex_contains, convex_hull};
 pub use point::Point;
 pub use polygon::{FillRule, PolygonSet};
-pub use hull::{convex_contains, convex_hull};
 pub use predicates::{orient2d, Orientation};
 pub use segment::{Segment, SegmentIntersection};

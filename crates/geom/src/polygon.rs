@@ -33,7 +33,9 @@ pub struct PolygonSet {
 impl PolygonSet {
     /// The empty polygon set.
     pub const fn new() -> Self {
-        PolygonSet { contours: Vec::new() }
+        PolygonSet {
+            contours: Vec::new(),
+        }
     }
 
     /// Build from contours, dropping invalid (< 3 vertex) ones.
@@ -103,6 +105,16 @@ impl PolygonSet {
     /// Iterate over every directed edge of every contour.
     pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
         self.contours.iter().flat_map(|c| c.edges())
+    }
+
+    /// Location `(contour, vertex)` of the first NaN or infinite coordinate
+    /// in the set, if any — the check behind the clipping API's
+    /// non-finite-input rejection.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        self.contours
+            .iter()
+            .enumerate()
+            .find_map(|(ci, c)| c.first_non_finite().map(|vi| (ci, vi)))
     }
 
     /// Tight bounding box over all contours (the paper's MBR).
@@ -178,10 +190,7 @@ mod tests {
     use crate::point::pt;
 
     fn square_with_hole() -> PolygonSet {
-        PolygonSet::from_contours(vec![
-            rect(0.0, 0.0, 4.0, 4.0),
-            rect(1.0, 1.0, 3.0, 3.0),
-        ])
+        PolygonSet::from_contours(vec![rect(0.0, 0.0, 4.0, 4.0), rect(1.0, 1.0, 3.0, 3.0)])
     }
 
     #[test]

@@ -297,8 +297,7 @@ mod tests {
                     for &by in &pts {
                         for &cx in &pts {
                             for &cy in &pts {
-                                let det =
-                                    (ax - cx) * (by - cy) - (ay - cy) * (bx - cx);
+                                let det = (ax - cx) * (by - cy) - (ay - cy) * (bx - cx);
                                 let want = Orientation::from_sign(det as f64);
                                 let got = orient2d(
                                     pt(ax as f64, ay as f64),

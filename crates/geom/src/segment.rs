@@ -164,8 +164,7 @@ impl Segment {
 
     fn collinear_overlap(&self, o: &Segment) -> SegmentIntersection {
         // Order both segments along the dominant axis of `self`.
-        let horizontal_dominant =
-            (self.b.x - self.a.x).abs() >= (self.b.y - self.a.y).abs();
+        let horizontal_dominant = (self.b.x - self.a.x).abs() >= (self.b.y - self.a.y).abs();
         let key = |p: &Point| if horizontal_dominant { p.x } else { p.y };
 
         let (mut s0, mut s1) = (self.a, self.b);
@@ -253,7 +252,10 @@ mod tests {
             SegmentIntersection::At(pt(4.0, 0.0))
         );
         // Collinear but disjoint.
-        assert_eq!(s.intersect(&seg(5.0, 0.0, 6.0, 0.0)), SegmentIntersection::None);
+        assert_eq!(
+            s.intersect(&seg(5.0, 0.0, 6.0, 0.0)),
+            SegmentIntersection::None
+        );
         // Vertical collinear overlap exercises the other projection axis.
         let v = seg(0.0, 0.0, 0.0, 4.0);
         match v.intersect(&seg(0.0, 3.0, 0.0, 8.0)) {

@@ -81,8 +81,18 @@ mod tests {
         let b = PolygonSet::from_contour(rect(1.0, 0.5, 3.0, 2.0));
         let svg = render(
             &[
-                SvgLayer { polygon: &a, fill: "#1f77b4", stroke: "none", opacity: 0.5 },
-                SvgLayer { polygon: &b, fill: "#d62728", stroke: "black", opacity: 0.5 },
+                SvgLayer {
+                    polygon: &a,
+                    fill: "#1f77b4",
+                    stroke: "none",
+                    opacity: 0.5,
+                },
+                SvgLayer {
+                    polygon: &b,
+                    fill: "#d62728",
+                    stroke: "black",
+                    opacity: 0.5,
+                },
             ],
             400,
             FillRule::EvenOdd,
@@ -99,7 +109,12 @@ mod tests {
     fn y_axis_is_flipped() {
         let a = PolygonSet::from_contour(rect(0.0, 5.0, 1.0, 9.0));
         let svg = render(
-            &[SvgLayer { polygon: &a, fill: "red", stroke: "none", opacity: 1.0 }],
+            &[SvgLayer {
+                polygon: &a,
+                fill: "red",
+                stroke: "none",
+                opacity: 1.0,
+            }],
             100,
             FillRule::NonZero,
         );
@@ -112,7 +127,12 @@ mod tests {
     fn empty_input_is_safe() {
         let e = PolygonSet::new();
         let svg = render(
-            &[SvgLayer { polygon: &e, fill: "red", stroke: "none", opacity: 1.0 }],
+            &[SvgLayer {
+                polygon: &e,
+                fill: "red",
+                stroke: "none",
+                opacity: 1.0,
+            }],
             100,
             FillRule::EvenOdd,
         );

@@ -60,7 +60,10 @@ pub fn to_wkt(p: &PolygonSet) -> String {
 /// Parse `POLYGON (...)`, `MULTIPOLYGON (...)` or `POLYGON EMPTY` into a
 /// polygon set (all rings concatenated; fill rule decides holes).
 pub fn from_wkt(input: &str) -> Result<PolygonSet, WktError> {
-    let mut p = Parser { s: input.as_bytes(), i: 0 };
+    let mut p = Parser {
+        s: input.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let tag = p.ident()?;
     match tag.to_ascii_uppercase().as_str() {
@@ -106,7 +109,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, m: &str) -> WktError {
-        WktError { message: m.to_string(), position: self.i }
+        WktError {
+            message: m.to_string(),
+            position: self.i,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -128,9 +134,7 @@ impl Parser<'_> {
 
     fn try_keyword(&mut self, kw: &str) -> bool {
         let end = self.i + kw.len();
-        if end <= self.s.len()
-            && self.s[self.i..end].eq_ignore_ascii_case(kw.as_bytes())
-        {
+        if end <= self.s.len() && self.s[self.i..end].eq_ignore_ascii_case(kw.as_bytes()) {
             self.i = end;
             true
         } else {
@@ -169,7 +173,10 @@ impl Parser<'_> {
         self.skip_ws();
         let start = self.i;
         while self.i < self.s.len()
-            && matches!(self.s[self.i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E'
+            )
         {
             self.i += 1;
         }
@@ -231,20 +238,14 @@ mod tests {
 
     #[test]
     fn roundtrip_with_hole() {
-        let p = PolygonSet::from_contours(vec![
-            rect(0.0, 0.0, 4.0, 4.0),
-            rect(1.0, 1.0, 2.0, 2.0),
-        ]);
+        let p = PolygonSet::from_contours(vec![rect(0.0, 0.0, 4.0, 4.0), rect(1.0, 1.0, 2.0, 2.0)]);
         let q = from_wkt(&to_wkt(&p)).unwrap();
         assert_eq!(p, q);
     }
 
     #[test]
     fn parses_multipolygon() {
-        let q = from_wkt(
-            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
-        )
-        .unwrap();
+        let q = from_wkt("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))").unwrap();
         assert_eq!(q.len(), 2);
         assert_eq!(q.vertex_count(), 6);
     }

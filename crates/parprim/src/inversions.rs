@@ -204,8 +204,11 @@ where
         .par_chunks(block)
         .enumerate()
         .map(|(bi, c)| {
-            let mut v: Vec<(T, usize)> =
-                c.iter().enumerate().map(|(o, &x)| (x, bi * block + o)).collect();
+            let mut v: Vec<(T, usize)> = c
+                .iter()
+                .enumerate()
+                .map(|(o, &x)| (x, bi * block + o))
+                .collect();
             v.sort_unstable();
             v
         })
@@ -300,8 +303,7 @@ mod tests {
         let l = [3u32, 2, 4, 1];
         assert_eq!(count_inversions(&l), 4);
         let vals: HashSet<(u32, u32)> = report_inversion_values(&l).into_iter().collect();
-        let want: HashSet<(u32, u32)> =
-            [(3, 1), (3, 2), (4, 1), (2, 1)].into_iter().collect();
+        let want: HashSet<(u32, u32)> = [(3, 1), (3, 2), (4, 1), (2, 1)].into_iter().collect();
         assert_eq!(vals, want);
     }
 
@@ -312,9 +314,21 @@ mod tests {
         let xs = [5u32, 6, 7, 9, 1, 2, 3, 4];
         let got: HashSet<(u32, u32)> = report_inversion_values(&xs).into_iter().collect();
         let want: HashSet<(u32, u32)> = [
-            (7, 1), (7, 2), (7, 4), (7, 3), (5, 3), (6, 3), (9, 3),
-            (5, 1), (5, 2), (5, 4), (6, 1), (9, 1),
-            (6, 2), (6, 4), (9, 2),
+            (7, 1),
+            (7, 2),
+            (7, 4),
+            (7, 3),
+            (5, 3),
+            (6, 3),
+            (9, 3),
+            (5, 1),
+            (5, 2),
+            (5, 4),
+            (6, 1),
+            (9, 1),
+            (6, 2),
+            (6, 4),
+            (9, 2),
             (9, 4),
         ]
         .into_iter()

@@ -157,8 +157,14 @@ mod tests {
 
     #[test]
     fn inclusive_scan_matches_manual() {
-        assert_eq!(inclusive_scan(&[1, 2, 3, 4], |a, b| a + b), vec![1, 3, 6, 10]);
-        assert_eq!(inclusive_scan::<i32, _>(&[], |a, b| a + b), Vec::<i32>::new());
+        assert_eq!(
+            inclusive_scan(&[1, 2, 3, 4], |a, b| a + b),
+            vec![1, 3, 6, 10]
+        );
+        assert_eq!(
+            inclusive_scan::<i32, _>(&[], |a, b| a + b),
+            Vec::<i32>::new()
+        );
     }
 
     #[test]
@@ -172,7 +178,9 @@ mod tests {
     #[test]
     fn par_scan_agrees_with_sequential_across_sizes() {
         for n in [0usize, 1, 2, 100, SEQ_CUTOFF, SEQ_CUTOFF + 1, 50_000] {
-            let xs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 97).collect();
+            let xs: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(2654435761) % 97)
+                .collect();
             let seq = inclusive_scan(&xs, |a, b| a + b);
             let par = par_inclusive_scan(&xs, |a, b| a + b);
             assert_eq!(seq, par, "inclusive mismatch at n={n}");

@@ -52,13 +52,8 @@ where
         .zip(flags.par_iter())
         .map(|(&x, &f)| (x, f))
         .collect();
-    let combined = crate::scan::par_inclusive_scan(&lifted, |a, b| {
-        if b.1 {
-            b
-        } else {
-            (op(a.0, b.0), a.1)
-        }
-    });
+    let combined =
+        crate::scan::par_inclusive_scan(&lifted, |a, b| if b.1 { b } else { (op(a.0, b.0), a.1) });
     combined.into_par_iter().map(|(v, _)| v).collect()
 }
 

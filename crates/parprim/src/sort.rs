@@ -170,7 +170,10 @@ mod tests {
     fn par_merge_basic() {
         let a = [1, 3, 5, 7];
         let b = [2, 4, 6];
-        assert_eq!(par_merge(&a, &b, |x, y| x.cmp(y)), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            par_merge(&a, &b, |x, y| x.cmp(y)),
+            vec![1, 2, 3, 4, 5, 6, 7]
+        );
         assert_eq!(par_merge(&a, &[], |x, y| x.cmp(y)), a.to_vec());
         assert_eq!(par_merge(&[], &b, |x, y| x.cmp(y)), b.to_vec());
     }

@@ -112,9 +112,24 @@ fn main() -> ExitCode {
     if let Some(p) = svg_path {
         let doc = render(
             &[
-                SvgLayer { polygon: &subject, fill: "#1f77b4", stroke: "none", opacity: 0.3 },
-                SvgLayer { polygon: &clip_p, fill: "#d62728", stroke: "none", opacity: 0.3 },
-                SvgLayer { polygon: &result, fill: "#2ca02c", stroke: "#145214", opacity: 0.85 },
+                SvgLayer {
+                    polygon: &subject,
+                    fill: "#1f77b4",
+                    stroke: "none",
+                    opacity: 0.3,
+                },
+                SvgLayer {
+                    polygon: &clip_p,
+                    fill: "#d62728",
+                    stroke: "none",
+                    opacity: 0.3,
+                },
+                SvgLayer {
+                    polygon: &result,
+                    fill: "#2ca02c",
+                    stroke: "#145214",
+                    opacity: 0.85,
+                },
             ],
             800,
             opts.fill_rule,

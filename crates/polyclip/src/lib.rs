@@ -36,6 +36,35 @@
 //! assert!((eo_area(&result) - 4.0).abs() < 1e-9);
 //! ```
 //!
+//! ## Error handling
+//!
+//! Every lenient entry point (`clip`, `clip_pair_slabs`, the overlay
+//! functions) has a fallible `try_*` twin returning typed [`ClipError`]s
+//! (`prelude::ClipError`) for non-finite inputs and unrecoverable slab
+//! failures, and a [`ClipOutcome`](prelude::ClipOutcome) listing the
+//! [`Degradation`](prelude::Degradation)s the pipeline absorbed (sanitized
+//! contours, slab retries/fallbacks, refinement exhaustion):
+//!
+//! ```
+//! use polyclip::prelude::*;
+//!
+//! let subject = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+//! let clip_p = PolygonSet::from_xy(&[(2.0, 2.0), (6.0, 2.0), (6.0, 6.0), (2.0, 6.0)]);
+//!
+//! let outcome = try_clip_with_stats(&subject, &clip_p, BoolOp::Intersection,
+//!                                   &ClipOptions::default()).unwrap();
+//! assert!(outcome.is_clean());
+//! // `strict()` refuses lossy degradations (accepted residuals, dropped
+//! // fragments) while letting exact recoveries (retries, fallbacks) pass.
+//! let (result, _stats) = outcome.strict().unwrap();
+//! assert!((eo_area(&result) - 4.0).abs() < 1e-9);
+//!
+//! // Non-finite coordinates are rejected up front, not propagated as NaN.
+//! let bad = PolygonSet::from_xy(&[(0.0, 0.0), (f64::NAN, 1.0), (1.0, 1.0)]);
+//! let err = try_clip(&bad, &clip_p, BoolOp::Union, &ClipOptions::default());
+//! assert!(matches!(err, Err(ClipError::NonFiniteInput { .. })));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | re-export | crate | contents |
@@ -58,14 +87,19 @@ pub use polyclip_sweep as sweep;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use polyclip_core::{
-        clip, clip_with_stats, dissolve, eo_area, measure_op, overlay_intersection,
-        overlay_union, Algo2Result, BoolOp, ClipOptions, ClipStats, Layer, OverlayResult,
-        PhaseTimes, SlabAssignment,
-    };
     pub use polyclip_core::algo2::{clip_pair_slabs, clip_pair_slabs_with, MergeStrategy};
+    pub use polyclip_core::{
+        clip, clip_with_stats, dissolve, eo_area, measure_op, overlay_difference,
+        overlay_intersection, overlay_union, Algo2Result, BoolOp, ClipOptions, ClipStats, Layer,
+        OverlayResult, PhaseTimes, SlabAssignment,
+    };
     pub use polyclip_core::{intersection_all, subtract_all, union_all, xor_all};
     pub use polyclip_core::{trapezoids, triangulate, validate, Trapezoid};
+    pub use polyclip_core::{
+        try_clip, try_clip_pair_slabs, try_clip_pair_slabs_with, try_clip_with_stats,
+        try_overlay_difference, try_overlay_intersection, try_overlay_union, ClipError,
+        ClipOutcome, Degradation, FaultPlan, InputRole,
+    };
     pub use polyclip_geom::{BBox, Contour, FillRule, Point, PolygonSet};
 }
 

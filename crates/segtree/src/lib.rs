@@ -70,7 +70,12 @@ impl SegmentTree {
         for l in lists {
             cover_items.extend(l);
         }
-        SegmentTree { n_leaves, size, cover_start, cover_items }
+        SegmentTree {
+            n_leaves,
+            size,
+            cover_start,
+            cover_items,
+        }
     }
 
     /// Parallel construction: emit `(node, id)` cover pairs for all intervals
@@ -98,7 +103,12 @@ impl SegmentTree {
             cover_start[i + 1] += cover_start[i];
         }
         let cover_items: Vec<u32> = pairs.into_iter().map(|(_, id)| id).collect();
-        SegmentTree { n_leaves, size, cover_start, cover_items }
+        SegmentTree {
+            n_leaves,
+            size,
+            cover_start,
+            cover_items,
+        }
     }
 
     /// Number of elementary intervals.
@@ -329,8 +339,10 @@ mod tests {
         let (offsets, items) = t.par_stab_all();
         assert_eq!(offsets.len(), 11);
         for leaf in 0..10 {
-            let got: HashSet<u32> =
-                items[offsets[leaf]..offsets[leaf + 1]].iter().copied().collect();
+            let got: HashSet<u32> = items[offsets[leaf]..offsets[leaf + 1]]
+                .iter()
+                .copied()
+                .collect();
             assert_eq!(got, brute(&intervals, leaf), "leaf {leaf}");
         }
         // Total entries are the paper's k' for this instance.

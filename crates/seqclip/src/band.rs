@@ -101,7 +101,11 @@ pub fn xband_clip(poly: &PolygonSet, xmin: f64, xmax: f64) -> PolygonSet {
         let t = Contour::new(c.points().iter().map(|p| Point::new(p.y, p.x)).collect());
         let clipped = band_clip_contour(&t, xmin, xmax);
         out.push(Contour::new(
-            clipped.points().iter().map(|p| Point::new(p.y, p.x)).collect(),
+            clipped
+                .points()
+                .iter()
+                .map(|p| Point::new(p.y, p.x))
+                .collect(),
         ));
     }
     out
@@ -202,7 +206,11 @@ mod tests {
         // x in [1,5]: widths at y: w(y) = 6 - 2y (full triangle), clipped to
         // [1,5]: at y=1 span is [1, 5] width 4 (tri spans [0.5,5.5]); at y=2
         // tri spans [1,5] width 4 → area = 4.
-        assert!((out.contours()[0].area() - 4.0).abs() < 1e-9, "area={}", out.contours()[0].area());
+        assert!(
+            (out.contours()[0].area() - 4.0).abs() < 1e-9,
+            "area={}",
+            out.contours()[0].area()
+        );
     }
 
     #[test]

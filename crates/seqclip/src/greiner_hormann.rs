@@ -96,27 +96,39 @@ pub fn gh_clip(subject: &Contour, clip: &Contour, op: GhOp) -> PolygonSet {
     let mut sub_ids: Vec<usize> = vec![NONE; inters.len()];
     let mut clip_ids: Vec<usize> = vec![NONE; inters.len()];
 
-    let s_head = build_ring(&mut nodes, spts, &mut |edge| {
-        let mut on_edge: Vec<(f64, usize)> = inters
-            .iter()
-            .enumerate()
-            .filter(|(_, it)| it.0 == edge)
-            .map(|(k, it)| (it.1, k))
-            .collect();
-        on_edge.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        on_edge
-    }, &inters, &mut sub_ids);
+    let s_head = build_ring(
+        &mut nodes,
+        spts,
+        &mut |edge| {
+            let mut on_edge: Vec<(f64, usize)> = inters
+                .iter()
+                .enumerate()
+                .filter(|(_, it)| it.0 == edge)
+                .map(|(k, it)| (it.1, k))
+                .collect();
+            on_edge.sort_by(|a, b| a.0.total_cmp(&b.0));
+            on_edge
+        },
+        &inters,
+        &mut sub_ids,
+    );
 
-    let c_head = build_ring(&mut nodes, cpts, &mut |edge| {
-        let mut on_edge: Vec<(f64, usize)> = inters
-            .iter()
-            .enumerate()
-            .filter(|(_, it)| it.2 == edge)
-            .map(|(k, it)| (it.3, k))
-            .collect();
-        on_edge.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        on_edge
-    }, &inters, &mut clip_ids);
+    let c_head = build_ring(
+        &mut nodes,
+        cpts,
+        &mut |edge| {
+            let mut on_edge: Vec<(f64, usize)> = inters
+                .iter()
+                .enumerate()
+                .filter(|(_, it)| it.2 == edge)
+                .map(|(k, it)| (it.3, k))
+                .collect();
+            on_edge.sort_by(|a, b| a.0.total_cmp(&b.0));
+            on_edge
+        },
+        &inters,
+        &mut clip_ids,
+    );
 
     // Cross-link neighbors.
     for k in 0..inters.len() {
@@ -286,7 +298,11 @@ mod tests {
         // because traced contours do not overlap each other except for
         // hole nesting, which signed orientation handles if holes come out
         // oppositely wound; take abs per contour for the simple cases here.
-        p.contours().iter().map(|c| c.signed_area()).sum::<f64>().abs()
+        p.contours()
+            .iter()
+            .map(|c| c.signed_area())
+            .sum::<f64>()
+            .abs()
     }
 
     fn offset_squares() -> (Contour, Contour) {

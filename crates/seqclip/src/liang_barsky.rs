@@ -58,11 +58,13 @@ pub fn clip_polyline_to_rect(pts: &[Point], r: &BBox) -> Vec<Vec<Point>> {
     for w in pts.windows(2) {
         match clip_segment_to_rect(&Segment::new(w[0], w[1]), r) {
             Some((seg, (t0, t1))) => {
-                if cur.is_empty() {
-                    cur.push(seg.a);
-                } else if *cur.last().unwrap() != seg.a {
-                    runs.push(std::mem::take(&mut cur));
-                    cur.push(seg.a);
+                match cur.last() {
+                    None => cur.push(seg.a),
+                    Some(&last) if last != seg.a => {
+                        runs.push(std::mem::take(&mut cur));
+                        cur.push(seg.a);
+                    }
+                    Some(_) => {}
                 }
                 cur.push(seg.b);
                 if t1 < 1.0 {
@@ -120,7 +122,8 @@ mod tests {
     fn missing_segments_rejected() {
         assert!(clip_segment_to_rect(&seg(2.0, 2.0, 3.0, 3.0), &unit()).is_none());
         assert!(clip_segment_to_rect(&seg(-0.5, 0.5, 0.5, 2.0), &unit()).is_none()); // passes corner outside
-        assert!(clip_segment_to_rect(&seg(-1.0, 1.5, 2.0, 1.5), &unit()).is_none()); // parallel above
+        assert!(clip_segment_to_rect(&seg(-1.0, 1.5, 2.0, 1.5), &unit()).is_none());
+        // parallel above
     }
 
     #[test]

@@ -56,7 +56,10 @@ fn edge_crossing(p: Point, q: Point, line: &Segment) -> Point {
 /// Debug-panics if `clip` is not convex; results are meaningless for
 /// non-convex clip regions (use the scanbeam engine for those).
 pub fn clip_to_convex(subject: &Contour, clip: &Contour) -> Contour {
-    debug_assert!(clip.is_convex(), "Sutherland-Hodgman needs a convex clip region");
+    debug_assert!(
+        clip.is_convex(),
+        "Sutherland-Hodgman needs a convex clip region"
+    );
     debug_assert!(clip.is_ccw(), "clip contour must be counterclockwise");
     let mut cur = subject.clone();
     let cpts = clip.points();

@@ -75,9 +75,7 @@ impl ForcedSplits {
     /// Build from `(edge_id, y, x)` triples; duplicates (same edge, same y)
     /// collapse to one entry.
     pub fn build(n_edges: usize, mut triples: Vec<(u32, f64, f64)>) -> Self {
-        triples.sort_unstable_by(|a, b| {
-            (a.0, OrdF64::new(a.1)).cmp(&(b.0, OrdF64::new(b.1)))
-        });
+        triples.sort_unstable_by(|a, b| (a.0, OrdF64::new(a.1)).cmp(&(b.0, OrdF64::new(b.1))));
         triples.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
         let mut start = vec![0usize; n_edges + 1];
         for &(id, _, _) in &triples {
@@ -91,6 +89,12 @@ impl ForcedSplits {
     }
 
     /// The forced x for `edge` at exactly `y`, if any.
+    ///
+    /// Invariant: `start` has `n_edges + 1` entries and is monotone (built
+    /// by prefix sum), so the slice below is in bounds for every edge id the
+    /// set was built with; callers never pass ids from a different edge
+    /// list. `y` comes from the caller's own event list, never user input,
+    /// so the `OrdF64` comparison cannot see NaN.
     #[inline]
     pub fn forced_x(&self, edge: u32, y: f64) -> Option<f64> {
         let s = &self.items[self.start[edge as usize]..self.start[edge as usize + 1]];
@@ -215,7 +219,11 @@ impl BeamSet {
         for i in 0..n_beams {
             beam_start[i + 1] += beam_start[i];
         }
-        BeamSet { ys, beam_start, sub }
+        BeamSet {
+            ys,
+            beam_start,
+            sub,
+        }
     }
 
     /// Number of scanbeams.
@@ -421,23 +429,18 @@ mod tests {
         // One tall edge from (0,0) to (2,4); force a vertex at (0.75, 2.0).
         let p = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 4.0), (-2.0, 4.0)]);
         let edges = collect_edges(&p, &PolygonSet::new());
-        let diag = edges.iter().find(|e| e.lo == polyclip_geom::Point::new(0.0, 0.0) && e.hi.x == 2.0).unwrap();
+        let diag = edges
+            .iter()
+            .find(|e| e.lo == polyclip_geom::Point::new(0.0, 0.0) && e.hi.x == 2.0)
+            .unwrap();
         let ys = event_ys(&edges, &[2.0], false);
         let forced = ForcedSplits::build(edges.len(), vec![(diag.id, 2.0, 0.75)]);
         let bs = BeamSet::build(&edges, ys, &forced, PartitionBackend::DirectScan, false);
         // The diagonal's sub-edge below y=2 ends at x=0.75, not at 1.0.
-        let below: Vec<&SubEdge> = bs
-            .beam(0)
-            .iter()
-            .filter(|s| s.edge_id == diag.id)
-            .collect();
+        let below: Vec<&SubEdge> = bs.beam(0).iter().filter(|s| s.edge_id == diag.id).collect();
         assert_eq!(below.len(), 1);
         assert_eq!(below[0].xt, 0.75);
-        let above: Vec<&SubEdge> = bs
-            .beam(1)
-            .iter()
-            .filter(|s| s.edge_id == diag.id)
-            .collect();
+        let above: Vec<&SubEdge> = bs.beam(1).iter().filter(|s| s.edge_id == diag.id).collect();
         assert_eq!(above[0].xb, 0.75);
     }
 

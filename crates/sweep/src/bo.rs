@@ -105,7 +105,11 @@ pub fn bentley_ottmann(edges: &[InputEdge]) -> Vec<CrossEvent> {
         (x, slope)
     };
 
-    let mut check = |a: u32, b: u32, out: &mut Vec<CrossEvent>, queue: &mut BinaryHeap<Reverse<Event>>, cur_y: f64| {
+    let mut check = |a: u32,
+                     b: u32,
+                     out: &mut Vec<CrossEvent>,
+                     queue: &mut BinaryHeap<Reverse<Event>>,
+                     cur_y: f64| {
         let (ea, eb) = (&edges[a as usize], &edges[b as usize]);
         if let SegmentIntersection::At(p) = ea.segment().intersect(&eb.segment()) {
             // Interior crossing only (endpoint touches excluded).

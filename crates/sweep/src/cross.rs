@@ -70,14 +70,8 @@ pub fn discover_residual_crossings(beams: &BeamSet, parallel: bool) -> Vec<Cross
         let mut out = Vec::with_capacity(pairs.len());
         for (i, j) in pairs {
             let (sa, sb) = (&sub[i], &sub[j]);
-            let seg_a = polyclip_geom::Segment::new(
-                Point::new(sa.xb, yb),
-                Point::new(sa.xt, yt),
-            );
-            let seg_b = polyclip_geom::Segment::new(
-                Point::new(sb.xb, yb),
-                Point::new(sb.xt, yt),
-            );
+            let seg_a = polyclip_geom::Segment::new(Point::new(sa.xb, yb), Point::new(sa.xt, yt));
+            let seg_b = polyclip_geom::Segment::new(Point::new(sb.xb, yb), Point::new(sb.xt, yt));
             if let SegmentIntersection::At(p) = seg_a.intersect(&seg_b) {
                 out.push(CrossEvent {
                     e1: sa.edge_id,
@@ -183,7 +177,11 @@ mod tests {
     use polyclip_geom::PolygonSet;
     use std::collections::HashSet;
 
-    fn discover(a: &PolygonSet, b: &PolygonSet, parallel: bool) -> (Vec<InputEdge>, Vec<CrossEvent>) {
+    fn discover(
+        a: &PolygonSet,
+        b: &PolygonSet,
+        parallel: bool,
+    ) -> (Vec<InputEdge>, Vec<CrossEvent>) {
         let edges = collect_edges(a, b);
         let ys = event_ys(&edges, &[], false);
         let beams = BeamSet::build(

@@ -41,7 +41,10 @@ fn main() {
         t0.elapsed()
     );
 
-    let slabs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+    let slabs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4);
     let opts = ClipOptions::default();
 
     // Intersect (1,2): pairwise feature intersection.
@@ -49,14 +52,21 @@ fn main() {
     let inter = overlay_intersection(&urban, &states, slabs, SlabAssignment::UniqueOwner, &opts);
     let t_inter = t1.elapsed();
     let inter_area: f64 = inter.features.iter().map(eo_area).sum();
-    println!("Intersect(1,2): {} result features from {} candidate pairs in {:.2?}",
-        inter.features.len(), inter.candidate_pairs, t_inter);
+    println!(
+        "Intersect(1,2): {} result features from {} candidate pairs in {:.2?}",
+        inter.features.len(),
+        inter.candidate_pairs,
+        t_inter
+    );
     println!("  total intersection area: {inter_area:.6}");
     println!("  per-slab clip times (Figure 11 load profile):");
     for (i, d) in inter.per_slab_clip.iter().enumerate() {
         println!("    slab {i:>2}: {d:>10.2?}");
     }
-    println!("  load imbalance (max/mean): {:.2}\n", inter.load_imbalance());
+    println!(
+        "  load imbalance (max/mean): {:.2}\n",
+        inter.load_imbalance()
+    );
 
     // Union (1,2): whole-layer union via the slab-partitioned Algorithm 2.
     let t2 = Instant::now();

@@ -32,10 +32,19 @@ fn main() {
         stats.k_intersections, stats.k_prime, stats.out_vertices
     );
 
-    println!("{:>6} {:>12} {:>14} {:>12} {:>10}", "slabs", "measured", "critical-path", "proj-speedup", "imbalance");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>10}",
+        "slabs", "measured", "critical-path", "proj-speedup", "imbalance"
+    );
     for slabs in [1usize, 2, 4, 8, 16, 32, 64] {
         let t1 = Instant::now();
-        let r = clip_pair_slabs(&a, &b, BoolOp::Intersection, slabs, &ClipOptions::sequential());
+        let r = clip_pair_slabs(
+            &a,
+            &b,
+            BoolOp::Intersection,
+            slabs,
+            &ClipOptions::sequential(),
+        );
         let measured = t1.elapsed();
 
         // Critical path: slowest slab (partition + clip) + sequential merge.

@@ -27,30 +27,57 @@ fn main() {
     let tri_area: f64 = tris.iter().map(triangle_area).sum();
 
     println!("star ∩ blob:");
-    println!("  contours     : {} ({} vertices), area {:.6}", out.len(), out.vertex_count(), contour_area);
+    println!(
+        "  contours     : {} ({} vertices), area {:.6}",
+        out.len(),
+        out.vertex_count(),
+        contour_area
+    );
     println!("  trapezoids   : {}, area {:.6}", traps.len(), trap_area);
     println!("  triangles    : {}, area {:.6}", tris.len(), tri_area);
-    println!("  (three independent area computations agree to {:.1e})",
-        (contour_area - tri_area).abs().max((contour_area - trap_area).abs()));
+    println!(
+        "  (three independent area computations agree to {:.1e})",
+        (contour_area - tri_area)
+            .abs()
+            .max((contour_area - trap_area).abs())
+    );
 
     // Compose the SVG: inputs faint, result solid, mesh as thin outlines.
-    let mesh = PolygonSet::from_contours(
-        tris.iter()
-            .map(|t| Contour::new(t.to_vec()))
-            .collect(),
-    );
+    let mesh = PolygonSet::from_contours(tris.iter().map(|t| Contour::new(t.to_vec())).collect());
     let doc = render(
         &[
-            SvgLayer { polygon: &subject, fill: "#1f77b4", stroke: "none", opacity: 0.15 },
-            SvgLayer { polygon: &clip_p, fill: "#d62728", stroke: "none", opacity: 0.15 },
-            SvgLayer { polygon: &out, fill: "#2ca02c", stroke: "none", opacity: 0.6 },
-            SvgLayer { polygon: &mesh, fill: "none", stroke: "#145214", opacity: 1.0 },
+            SvgLayer {
+                polygon: &subject,
+                fill: "#1f77b4",
+                stroke: "none",
+                opacity: 0.15,
+            },
+            SvgLayer {
+                polygon: &clip_p,
+                fill: "#d62728",
+                stroke: "none",
+                opacity: 0.15,
+            },
+            SvgLayer {
+                polygon: &out,
+                fill: "#2ca02c",
+                stroke: "none",
+                opacity: 0.6,
+            },
+            SvgLayer {
+                polygon: &mesh,
+                fill: "none",
+                stroke: "#145214",
+                opacity: 1.0,
+            },
         ],
         900,
         FillRule::EvenOdd,
     );
 
-    let path = std::env::args().nth(1).unwrap_or_else(|| "triangulation.svg".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "triangulation.svg".into());
     std::fs::write(&path, doc).expect("write SVG");
     println!("\nwrote {path}");
 

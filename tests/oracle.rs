@@ -57,7 +57,12 @@ fn monte_carlo_membership_oracle() {
         } else {
             (rand_poly(&mut s, 8, 2.0), rand_poly(&mut s, 8, 2.0))
         };
-        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+        for op in [
+            BoolOp::Intersection,
+            BoolOp::Union,
+            BoolOp::Difference,
+            BoolOp::Xor,
+        ] {
             let out = clip(&a, &b, op, &opts);
             for _ in 0..50 {
                 let p = Point::new(lcg(&mut s) * 3.0 - 0.5, lcg(&mut s) * 3.0 - 0.5);

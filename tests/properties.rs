@@ -12,8 +12,7 @@ fn seq() -> ClipOptions {
 /// Strategy: a random polygon with `n` vertices in [0, 4]². May be
 /// self-intersecting — the engine must handle it.
 fn arb_polygon(n: std::ops::Range<usize>) -> impl Strategy<Value = PolygonSet> {
-    prop::collection::vec((0.0f64..4.0, 0.0f64..4.0), n)
-        .prop_map(|xy| PolygonSet::from_xy(&xy))
+    prop::collection::vec((0.0f64..4.0, 0.0f64..4.0), n).prop_map(|xy| PolygonSet::from_xy(&xy))
 }
 
 /// Strategy: a star-shaped (simple) polygon around a centre.

@@ -63,11 +63,7 @@ fn scanbeam_table_lists_active_edges_per_beam() {
         assert_eq!(got, want, "beam {b} active set");
 
         // The sub-edges are sorted by x at the midline.
-        let xs: Vec<f64> = beams
-            .beam(b)
-            .iter()
-            .map(|s| (s.xb + s.xt) / 2.0)
-            .collect();
+        let xs: Vec<f64> = beams.beam(b).iter().map(|s| (s.xb + s.xt) / 2.0).collect();
         for w in xs.windows(2) {
             assert!(w[0] <= w[1] + 1e-12, "beam {b} not x-sorted at midline");
         }
@@ -158,7 +154,12 @@ fn partial_polygons_concatenate_into_final_output() {
     // area, for every operation — the scanbeam table's bottom line.
     let (s, c) = scene();
     let opts = ClipOptions::sequential();
-    for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+    for op in [
+        BoolOp::Intersection,
+        BoolOp::Union,
+        BoolOp::Difference,
+        BoolOp::Xor,
+    ] {
         let stitched = eo_area(&clip(&s, &c, op, &opts));
         let measured = measure_op(&s, &c, op, &opts);
         assert!(
@@ -185,9 +186,7 @@ fn figure2_style_intersection_counts() {
     let cross = discover_intersections(&beams, &edges, false);
     let self_cross = cross
         .iter()
-        .filter(|e| {
-            edges[e.e1 as usize].src == edges[e.e2 as usize].src
-        })
+        .filter(|e| edges[e.e1 as usize].src == edges[e.e2 as usize].src)
         .count();
     let mixed_cross = cross.len() - self_cross;
     assert!(self_cross >= 1, "subject self-intersection must be found");

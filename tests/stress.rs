@@ -2,18 +2,23 @@
 //! donuts), near-degenerate perturbations, and serialization round-trips
 //! through the clipping pipeline.
 
+use polyclip::core::assert_canonical;
 use polyclip::datagen::{comb, donut, perturbed, smooth_blob, spiral, synthetic_pair};
 use polyclip::geom::geojson::{from_geojson, to_geojson};
 use polyclip::geom::wkt::{from_wkt, to_wkt};
 use polyclip::prelude::*;
-use polyclip::core::assert_canonical;
 
 fn seq() -> ClipOptions {
     ClipOptions::sequential()
 }
 
 fn check_all_ops(a: &PolygonSet, b: &PolygonSet, label: &str) {
-    for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Difference, BoolOp::Xor] {
+    for op in [
+        BoolOp::Intersection,
+        BoolOp::Union,
+        BoolOp::Difference,
+        BoolOp::Xor,
+    ] {
         let out = clip(a, b, op, &seq());
         let stitched = eo_area(&out);
         let measured = measure_op(a, b, op, &seq());
@@ -53,7 +58,11 @@ fn interlocking_combs() {
     // sweep's k stays 0 — but the overlap grid of teeth must come out as
     // many separate pieces.
     let i = clip(&a, &b, BoolOp::Intersection, &seq());
-    assert!(i.len() >= 10, "expected a grid of tooth overlaps, got {}", i.len());
+    assert!(
+        i.len() >= 10,
+        "expected a grid of tooth overlaps, got {}",
+        i.len()
+    );
 }
 
 #[test]
@@ -188,7 +197,12 @@ fn huge_coordinate_offsets() {
     let (a, b) = synthetic_pair(128, 9);
     let near = measure_op(&a, &b, BoolOp::Intersection, &seq());
     let d = Point::new(1e7, -1e7);
-    let far = measure_op(&a.translate(d), &b.translate(d), BoolOp::Intersection, &seq());
+    let far = measure_op(
+        &a.translate(d),
+        &b.translate(d),
+        BoolOp::Intersection,
+        &seq(),
+    );
     assert!(
         (near - far).abs() < 1e-4 * (1.0 + near),
         "near {near} vs far {far}"

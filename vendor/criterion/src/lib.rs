@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the `criterion_group!` / `criterion_main!` harness shape and the
+//! `benchmark_group` → `bench_function` / `bench_with_input` → `iter` call
+//! surface. Each benchmark closure is warmed up once and then timed over a
+//! small fixed number of samples; the mean and minimum are printed to
+//! stdout. No statistics, plots, or baselines — enough to keep `cargo
+//! bench` compiling and producing comparable wall-clock numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: a name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sort", 1024)` → `sort/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample durations of the last `iter` call.
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-sample wall-clock times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        self.last.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.last.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.last);
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmark a routine that takes an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+    }
+
+    /// End the group (printing happens per benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Parse command-line configuration — accepted and ignored offline.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.to_string(), &b.last);
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{id:<48} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+        samples.len()
+    );
+}
+
+/// Collect benchmark functions into one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_the_routine() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("count", 7), &7u32, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                })
+            });
+            g.finish();
+        }
+        // One warm-up call plus three timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("sort", 1024);
+        assert_eq!(id.id, "sort/1024");
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds in environments with no access to a crates
+//! registry, so the real rayon cannot be fetched. This crate provides the
+//! subset of rayon's API the workspace uses with identical call-site syntax
+//! and semantics:
+//!
+//! * [`join`] runs its two closures on real OS threads (via
+//!   `std::thread::scope`) under a global concurrency budget, falling back
+//!   to inline execution when the budget is exhausted — recursive
+//!   `join`-based divide-and-conquer (parallel merge sort, tree reductions)
+//!   therefore still fans out across cores without unbounded thread spawns;
+//! * the `par_iter` / `into_par_iter` / `par_chunks` / `par_sort_*` family
+//!   delegates to the standard library's sequential equivalents. Results
+//!   are deterministic and bit-identical to rayon's (rayon guarantees
+//!   deterministic results for these adapters too), only without
+//!   data-parallel speedup.
+//!
+//! Swapping the real rayon back in is a one-line change in the workspace
+//! manifest; no call site needs to change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live threads spawned by [`join`] across the whole process.
+static LIVE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Decrements the live-thread budget even if a closure panics.
+struct BudgetGuard;
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        LIVE_THREADS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The number of threads rayon would use: one per available core.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` runs on a scoped OS thread when the global budget (one thread per
+/// core) allows; otherwise both closures run inline on the caller's thread.
+/// A panic in either closure propagates to the caller, as with rayon.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = current_num_threads().saturating_sub(1);
+    if LIVE_THREADS.fetch_add(1, Ordering::Relaxed) >= budget {
+        LIVE_THREADS.fetch_sub(1, Ordering::Relaxed);
+        return (a(), b());
+    }
+    let _guard = BudgetGuard;
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// `IntoIterator` under rayon's name: `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The (sequential) iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into an iterator (sequential in this stand-in).
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon's adapter extensions, provided for every iterator.
+pub trait ParallelIterator: Iterator + Sized {
+    /// rayon's `flat_map_iter`: flat-map producing sequential inner
+    /// iterators. Identical to `Iterator::flat_map` here.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// rayon's splitting hint — a no-op for sequential iteration.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// rayon's splitting hint — a no-op for sequential iteration.
+    fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Shared-slice methods under rayon's names.
+pub trait ParallelSlice<T> {
+    /// `slice.par_iter()`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// `slice.par_chunks(n)`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Mutable-slice methods under rayon's names.
+pub trait ParallelSliceMut<T> {
+    /// `slice.par_iter_mut()`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// `slice.par_chunks_mut(n)`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// `slice.par_sort_unstable()`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// `slice.par_sort_unstable_by(cmp)`.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    /// `slice.par_sort_unstable_by_key(key)`.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// `collection.par_extend(iter)` under rayon's name.
+pub trait ParallelExtend<T> {
+    /// Extend from an iterator (sequential in this stand-in).
+    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
+}
+
+impl<T> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.extend(iter);
+    }
+}
+
+/// The traits a `use rayon::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelExtend, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests_beyond_the_thread_budget() {
+        fn sum(xs: &[u64]) -> u64 {
+            if xs.len() <= 2 {
+                return xs.iter().sum();
+            }
+            let mid = xs.len() / 2;
+            let (l, r) = super::join(|| sum(&xs[..mid]), || sum(&xs[mid..]));
+            l + r
+        }
+        let xs: Vec<u64> = (0..1000).collect();
+        assert_eq!(sum(&xs), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            super::join(|| 0, || panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn adapters_match_sequential_results() {
+        let xs = vec![3u32, 1, 2];
+        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let flat: Vec<u32> = (0u32..3).into_par_iter().flat_map_iter(|i| 0..i).collect();
+        assert_eq!(flat, vec![0, 0, 1]);
+
+        let mut ys = xs.clone();
+        ys.par_sort_unstable();
+        assert_eq!(ys, vec![1, 2, 3]);
+
+        let mut out: Vec<u32> = Vec::new();
+        out.par_extend(xs.par_chunks(2).map(|c| c.iter().sum::<u32>()));
+        assert_eq!(out, vec![4, 2]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
