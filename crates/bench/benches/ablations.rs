@@ -2,6 +2,8 @@
 //!
 //! * Step-2 partition backend: direct scan vs segment tree (§III-E);
 //! * slab assignment: the paper's replication vs unique-owner;
+//! * Algorithm-2 partition backend: per-slab full scan vs the shared
+//!   output-sensitive slab index;
 //! * output sensitivity: fixed n, increasing overlap (and therefore k) —
 //!   the work must track k, not n² (the paper's core claim vs Karinthi
 //!   et al.).
@@ -72,6 +74,38 @@ fn bench_output_sensitivity(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_algo2_partition_backend(c: &mut Criterion) {
+    // The tentpole ablation: every slab scanning the full inputs (O(n·p))
+    // vs one shared binning pass feeding each slab only its overlapping
+    // contours (O(n + Σ overlaps)).
+    use polyclip::core::algo2::PartitionBackend as Algo2Backend;
+    let mut g = c.benchmark_group("ablation_algo2_partition_backend");
+    g.sample_size(10);
+    let seq = ClipOptions::sequential();
+    let (a, b) = synthetic_pair(40_000, 42);
+    for (name, backend) in [
+        ("full_scan", Algo2Backend::FullScan),
+        ("slab_index", Algo2Backend::SlabIndex),
+    ] {
+        for slabs in [4usize, 16] {
+            g.bench_with_input(BenchmarkId::new(name, slabs), &slabs, |bch, &p| {
+                bch.iter(|| {
+                    clip_pair_slabs_backend(
+                        &a,
+                        &b,
+                        BoolOp::Union,
+                        p,
+                        &seq,
+                        MergeStrategy::Sequential,
+                        backend,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_merge_strategy(c: &mut Criterion) {
     // Sequential single-pass merge (the paper's Step 8) vs the Figure 6
     // tree reduction (the paper's future-work extension).
@@ -126,6 +160,7 @@ criterion_group!(
     benches,
     bench_partition_backend,
     bench_slab_assignment,
+    bench_algo2_partition_backend,
     bench_output_sensitivity,
     bench_merge_strategy,
     bench_intersection_discovery

@@ -1,0 +1,163 @@
+//! Machine-readable Algorithm-2 phase benchmark: partition / clip / merge
+//! wall-clock at p ∈ {1, 2, 4, 8} slabs on a fixed datagen workload, for
+//! both partition backends.
+//!
+//! ```sh
+//! cargo run --release -p polyclip-bench --bin bench_algo2            # full run
+//! cargo run --release -p polyclip-bench --bin bench_algo2 -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_algo2.json` (override with `--out <path>`), then re-reads
+//! and validates the file so a truncated artifact fails loudly. The headline
+//! comparison is the partition phase (shared index build + per-slab
+//! partitioning) at p = 8: `slab_index` must not scan the full inputs once
+//! per slab, so its partition total shrinks relative to `full_scan` as p
+//! grows.
+
+use polyclip::core::algo2::PartitionBackend;
+use polyclip::datagen::{generate_layer, synthetic_pair, table3_spec};
+use polyclip::prelude::*;
+use polyclip_bench::json::Value;
+use polyclip_bench::{critical_path, json, time_best};
+
+const SLAB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Flatten a generated GIS layer into one multi-contour polygon set — the
+/// many-small-contours regime where binning beats p full scans.
+fn flatten_layer(id: usize, scale: f64, seed: u64) -> PolygonSet {
+    let mut out = PolygonSet::new();
+    for feature in generate_layer(&table3_spec(id), scale, seed) {
+        for c in feature.into_contours() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_algo2.json");
+    let mut n: usize = 40_000;
+    let mut scale: f64 = 0.02;
+    let mut reps: usize = 3;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                n = 2_000;
+                scale = 0.002;
+                reps = 1;
+            }
+            "--out" => out_path = it.next().expect("--out <path>").clone(),
+            "--n" => {
+                n = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--n <vertices>");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    // Two workloads: a two-giant-contours pair (every contour overlaps every
+    // slab — worst case for binning, best case for the scratch-buffer reuse)
+    // and a flattened GIS layer pair (thousands of small contours, each
+    // overlapping few slabs — where the O(n + Σ overlaps) partition wins).
+    let blob = synthetic_pair(n, 42);
+    let gis = (flatten_layer(1, scale, 1007), flatten_layer(2, scale, 2007));
+    let workloads: [(&str, &PolygonSet, &PolygonSet); 2] = [
+        ("blob_pair", &blob.0, &blob.1),
+        ("gis_multi", &gis.0, &gis.1),
+    ];
+
+    let opts = ClipOptions::sequential();
+    let msf = |d: std::time::Duration| Value::Num(d.as_secs_f64() * 1e3);
+
+    let mut runs: Vec<Value> = Vec::new();
+    for (workload_name, a, b) in workloads {
+        println!(
+            "-- {workload_name}: {} + {} contours, {} + {} vertices",
+            a.len(),
+            b.len(),
+            a.vertex_count(),
+            b.vertex_count()
+        );
+        for (backend_name, backend) in [
+            ("full_scan", PartitionBackend::FullScan),
+            ("slab_index", PartitionBackend::SlabIndex),
+        ] {
+            for &p in &SLAB_COUNTS {
+                let (r, wall) = time_best(reps, || {
+                    clip_pair_slabs_backend(
+                        a,
+                        b,
+                        BoolOp::Union,
+                        p,
+                        &opts,
+                        MergeStrategy::Sequential,
+                        backend,
+                    )
+                });
+                println!(
+                    "{backend_name:>10}  p={p}  slabs={}  partition={:>9.3}ms  clip={:>9.3}ms  \
+                     merge={:>7.3}ms  wall={:>9.3}ms",
+                    r.slabs,
+                    r.times.partition_total().as_secs_f64() * 1e3,
+                    r.times.clip_total().as_secs_f64() * 1e3,
+                    r.times.merge.as_secs_f64() * 1e3,
+                    wall.as_secs_f64() * 1e3,
+                );
+                runs.push(Value::obj(vec![
+                    ("workload", Value::Str(workload_name.into())),
+                    ("backend", Value::Str(backend_name.into())),
+                    ("p", Value::Num(p as f64)),
+                    ("slabs", Value::Num(r.slabs as f64)),
+                    ("index_ms", msf(r.times.index)),
+                    ("partition_total_ms", msf(r.times.partition_total())),
+                    ("clip_total_ms", msf(r.times.clip_total())),
+                    ("merge_ms", msf(r.times.merge)),
+                    ("critical_path_ms", msf(critical_path(&r.times))),
+                    ("wall_ms", msf(wall)),
+                    ("load_imbalance", Value::Num(r.times.load_imbalance())),
+                    ("out_contours", Value::Num(r.output.len() as f64)),
+                ]));
+            }
+        }
+    }
+
+    let doc = Value::obj(vec![
+        ("bench", Value::Str("algo2_phases".into())),
+        (
+            "workloads",
+            Value::Arr(vec![
+                Value::obj(vec![
+                    ("name", Value::Str("blob_pair".into())),
+                    ("generator", Value::Str("synthetic_pair".into())),
+                    ("n_vertices", Value::Num(n as f64)),
+                    ("seed", Value::Num(42.0)),
+                ]),
+                Value::obj(vec![
+                    ("name", Value::Str("gis_multi".into())),
+                    (
+                        "generator",
+                        Value::Str("table3 layers 1+2, flattened".into()),
+                    ),
+                    ("scale", Value::Num(scale)),
+                ]),
+            ]),
+        ),
+        ("op", Value::Str("union".into())),
+        ("reps", Value::Num(reps as f64)),
+        ("slab_counts", {
+            Value::Arr(SLAB_COUNTS.iter().map(|&p| Value::Num(p as f64)).collect())
+        }),
+        ("runs", Value::Arr(runs)),
+    ]);
+
+    let text = doc.render();
+    std::fs::write(&out_path, &text).expect("write bench artifact");
+    let readback = std::fs::read_to_string(&out_path).expect("re-read bench artifact");
+    json::validate(&readback)
+        .unwrap_or_else(|pos| panic!("{out_path} is not valid JSON (parse failed at byte {pos})"));
+    println!("wrote {out_path} ({} bytes, valid JSON)", readback.len());
+}

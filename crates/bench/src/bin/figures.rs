@@ -287,9 +287,12 @@ fn fig9(cfg: &Config) -> Vec<ResultTable> {
         &[
             "pair",
             "slabs",
+            "index_ms",
             "partition_avg_ms",
+            "partition_total_ms",
             "clip_avg_ms",
             "clip_max_ms",
+            "clip_total_ms",
             "merge_ms",
         ],
     );
@@ -309,9 +312,12 @@ fn fig9(cfg: &Config) -> Vec<ResultTable> {
             t.push_row(vec![
                 label.into(),
                 r.slabs.to_string(),
+                ms(r.times.index),
                 ms(r.times.partition_avg()),
+                ms(r.times.partition_total()),
                 ms(r.times.clip_avg()),
                 ms(clip_max),
+                ms(r.times.clip_total()),
                 ms(r.times.merge),
             ]);
         }

@@ -31,11 +31,12 @@ pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (out, best)
 }
 
-/// The parallel-time projection for a slab run: the slowest slab's
-/// partition + clip, plus the sequential merge. On a machine with ≥ p cores
-/// this equals the measured wall time; on smaller hosts it reports what the
-/// decomposition *would* achieve — the substitution documented in
-/// EXPERIMENTS.md for the paper's 64-core testbed.
+/// The parallel-time projection for a slab run: the shared slab-index build,
+/// plus the slowest slab's partition + clip, plus the sequential merge. On a
+/// machine with ≥ p cores this equals the measured wall time; on smaller
+/// hosts it reports what the decomposition *would* achieve — the
+/// substitution documented in EXPERIMENTS.md for the paper's 64-core
+/// testbed.
 pub fn critical_path(times: &PhaseTimes) -> Duration {
     let slowest = times
         .per_slab_partition
@@ -44,7 +45,7 @@ pub fn critical_path(times: &PhaseTimes) -> Duration {
         .map(|(p, c)| *p + *c)
         .max()
         .unwrap_or(Duration::ZERO);
-    slowest + times.merge
+    times.index + slowest + times.merge
 }
 
 /// Critical path of an overlay run: slowest slab + the (parallel-safe)
@@ -144,6 +145,228 @@ pub fn ms(d: Duration) -> String {
 /// The slab counts swept by the scaling figures.
 pub const SLAB_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
 
+/// Hand-rolled JSON emission and validation for the machine-readable bench
+/// artifacts (`BENCH_algo2.json`). The workspace deliberately carries no
+/// serde; the subset here (objects, arrays, strings, finite numbers, bools)
+/// covers everything the bench bins emit, and [`json::validate`] gives CI a
+/// cheap well-formedness check on the written file.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value restricted to what the bench artifacts need.
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        /// A finite number (non-finite inputs are emitted as `null`).
+        Num(f64),
+        /// A string (escaped on write).
+        Str(String),
+        /// A boolean.
+        Bool(bool),
+        /// An ordered list.
+        Arr(Vec<Value>),
+        /// An object with insertion-ordered keys.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Convenience object constructor from `(key, value)` pairs.
+        pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+            Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// Serialize with two-space indentation.
+        pub fn render(&self) -> String {
+            let mut s = String::new();
+            self.write(&mut s, 0);
+            s.push('\n');
+            s
+        }
+
+        fn write(&self, out: &mut String, depth: usize) {
+            let pad = "  ".repeat(depth + 1);
+            let close = "  ".repeat(depth);
+            match self {
+                Value::Num(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Num(_) => out.push_str("null"),
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                Value::Str(s) => {
+                    out.push('"');
+                    out.push_str(&escape(s));
+                    out.push('"');
+                }
+                Value::Arr(xs) if xs.is_empty() => out.push_str("[]"),
+                Value::Arr(xs) => {
+                    out.push_str("[\n");
+                    for (i, x) in xs.iter().enumerate() {
+                        out.push_str(&pad);
+                        x.write(out, depth + 1);
+                        out.push_str(if i + 1 < xs.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&close);
+                    out.push(']');
+                }
+                Value::Obj(kv) if kv.is_empty() => out.push_str("{}"),
+                Value::Obj(kv) => {
+                    out.push_str("{\n");
+                    for (i, (k, v)) in kv.iter().enumerate() {
+                        let _ = write!(out, "{pad}\"{}\": ", escape(k));
+                        v.write(out, depth + 1);
+                        out.push_str(if i + 1 < kv.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&close);
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Minimal well-formedness check: balanced structure, legal literals,
+    /// exactly one top-level value. Returns the parse-failure position on
+    /// error. Not a full RFC 8259 validator — just enough for CI to reject
+    /// a truncated or garbled artifact.
+    pub fn validate(text: &str) -> Result<(), usize> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        skip_ws(b, &mut i);
+        parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(i)
+        }
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    parse_string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(*i);
+                    }
+                    *i += 1;
+                    skip_ws(b, i);
+                    parse_value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(*i),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    parse_value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(*i),
+                    }
+                }
+            }
+            Some(b'"') => parse_string(b, i),
+            Some(b't') => parse_lit(b, i, b"true"),
+            Some(b'f') => parse_lit(b, i, b"false"),
+            Some(b'n') => parse_lit(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *i;
+                *i += 1;
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *i += 1;
+                }
+                text_slice(b, start, *i).parse::<f64>().map_err(|_| start)?;
+                Ok(())
+            }
+            _ => Err(*i),
+        }
+    }
+
+    fn parse_string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(*i);
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err(*i)
+    }
+
+    fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+        if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(*i)
+        }
+    }
+
+    fn text_slice(b: &[u8], lo: usize, hi: usize) -> &str {
+        std::str::from_utf8(&b[lo..hi]).unwrap_or("")
+    }
+}
+
 /// Generate a Table III replica layer, caching nothing (generation is
 /// deterministic and fast relative to clipping).
 pub fn layer(id: usize, scale: f64, seed: u64) -> Layer {
@@ -171,14 +394,15 @@ mod tests {
     }
 
     #[test]
-    fn critical_path_is_slowest_slab_plus_merge() {
+    fn critical_path_is_index_plus_slowest_slab_plus_merge() {
         let times = PhaseTimes {
+            index: Duration::from_millis(2),
             per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
             per_slab_clip: vec![Duration::from_millis(10), Duration::from_millis(5)],
             merge: Duration::from_millis(3),
-            total: Duration::from_millis(21),
+            total: Duration::from_millis(23),
         };
-        assert_eq!(critical_path(&times), Duration::from_millis(14));
+        assert_eq!(critical_path(&times), Duration::from_millis(16));
     }
 
     #[test]
@@ -196,5 +420,36 @@ mod tests {
         let s = ascii_bars(&["a".to_string(), "b".to_string()], &[1.0, 2.0], 10);
         assert!(s.lines().count() == 2);
         assert!(s.contains("##########"));
+    }
+
+    #[test]
+    fn json_roundtrip_renders_and_validates() {
+        let v = json::Value::obj(vec![
+            ("name", json::Value::Str("bench \"quoted\"\n".into())),
+            ("ok", json::Value::Bool(true)),
+            ("nan", json::Value::Num(f64::NAN)),
+            (
+                "runs",
+                json::Value::Arr(vec![
+                    json::Value::Num(1.5),
+                    json::Value::Num(-2e-3),
+                    json::Value::obj(vec![("p", json::Value::Num(8.0))]),
+                ]),
+            ),
+            ("empty", json::Value::Arr(vec![])),
+        ]);
+        let text = v.render();
+        assert!(json::validate(&text).is_ok(), "{text}");
+        assert!(text.contains("null"), "NaN must degrade to null");
+    }
+
+    #[test]
+    fn json_validate_rejects_garbage() {
+        assert!(json::validate("{\"a\": }").is_err());
+        assert!(json::validate("{\"a\": 1} trailing").is_err());
+        assert!(json::validate("[1, 2,]").is_err());
+        assert!(json::validate("").is_err());
+        assert!(json::validate("{\"unterminated\": \"st").is_err());
+        assert!(json::validate("{\"a\": [1, {\"b\": true}], \"c\": null}").is_ok());
     }
 }

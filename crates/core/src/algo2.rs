@@ -18,13 +18,25 @@
 //!
 //! Per-phase wall-clock timers reproduce the partition/clip/merge breakdown
 //! of the paper's Figure 9 and the per-slab load profile of Figure 11.
+//!
+//! Partitioning is **output-sensitive** by default: instead of every slab
+//! worker scanning the full inputs (O(n·p) bbox tests), one shared
+//! [`SlabIndex`] bins each contour into the contiguous range of slabs its
+//! y-extent overlaps, and each worker touches only its own bucket —
+//! O(n + Σ overlaps) total. Contours fully inside their slab are passed to
+//! the engine by reference, without clipping or cloning; only
+//! boundary-crossing contours go through the band clip, into a reusable
+//! per-worker scratch buffer. [`PartitionBackend::FullScan`] keeps the
+//! original scan path for ablation; both produce bit-identical results.
 
 use crate::classify::BoolOp;
-use crate::engine::{try_clip_with_stats, ClipOptions};
+use crate::engine::{try_clip_refs_with_stats, try_clip_with_stats, ClipOptions};
 use crate::resilience::{self, ClipError, ClipOutcome, Degradation, InputRole};
+use crate::slabindex::SlabIndex;
 use crate::stats::ClipStats;
-use polyclip_geom::{OrdF64, PolygonSet};
-use polyclip_seqclip::band_clip;
+use polyclip_geom::{Contour, OrdF64, Point, PolygonSet};
+use polyclip_parprim::par_sort_dedup;
+use polyclip_seqclip::{band_clip, band_clip_contour_into};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -32,6 +44,9 @@ use std::time::{Duration, Instant};
 /// Wall-clock phase breakdown of one Algorithm-2 run (Figure 9 / 11 data).
 #[derive(Clone, Debug, Default)]
 pub struct PhaseTimes {
+    /// Shared slab-index build (contour binning). Zero on the
+    /// [`PartitionBackend::FullScan`] path and on single-slab runs.
+    pub index: Duration,
     /// Time each slab spent in `rectangleClip` (partitioning, Steps 4–5).
     pub per_slab_partition: Vec<Duration>,
     /// Time each slab spent clipping (Step 6) — the Figure 11 load profile.
@@ -53,8 +68,23 @@ impl PhaseTimes {
         avg(&self.per_slab_clip)
     }
 
-    /// Max/mean clip-time ratio: 1.0 is perfect balance (Figure 11).
+    /// Total partition-phase work: the shared index build plus every slab's
+    /// own partitioning time (the Figure 9 "partition" bar).
+    pub fn partition_total(&self) -> Duration {
+        self.index + self.per_slab_partition.iter().sum::<Duration>()
+    }
+
+    /// Total clip-phase work summed across slabs (the Figure 9 "clip" bar).
+    pub fn clip_total(&self) -> Duration {
+        self.per_slab_clip.iter().sum()
+    }
+
+    /// Max/mean clip-time ratio: 1.0 is perfect balance (Figure 11). A
+    /// single slab (or none) is perfectly balanced by definition.
     pub fn load_imbalance(&self) -> f64 {
+        if self.per_slab_clip.len() <= 1 {
+            return 1.0;
+        }
         let avg = self.clip_avg().as_secs_f64();
         if avg == 0.0 {
             return 1.0;
@@ -103,6 +133,27 @@ pub enum MergeStrategy {
     Tree,
 }
 
+/// How Algorithm 2 hands each slab worker its share of the inputs
+/// (Steps 4–5). Both backends produce bit-identical results; `FullScan`
+/// exists for ablation benchmarks and as the reference implementation the
+/// equivalence tests check against.
+///
+/// Not to be confused with [`polyclip_sweep::PartitionBackend`]
+/// ([`ClipOptions::backend`]), which selects the *scanbeam* edge-partition
+/// structure inside the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PartitionBackend {
+    /// Every slab worker scans both full inputs and band-clips what
+    /// overlaps: O(n) per slab, O(n·p) total — the original implementation.
+    FullScan,
+    /// One shared [`SlabIndex`] bins contours into slabs up front; each
+    /// worker touches only its bucket, borrows fully-inside contours, and
+    /// band-clips crossers into a reusable scratch buffer: O(n + Σ overlaps)
+    /// total.
+    #[default]
+    SlabIndex,
+}
+
 /// One slab worker's contribution: its partial output plus everything the
 /// aggregate needs (stats, degradations, phase timings).
 struct SlabPartial {
@@ -122,29 +173,17 @@ struct SlabPartial {
 /// pristine attempt computes the same band on the same engine family, so a
 /// successful fallback is bit-identical to an unfaulted run. Only when all
 /// three attempts die does the slab surface [`ClipError::SlabPanic`].
-fn run_slab(
-    slab: usize,
-    band: Option<(f64, f64)>,
-    subject: &PolygonSet,
-    clip_p: &PolygonSet,
-    op: BoolOp,
-    seq: &ClipOptions,
-) -> Result<SlabPartial, ClipError> {
+fn run_slab_ladder<F>(slab: usize, seq: &ClipOptions, body: F) -> Result<SlabPartial, ClipError>
+where
+    F: Fn(&ClipOptions) -> Result<(ClipOutcome, Duration, Duration), ClipError>,
+{
     let attempt_with =
         |opts: &ClipOptions,
          attempt: u32|
          -> Result<Result<(ClipOutcome, Duration, Duration), ClipError>, String> {
             catch_unwind(AssertUnwindSafe(|| {
                 resilience::maybe_panic_slab(opts, slab, attempt);
-                let t0 = Instant::now();
-                let (s_band, c_band) = match band {
-                    Some((lo, hi)) => (band_clip(subject, lo, hi), band_clip(clip_p, lo, hi)),
-                    None => (subject.clone(), clip_p.clone()),
-                };
-                let t_partition = t0.elapsed();
-                let t1 = Instant::now();
-                try_clip_with_stats(&s_band, &c_band, op, opts)
-                    .map(|outcome| (outcome, t_partition, t1.elapsed()))
+                body(opts)
             }))
             .map_err(|p| resilience::panic_message(p.as_ref()))
         };
@@ -195,6 +234,91 @@ fn run_slab(
     }
 }
 
+/// The [`PartitionBackend::FullScan`] slab body: band-clip both full inputs
+/// (or clone them verbatim for an unbanded single-slab run), then clip.
+fn run_slab(
+    slab: usize,
+    band: Option<(f64, f64)>,
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    seq: &ClipOptions,
+) -> Result<SlabPartial, ClipError> {
+    run_slab_ladder(slab, seq, |opts| {
+        let t0 = Instant::now();
+        let (s_band, c_band) = match band {
+            Some((lo, hi)) => (band_clip(subject, lo, hi), band_clip(clip_p, lo, hi)),
+            None => (subject.clone(), clip_p.clone()),
+        };
+        let t_partition = t0.elapsed();
+        let t1 = Instant::now();
+        try_clip_with_stats(&s_band, &c_band, op, opts)
+            .map(|outcome| (outcome, t_partition, t1.elapsed()))
+    })
+}
+
+/// The [`PartitionBackend::SlabIndex`] slab body: walk only this slab's
+/// bucket of the shared index. Fully-inside contours are borrowed with no
+/// clipping; boundary crossers are band-clipped through one reusable
+/// scratch buffer (a single allocation that grows to the largest contour
+/// and is reused across the whole bucket). The resulting contour sequence
+/// is exactly what `band_clip` would have produced — same contours, same
+/// order, same validity filtering — so the engine sees a bit-identical
+/// instance.
+fn run_slab_indexed(
+    slab: usize,
+    band: (f64, f64),
+    index: &SlabIndex<'_>,
+    op: BoolOp,
+    seq: &ClipOptions,
+) -> Result<SlabPartial, ClipError> {
+    // Per-entry dispositions for the second pass. `PolygonSet::push` (the
+    // full-scan path) silently drops invalid (< 3 point) contours, so the
+    // same filter applies here to keep the instances identical.
+    const SKIP: u32 = u32::MAX;
+    const BORROW: u32 = u32::MAX - 1;
+    run_slab_ladder(slab, seq, |opts| {
+        let (lo, hi) = band;
+        let entries = index.slab(slab);
+        let t0 = Instant::now();
+        let mut scratch: Vec<Point> = Vec::new();
+        let mut arena: Vec<Contour> = Vec::new();
+        let mut slots: Vec<u32> = Vec::with_capacity(entries.len());
+        for e in entries {
+            let c = index.contour(e.contour);
+            if e.inside {
+                slots.push(if c.is_valid() { BORROW } else { SKIP });
+            } else {
+                let clipped = band_clip_contour_into(c, lo, hi, &mut scratch);
+                if clipped.is_valid() {
+                    slots.push(arena.len() as u32);
+                    arena.push(clipped);
+                } else {
+                    slots.push(SKIP);
+                }
+            }
+        }
+        let mut subject_refs: Vec<&Contour> = Vec::new();
+        let mut clip_refs: Vec<&Contour> = Vec::new();
+        for (e, &slot) in entries.iter().zip(&slots) {
+            let c = match slot {
+                SKIP => continue,
+                BORROW => index.contour(e.contour),
+                i => &arena[i as usize],
+            };
+            if index.is_subject(e.contour) {
+                subject_refs.push(c);
+            } else {
+                clip_refs.push(c);
+            }
+        }
+        let t_partition = t0.elapsed();
+        let t1 = Instant::now();
+        try_clip_refs_with_stats(&subject_refs, &clip_refs, op, opts)
+            .map(|outcome| (outcome, t_partition, t1.elapsed()))
+    })
+}
+
 /// Clip a pair of polygon sets with the slab-partitioned Algorithm 2.
 ///
 /// `n_slabs` is the paper's `p` (one slab per thread); the per-slab work
@@ -233,6 +357,21 @@ pub fn clip_pair_slabs_with(
     try_clip_pair_slabs_with(subject, clip_p, op, n_slabs, opts, merge_strategy).unwrap_or_default()
 }
 
+/// [`clip_pair_slabs_with`] with an explicit partition backend — the
+/// lenient wrapper over [`try_clip_pair_slabs_backend`].
+pub fn clip_pair_slabs_backend(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    n_slabs: usize,
+    opts: &ClipOptions,
+    merge_strategy: MergeStrategy,
+    backend: PartitionBackend,
+) -> Algo2Result {
+    try_clip_pair_slabs_backend(subject, clip_p, op, n_slabs, opts, merge_strategy, backend)
+        .unwrap_or_default()
+}
+
 /// Fallible Algorithm 2 with per-slab panic isolation.
 ///
 /// Every slab worker runs under `catch_unwind`; a panicked slab is retried
@@ -257,7 +396,8 @@ pub fn try_clip_pair_slabs(
     )
 }
 
-/// [`try_clip_pair_slabs`] with an explicit Step-8 merge strategy.
+/// [`try_clip_pair_slabs`] with an explicit Step-8 merge strategy, on the
+/// default partition backend ([`PartitionBackend::SlabIndex`]).
 pub fn try_clip_pair_slabs_with(
     subject: &PolygonSet,
     clip_p: &PolygonSet,
@@ -265,6 +405,31 @@ pub fn try_clip_pair_slabs_with(
     n_slabs: usize,
     opts: &ClipOptions,
     merge_strategy: MergeStrategy,
+) -> Result<Algo2Result, ClipError> {
+    try_clip_pair_slabs_backend(
+        subject,
+        clip_p,
+        op,
+        n_slabs,
+        opts,
+        merge_strategy,
+        PartitionBackend::default(),
+    )
+}
+
+/// The fully-explicit Algorithm-2 entry point: merge strategy *and*
+/// partition backend. Both backends are bit-identical in output, stats and
+/// degradations (asserted by the `equivalence` proptest); they differ only
+/// in partition-phase cost and in [`PhaseTimes::index`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_clip_pair_slabs_backend(
+    subject: &PolygonSet,
+    clip_p: &PolygonSet,
+    op: BoolOp,
+    n_slabs: usize,
+    opts: &ClipOptions,
+    merge_strategy: MergeStrategy,
+    backend: PartitionBackend,
 ) -> Result<Algo2Result, ClipError> {
     let t_start = Instant::now();
     // Non-finite coordinates would poison the event ordering below before
@@ -283,21 +448,24 @@ pub fn try_clip_pair_slabs_with(
         ..*opts
     };
 
-    // Steps 1–3: event schedule and bounding rectangle.
-    let mut ys: Vec<OrdF64> = subject
-        .contours()
-        .iter()
-        .chain(clip_p.contours())
-        .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
-        .collect();
-    ys.sort_unstable();
-    ys.dedup();
+    // Steps 1–3: event schedule and bounding rectangle. Above the parprim
+    // cutoff the sort-and-dedup runs on the rayon pool (parallel merge sort
+    // + dedup-by-pack); below it, the classic sequential idiom.
+    let ys: Vec<OrdF64> = par_sort_dedup(
+        subject
+            .contours()
+            .iter()
+            .chain(clip_p.contours())
+            .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
+            .collect(),
+    );
 
     if ys.len() < 2 || n_slabs <= 1 {
         // Degenerate instance or a single slab: one unbanded worker, still
         // under the recovery ladder (slab index 0).
         let partial = run_slab(0, None, subject, clip_p, op, &seq)?;
         let times = PhaseTimes {
+            index: Duration::ZERO,
             per_slab_partition: vec![Duration::ZERO],
             per_slab_clip: vec![partial.t_clip],
             merge: Duration::ZERO,
@@ -316,12 +484,28 @@ pub fn try_clip_pair_slabs_with(
     let boundaries = slab_boundaries(&ys, n_slabs);
     let slabs = boundaries.len() - 1;
 
+    // The shared binning pass (SlabIndex backend only): one parallel sweep
+    // over both inputs replaces p full scans.
+    let t_ix = Instant::now();
+    let index = match backend {
+        PartitionBackend::SlabIndex => Some(SlabIndex::build(subject, clip_p, &boundaries)),
+        PartitionBackend::FullScan => None,
+    };
+    let t_index = if index.is_some() {
+        t_ix.elapsed()
+    } else {
+        Duration::ZERO
+    };
+
     // Steps 4–6 per slab, in parallel, each under the recovery ladder.
     let partials: Vec<Result<SlabPartial, ClipError>> = (0..slabs)
         .into_par_iter()
         .map(|i| {
             let band = (boundaries[i], boundaries[i + 1]);
-            run_slab(i, Some(band), subject, clip_p, op, &seq)
+            match &index {
+                Some(ix) => run_slab_indexed(i, band, ix, op, &seq),
+                None => run_slab(i, Some(band), subject, clip_p, op, &seq),
+            }
         })
         .collect();
     let mut parts: Vec<PolygonSet> = Vec::with_capacity(slabs);
@@ -350,6 +534,7 @@ pub fn try_clip_pair_slabs_with(
     Ok(Algo2Result {
         output,
         times: PhaseTimes {
+            index: t_index,
             per_slab_partition,
             per_slab_clip,
             merge,
@@ -721,5 +906,96 @@ mod tests {
         }
         assert_eq!(*b.first().unwrap(), 0.0);
         assert_eq!(*b.last().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn slab_boundaries_collapse_duplicate_heavy_quantiles() {
+        // Inputs whose event y's are dominated by a few values: quantile
+        // picks collide, and the boundaries must stay strictly increasing
+        // with at most the requested number of slabs — never empty bands.
+        for (distinct, reps, requested) in [
+            (2usize, 50usize, 8usize),
+            (3, 33, 16),
+            (1, 100, 4),
+            (5, 7, 64),
+        ] {
+            let ys: Vec<OrdF64> = (0..distinct * reps)
+                .map(|i| OrdF64::new((i % distinct) as f64))
+                .collect();
+            let ys = par_sort_dedup(ys);
+            let b = slab_boundaries(&ys, requested);
+            for w in b.windows(2) {
+                assert!(w[0] < w[1], "distinct={distinct} requested={requested}");
+            }
+            let slabs = b.len().saturating_sub(1);
+            assert!(
+                slabs <= requested,
+                "distinct={distinct}: {slabs} slabs > {requested} requested"
+            );
+            // Never more slabs than distinct event gaps.
+            assert!(slabs <= distinct.saturating_sub(1));
+            if distinct >= 2 {
+                assert_eq!(*b.first().unwrap(), 0.0);
+                assert_eq!(*b.last().unwrap(), (distinct - 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_slab_is_perfectly_balanced() {
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        let b = sq(0.5, 0.5, 1.5, 1.5);
+        let r = clip_pair_slabs(&a, &b, BoolOp::Intersection, 1, &seq());
+        assert_eq!(r.slabs, 1);
+        assert_eq!(r.times.load_imbalance(), 1.0);
+        assert_eq!(r.times.index, Duration::ZERO);
+        assert_eq!(r.times.partition_total(), Duration::ZERO);
+        assert_eq!(r.times.clip_total(), r.times.per_slab_clip[0]);
+    }
+
+    #[test]
+    fn phase_totals_sum_index_and_per_slab_times() {
+        let t = PhaseTimes {
+            index: Duration::from_millis(3),
+            per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
+            per_slab_clip: vec![Duration::from_millis(5), Duration::from_millis(7)],
+            merge: Duration::from_millis(11),
+            total: Duration::from_millis(29),
+        };
+        assert_eq!(t.partition_total(), Duration::from_millis(6));
+        assert_eq!(t.clip_total(), Duration::from_millis(12));
+        assert!(t.load_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn full_scan_backend_matches_slab_index_backend() {
+        let a = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.3), (5.0, 9.7), (0.5, 10.0)]);
+        let b = PolygonSet::from_xy(&[(2.0, -1.0), (6.0, 4.0), (3.0, 11.0), (1.0, 5.0)]);
+        for op in [BoolOp::Intersection, BoolOp::Union, BoolOp::Xor] {
+            for slabs in [2usize, 4, 8] {
+                let strategy = MergeStrategy::Sequential;
+                let full = clip_pair_slabs_backend(
+                    &a,
+                    &b,
+                    op,
+                    slabs,
+                    &seq(),
+                    strategy,
+                    PartitionBackend::FullScan,
+                );
+                let indexed = clip_pair_slabs_backend(
+                    &a,
+                    &b,
+                    op,
+                    slabs,
+                    &seq(),
+                    strategy,
+                    PartitionBackend::SlabIndex,
+                );
+                assert_eq!(full.output, indexed.output, "op {op:?} slabs {slabs}");
+                assert_eq!(full.stats, indexed.stats, "op {op:?} slabs {slabs}");
+                assert_eq!(full.times.index, Duration::ZERO);
+            }
+        }
     }
 }

@@ -25,12 +25,12 @@ use crate::horizontal::horizontal_edges;
 use crate::resilience::{self, ClipError, ClipOutcome, Degradation, FaultPlan, InputRole};
 use crate::stats::ClipStats;
 use crate::stitch::stitch_counted;
-use crate::validate::sanitize_counted;
-use polyclip_geom::{FillRule, Point, PolygonSet};
+use crate::validate::{is_degenerate, sanitize_counted};
+use polyclip_geom::{Contour, FillRule, Point, PolygonSet};
 use polyclip_sweep::cross::{discover_residual_crossings, CrossEvent};
 use polyclip_sweep::{
-    collect_edges, discover_intersections, event_ys, BeamSet, ForcedSplits, InputEdge,
-    PartitionBackend,
+    collect_edges, collect_edges_refs, discover_intersections, event_ys, BeamSet, ForcedSplits,
+    InputEdge, PartitionBackend,
 };
 use rayon::prelude::*;
 use std::borrow::Cow;
@@ -140,6 +140,41 @@ fn gate_input<'a>(
     Ok(gated)
 }
 
+/// [`gate_input`] over a borrowed contour slice: the same non-finite
+/// rejection and degenerate-contour sanitization, with the slice position as
+/// the reported contour index. Borrows the slice untouched in the clean
+/// case.
+fn gate_refs<'a, 'b>(
+    contours: &'b [&'a Contour],
+    role: InputRole,
+    report: &mut PrepReport,
+) -> Result<Cow<'b, [&'a Contour]>, ClipError> {
+    for (ci, c) in contours.iter().enumerate() {
+        if let Some(vertex) = c.first_non_finite() {
+            return Err(ClipError::NonFiniteInput {
+                role,
+                contour: ci,
+                vertex,
+            });
+        }
+    }
+    let dropped = contours.iter().filter(|c| is_degenerate(c)).count();
+    if dropped == 0 {
+        return Ok(Cow::Borrowed(contours));
+    }
+    report.degradations.push(Degradation::SanitizedInput {
+        role,
+        dropped_contours: dropped,
+    });
+    Ok(Cow::Owned(
+        contours
+            .iter()
+            .copied()
+            .filter(|c| !is_degenerate(c))
+            .collect(),
+    ))
+}
+
 /// Rounds A and B: events, partition, intersection discovery, re-partition.
 /// `Ok(None)` means the gated instance has nothing to sweep (empty result).
 pub(crate) fn prepare(
@@ -151,6 +186,29 @@ pub(crate) fn prepare(
     let subject = gate_input(subject, InputRole::Subject, report)?;
     let clip = gate_input(clip, InputRole::Clip, report)?;
     let edges = collect_edges(&subject, &clip);
+    prepare_edges(edges, opts, report)
+}
+
+/// [`prepare`] over borrowed contour slices — identical gating and sweep
+/// construction, no `PolygonSet` materialization.
+pub(crate) fn prepare_refs(
+    subject: &[&Contour],
+    clip: &[&Contour],
+    opts: &ClipOptions,
+    report: &mut PrepReport,
+) -> Result<Option<Prepared>, ClipError> {
+    let subject = gate_refs(subject, InputRole::Subject, report)?;
+    let clip = gate_refs(clip, InputRole::Clip, report)?;
+    let edges = collect_edges_refs(&subject, &clip);
+    prepare_edges(edges, opts, report)
+}
+
+/// The shared back half of preparation, from normalized sweep edges onward.
+fn prepare_edges(
+    edges: Vec<InputEdge>,
+    opts: &ClipOptions,
+    report: &mut PrepReport,
+) -> Result<Option<Prepared>, ClipError> {
     if edges.is_empty() {
         return Ok(None);
     }
@@ -301,12 +359,43 @@ pub fn try_clip_with_stats(
     opts: &ClipOptions,
 ) -> Result<ClipOutcome, ClipError> {
     let mut report = PrepReport::default();
-    let Some(p) = prepare(subject, clip, opts, &mut report)? else {
-        return Ok(ClipOutcome {
+    let prepared = prepare(subject, clip, opts, &mut report)?;
+    Ok(clip_prepared(prepared, report, op, opts))
+}
+
+/// [`try_clip_with_stats`] over borrowed contour slices.
+///
+/// The slab-index hot path of Algorithm 2 hands each slab worker a mix of
+/// borrowed (fully-inside) and freshly band-clipped contours; this entry
+/// point runs the identical pipeline on such a view, so its result is
+/// bit-identical to building a [`PolygonSet`] from the same contours and
+/// calling [`try_clip_with_stats`] (invalid contours must be pre-filtered,
+/// as [`PolygonSet::push`] would).
+pub fn try_clip_refs_with_stats(
+    subject: &[&Contour],
+    clip: &[&Contour],
+    op: BoolOp,
+    opts: &ClipOptions,
+) -> Result<ClipOutcome, ClipError> {
+    let mut report = PrepReport::default();
+    let prepared = prepare_refs(subject, clip, opts, &mut report)?;
+    Ok(clip_prepared(prepared, report, op, opts))
+}
+
+/// Classification + merge + stitching: the shared tail of the two fallible
+/// entry points above, from a prepared scanbeam structure to the outcome.
+fn clip_prepared(
+    prepared: Option<Prepared>,
+    mut report: PrepReport,
+    op: BoolOp,
+    opts: &ClipOptions,
+) -> ClipOutcome {
+    let Some(p) = prepared else {
+        return ClipOutcome {
             result: PolygonSet::new(),
             stats: ClipStats::default(),
             degradations: report.degradations,
-        });
+        };
     };
     let outputs = classify_all(&p, op, opts);
 
@@ -369,11 +458,11 @@ pub fn try_clip_with_stats(
         residuals_accepted: report.residuals_accepted,
         slab_retries: 0,
     };
-    Ok(ClipOutcome {
+    ClipOutcome {
         result: out,
         stats,
         degradations: report.degradations,
-    })
+    }
 }
 
 /// Fallible boolean operation: like [`clip`], but returns the

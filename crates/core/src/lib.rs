@@ -19,6 +19,8 @@
 //!   ("removed finally by array packing");
 //! * [`algo2`] — the multi-threaded slab-partitioning clipper (Algorithm 2)
 //!   with per-phase timers matching Figure 9;
+//! * [`slabindex`] — the output-sensitive contour-to-slab binning pass that
+//!   feeds each Algorithm-2 worker only the contours overlapping its slab;
 //! * [`overlay`] — clipping two *sets* of polygons (GIS layers), with the
 //!   paper's replication strategy and an improved unique-owner assignment;
 //! * [`stats`] — the n / k / k' instrumentation demonstrating output
@@ -45,19 +47,20 @@ pub mod ops;
 pub mod overlay;
 pub mod pram;
 pub mod resilience;
+pub mod slabindex;
 pub mod stats;
 pub mod stitch;
 pub mod tess;
 pub mod validate;
 
 pub use algo2::{
-    clip_pair_slabs, clip_pair_slabs_with, try_clip_pair_slabs, try_clip_pair_slabs_with,
-    Algo2Result, MergeStrategy, PhaseTimes,
+    clip_pair_slabs, clip_pair_slabs_backend, clip_pair_slabs_with, try_clip_pair_slabs,
+    try_clip_pair_slabs_backend, try_clip_pair_slabs_with, Algo2Result, MergeStrategy, PhaseTimes,
 };
 pub use classify::BoolOp;
 pub use engine::{
-    clip, clip_with_stats, dissolve, eo_area, measure_op, try_clip, try_clip_with_stats,
-    ClipOptions,
+    clip, clip_with_stats, dissolve, eo_area, measure_op, try_clip, try_clip_refs_with_stats,
+    try_clip_with_stats, ClipOptions,
 };
 pub use ops::{intersection_all, subtract_all, union_all, xor_all};
 pub use overlay::{
@@ -67,6 +70,7 @@ pub use overlay::{
 };
 pub use pram::{pram_cost, PhaseCost, PramCostModel};
 pub use resilience::{ClipError, ClipOutcome, Degradation, FaultPlan, InputRole};
+pub use slabindex::{SlabEntry, SlabIndex};
 pub use stats::ClipStats;
 pub use stitch::stitch_counted;
 pub use tess::{trapezoids, triangulate, Trapezoid};

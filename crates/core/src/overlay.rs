@@ -24,6 +24,7 @@ use crate::classify::BoolOp;
 use crate::engine::{clip, try_clip_with_stats, ClipOptions};
 use crate::resilience::{self, ClipError, Degradation, InputRole};
 use polyclip_geom::{BBox, OrdF64, PolygonSet};
+use polyclip_parprim::par_sort_dedup;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -225,14 +226,15 @@ pub fn try_overlay_intersection(
     let boxes_b: Vec<BBox> = b.features.iter().map(|f| f.bbox()).collect();
     let pairs = candidate_pairs(&boxes_a, &boxes_b);
 
-    // Slab boundaries from the MBR event y's (the paper's event list).
-    let mut ys: Vec<OrdF64> = boxes_a
-        .iter()
-        .chain(&boxes_b)
-        .flat_map(|bb| [OrdF64::new(bb.ymin), OrdF64::new(bb.ymax)])
-        .collect();
-    ys.sort_unstable();
-    ys.dedup();
+    // Slab boundaries from the MBR event y's (the paper's event list),
+    // sorted and deduplicated in parallel above the parprim cutoff.
+    let ys: Vec<OrdF64> = par_sort_dedup(
+        boxes_a
+            .iter()
+            .chain(&boxes_b)
+            .flat_map(|bb| [OrdF64::new(bb.ymin), OrdF64::new(bb.ymax)])
+            .collect(),
+    );
     let n_slabs = n_slabs.max(1);
     let boundaries = if ys.len() >= 2 {
         slab_boundaries(&ys, n_slabs)
@@ -468,13 +470,13 @@ pub fn try_overlay_difference(
     }
 
     // One task per a-feature, owned by the slab containing its MBR bottom.
-    let mut ys: Vec<OrdF64> = boxes_a
-        .iter()
-        .filter(|bb| !bb.is_empty())
-        .map(|bb| OrdF64::new(bb.ymin))
-        .collect();
-    ys.sort_unstable();
-    ys.dedup();
+    let ys: Vec<OrdF64> = par_sort_dedup(
+        boxes_a
+            .iter()
+            .filter(|bb| !bb.is_empty())
+            .map(|bb| OrdF64::new(bb.ymin))
+            .collect(),
+    );
     let boundaries = if ys.len() >= 2 {
         slab_boundaries(&ys, n_slabs.max(1))
     } else {

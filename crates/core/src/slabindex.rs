@@ -1,0 +1,330 @@
+//! The slab index — output-sensitive contour binning for Algorithm 2.
+//!
+//! The naive partition phase hands **every** slab worker the full inputs
+//! and lets `band_clip` skip non-overlapping contours, so partitioning costs
+//! O(n·p) bbox tests plus p full scans. This module replaces that with one
+//! shared pass: every contour is binned into the *contiguous* range of slabs
+//! its y-extent overlaps (two binary searches of `bbox.ymin/ymax` against
+//! the sorted slab boundaries), and the per-slab buckets are laid out with
+//! the paper's count → prefix-sum → fill pattern
+//! ([`polyclip_parprim::scatter_offsets`] / [`polyclip_parprim::par_count_then_fill`]),
+//! so the pass itself is parallel and allocation-tight. Each worker then
+//! touches only its own bucket: O(n + Σ overlaps) total partition work.
+//!
+//! Each entry also records whether the contour lies **fully inside** its
+//! slab — those contours are handed to the engine by reference, with no
+//! clipping and no deep clone; only boundary-crossing contours go through
+//! the Sutherland–Hodgman band clip.
+
+use polyclip_geom::{Contour, PolygonSet};
+use polyclip_parprim::{par_count_then_fill, par_inclusive_scan, par_merge_sort, scatter_offsets};
+use rayon::prelude::*;
+
+/// One (slab, contour) incidence. `contour` is the global contour id:
+/// subject contours first (in input order), then clip contours.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlabEntry {
+    /// Slab this entry belongs to.
+    pub slab: u32,
+    /// Global contour id (subject contours, then clip contours).
+    pub contour: u32,
+    /// The contour's y-extent lies fully inside the slab's closed band:
+    /// pass it by reference, no clipping needed.
+    pub inside: bool,
+}
+
+/// Contiguous slab span of one contour, with its cached y-extent.
+#[derive(Clone, Copy, Debug, Default)]
+struct Span {
+    lo: u32,
+    hi: u32, // inclusive; lo > hi encodes "overlaps nothing"
+    ymin: f64,
+    ymax: f64,
+}
+
+impl Span {
+    const NONE: Span = Span {
+        lo: 1,
+        hi: 0,
+        ymin: 0.0,
+        ymax: 0.0,
+    };
+
+    #[inline]
+    fn len(&self) -> usize {
+        if self.lo > self.hi {
+            0
+        } else {
+            (self.hi - self.lo + 1) as usize
+        }
+    }
+}
+
+/// CSR-layout bucketing of both inputs' contours into slabs, borrowing the
+/// inputs it indexes. Built once per Algorithm-2 run and shared (immutably)
+/// by all slab workers.
+#[derive(Debug)]
+pub struct SlabIndex<'a> {
+    subject: &'a PolygonSet,
+    clip: &'a PolygonSet,
+    /// Entries sorted by (slab, contour): each slab's bucket lists its
+    /// overlapping contours in global contour order, which reproduces the
+    /// subject-then-clip input order bit-for-bit.
+    entries: Vec<SlabEntry>,
+    /// `bucket_start[s] .. bucket_start[s + 1]` delimits slab `s`'s bucket.
+    bucket_start: Vec<usize>,
+    n_subject: usize,
+}
+
+impl<'a> SlabIndex<'a> {
+    /// Bin every contour of both inputs into the slabs its y-extent
+    /// overlaps. `boundaries` are the sorted slab boundaries from
+    /// [`crate::algo2::slab_boundaries`] (`boundaries.len() - 1` slabs).
+    ///
+    /// Overlap uses the same closed-band semantics as `band_clip`
+    /// ([`polyclip_geom::BBox::y_overlaps`]): a contour touching a boundary
+    /// lands in both adjacent slabs, exactly like the full-scan path.
+    pub fn build(subject: &'a PolygonSet, clip: &'a PolygonSet, boundaries: &[f64]) -> Self {
+        let slabs = boundaries.len().saturating_sub(1);
+        let n_subject = subject.contours().len();
+        let n = n_subject + clip.contours().len();
+        if slabs == 0 || n == 0 {
+            return SlabIndex {
+                subject,
+                clip,
+                entries: Vec::new(),
+                bucket_start: vec![0; slabs + 1],
+                n_subject,
+            };
+        }
+
+        let contour_at = |i: usize| -> &Contour {
+            if i < n_subject {
+                &subject.contours()[i]
+            } else {
+                &clip.contours()[i - n_subject]
+            }
+        };
+
+        // Pass 1 (parallel): per-contour slab span by binary search of the
+        // contour's y-extent against the sorted boundaries. Slab s overlaps
+        // iff boundaries[s] <= ymax && boundaries[s+1] >= ymin; with
+        // strictly increasing boundaries both conditions are half-open
+        // ranges of s, so the overlapping slabs are one contiguous run.
+        let spans: Vec<Span> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let bb = contour_at(i).bbox();
+                if bb.is_empty() {
+                    return Span::NONE;
+                }
+                let hi_count = boundaries[..slabs].partition_point(|&b| b <= bb.ymax);
+                let lo = boundaries[1..=slabs].partition_point(|&b| b < bb.ymin);
+                if hi_count == 0 || lo >= slabs || lo > hi_count - 1 {
+                    return Span::NONE;
+                }
+                Span {
+                    lo: lo as u32,
+                    hi: (hi_count - 1) as u32,
+                    ymin: bb.ymin,
+                    ymax: bb.ymax,
+                }
+            })
+            .collect();
+
+        // Pass 2 (parallel): emit one entry per (slab, contour) incidence
+        // into an exactly-sized array via count → prefix-sum → fill, then
+        // establish the per-slab CSR layout with a parallel merge sort on
+        // the total (slab, contour) key — deterministic for any thread
+        // count, and contour order inside a bucket matches input order.
+        let mut entries: Vec<SlabEntry> = par_count_then_fill(
+            n,
+            |i| spans[i].len(),
+            |i, dst| {
+                let sp = &spans[i];
+                for (k, s) in (sp.lo..=sp.hi).enumerate() {
+                    let (blo, bhi) = (boundaries[s as usize], boundaries[s as usize + 1]);
+                    dst[k] = SlabEntry {
+                        slab: s,
+                        contour: i as u32,
+                        inside: sp.ymin >= blo && sp.ymax <= bhi,
+                    };
+                }
+            },
+        );
+        par_merge_sort(&mut entries, |a, b| {
+            (a.slab, a.contour).cmp(&(b.slab, b.contour))
+        });
+
+        // Bucket offsets: per-slab counts from the span difference array,
+        // prefix-summed (the paper's output-sensitive allocation step).
+        let mut diff = vec![0i64; slabs + 1];
+        for sp in &spans {
+            if sp.lo <= sp.hi {
+                diff[sp.lo as usize] += 1;
+                diff[sp.hi as usize + 1] -= 1;
+            }
+        }
+        let counts: Vec<usize> = par_inclusive_scan(&diff[..slabs], |a, b| a + b)
+            .into_iter()
+            .map(|c| c as usize)
+            .collect();
+        let (mut bucket_start, total) = scatter_offsets(&counts);
+        bucket_start.push(total);
+        debug_assert_eq!(total, entries.len());
+
+        SlabIndex {
+            subject,
+            clip,
+            entries,
+            bucket_start,
+            n_subject,
+        }
+    }
+
+    /// Number of slabs indexed.
+    pub fn n_slabs(&self) -> usize {
+        self.bucket_start.len() - 1
+    }
+
+    /// Total number of (slab, contour) incidences — the Σ overlaps term of
+    /// the partition cost.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no contour overlaps any slab.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The contours overlapping slab `s`, in global contour order.
+    pub fn slab(&self, s: usize) -> &[SlabEntry] {
+        &self.entries[self.bucket_start[s]..self.bucket_start[s + 1]]
+    }
+
+    /// Whether a global contour id refers to the subject input.
+    pub fn is_subject(&self, contour: u32) -> bool {
+        (contour as usize) < self.n_subject
+    }
+
+    /// Resolve a global contour id back to the borrowed input contour.
+    pub fn contour(&self, id: u32) -> &'a Contour {
+        let i = id as usize;
+        if i < self.n_subject {
+            &self.subject.contours()[i]
+        } else {
+            &self.clip.contours()[i - self.n_subject]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo2::slab_boundaries;
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::OrdF64;
+
+    fn boundaries_of(sets: &[&PolygonSet], n_slabs: usize) -> Vec<f64> {
+        let mut ys: Vec<OrdF64> = sets
+            .iter()
+            .flat_map(|p| p.contours())
+            .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
+            .collect();
+        ys.sort_unstable();
+        ys.dedup();
+        slab_boundaries(&ys, n_slabs)
+    }
+
+    /// Oracle: the contours band_clip would touch for this slab.
+    fn naive_slab(subject: &PolygonSet, clip: &PolygonSet, lo: f64, hi: f64) -> Vec<(u32, bool)> {
+        subject
+            .contours()
+            .iter()
+            .chain(clip.contours())
+            .enumerate()
+            .filter(|(_, c)| c.bbox().y_overlaps(lo, hi))
+            .map(|(i, c)| (i as u32, c.bbox().inside_band(lo, hi)))
+            .collect()
+    }
+
+    fn xorshift(mut s: u64) -> impl FnMut() -> u64 {
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn matches_naive_scan_on_random_contours() {
+        let mut rng = xorshift(0xc0ffee);
+        for trial in 0..20 {
+            let mut make = |k: usize| {
+                let contours = (0..k)
+                    .map(|_| {
+                        let x0 = (rng() % 100) as f64 * 0.1;
+                        let y0 = (rng() % 100) as f64 * 0.1;
+                        let w = 0.1 + (rng() % 30) as f64 * 0.1;
+                        let h = 0.1 + (rng() % 60) as f64 * 0.1;
+                        rect(x0, y0, x0 + w, y0 + h)
+                    })
+                    .collect();
+                PolygonSet::from_contours(contours)
+            };
+            let a = make(1 + (trial % 5));
+            let b = make(1 + (trial % 7));
+            for n_slabs in [1usize, 2, 4, 8] {
+                let boundaries = boundaries_of(&[&a, &b], n_slabs);
+                if boundaries.len() < 2 {
+                    continue;
+                }
+                let ix = SlabIndex::build(&a, &b, &boundaries);
+                assert_eq!(ix.n_slabs(), boundaries.len() - 1);
+                for s in 0..ix.n_slabs() {
+                    let got: Vec<(u32, bool)> =
+                        ix.slab(s).iter().map(|e| (e.contour, e.inside)).collect();
+                    let want = naive_slab(&a, &b, boundaries[s], boundaries[s + 1]);
+                    assert_eq!(got, want, "trial {trial} slabs {n_slabs} slab {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_touching_contour_lands_in_both_slabs() {
+        let a = PolygonSet::from_contour(rect(0.0, 0.0, 1.0, 4.0));
+        let b = PolygonSet::from_contour(rect(0.0, 2.0, 1.0, 3.0)); // ymin on seam
+        let boundaries = [0.0, 2.0, 4.0];
+        let ix = SlabIndex::build(&a, &b, &boundaries);
+        // b touches y=2: present in slab 0 (closed band) and slab 1.
+        assert!(ix.slab(0).iter().any(|e| e.contour == 1));
+        assert!(ix.slab(1).iter().any(|e| e.contour == 1));
+        // a crosses the seam: in both, inside neither.
+        for s in 0..2 {
+            let e = ix.slab(s).iter().find(|e| e.contour == 0).unwrap();
+            assert!(!e.inside);
+        }
+        // b is fully inside slab 1 ([2,4]) but only touches slab 0.
+        assert!(ix.slab(1).iter().find(|e| e.contour == 1).unwrap().inside);
+        assert!(!ix.slab(0).iter().find(|e| e.contour == 1).unwrap().inside);
+        assert!(ix.is_subject(0));
+        assert!(!ix.is_subject(1));
+        assert_eq!(ix.len(), 4);
+    }
+
+    #[test]
+    fn empty_inputs_and_no_boundaries_are_safe() {
+        let e = PolygonSet::new();
+        let ix = SlabIndex::build(&e, &e, &[]);
+        assert_eq!(ix.n_slabs(), 0);
+        assert!(ix.is_empty());
+        let a = PolygonSet::from_contour(rect(0.0, 0.0, 1.0, 1.0));
+        let ix = SlabIndex::build(&a, &e, &[0.0, 1.0]);
+        assert_eq!(ix.n_slabs(), 1);
+        assert_eq!(ix.slab(0).len(), 1);
+        assert!(ix.slab(0)[0].inside);
+    }
+}

@@ -1,0 +1,90 @@
+//! Partition-backend equivalence: the output-sensitive slab index must be a
+//! pure optimization. For random polygon pairs — including duplicate-heavy
+//! event schedules, degenerate (flat) contours, and invalid contours
+//! injected past the validity filter — every boolean operation, merge
+//! strategy, and slab count must produce **bit-identical** output, identical
+//! engine counters ([`polyclip_core::ClipStats`] is timer-free and `Eq`),
+//! and identical degradation reports on both backends.
+
+use polyclip_core::algo2::{clip_pair_slabs_backend, MergeStrategy, PartitionBackend};
+use polyclip_core::{BoolOp, ClipOptions};
+use polyclip_geom::{Contour, PolygonSet};
+use proptest::prelude::*;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A random polygon set on a half-integer grid: the coarse grid makes
+/// duplicate y's (shared scanlines, collapsed quantiles) and flat/degenerate
+/// contours common, which is exactly where the two partition paths could
+/// diverge. Occasionally an invalid 2-point contour is smuggled in through
+/// `contours_mut`, bypassing the constructor's validity filter — both
+/// backends must agree on dropping it.
+fn gen_set(seed: u64, max_contours: u64) -> PolygonSet {
+    let mut s = seed | 1;
+    let n = 1 + xorshift(&mut s) % max_contours;
+    let mut contours = Vec::new();
+    for _ in 0..n {
+        let k = 3 + xorshift(&mut s) % 6;
+        let pts: Vec<(f64, f64)> = (0..k)
+            .map(|_| {
+                let x = (xorshift(&mut s) % 24) as f64 * 0.5;
+                let y = (xorshift(&mut s) % 16) as f64 * 0.5;
+                (x, y)
+            })
+            .collect();
+        contours.push(Contour::from_xy(&pts));
+    }
+    let mut p = PolygonSet::from_contours(contours);
+    if xorshift(&mut s).is_multiple_of(4) {
+        let y0 = (xorshift(&mut s) % 16) as f64 * 0.5;
+        p.contours_mut()
+            .push(Contour::from_xy(&[(0.0, y0), (2.0, y0 + 1.0)]));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slab_index_is_bit_identical_to_full_scan(
+        seed_a in 1u64..u64::MAX,
+        seed_b in 1u64..u64::MAX,
+    ) {
+        let a = gen_set(seed_a, 4);
+        let b = gen_set(seed_b, 3);
+        let opts = ClipOptions::sequential();
+        for op in [
+            BoolOp::Intersection,
+            BoolOp::Union,
+            BoolOp::Difference,
+            BoolOp::Xor,
+        ] {
+            for strategy in [MergeStrategy::Sequential, MergeStrategy::Tree] {
+                for slabs in [1usize, 3, 4, 8] {
+                    let full = clip_pair_slabs_backend(
+                        &a, &b, op, slabs, &opts, strategy, PartitionBackend::FullScan,
+                    );
+                    let ix = clip_pair_slabs_backend(
+                        &a, &b, op, slabs, &opts, strategy, PartitionBackend::SlabIndex,
+                    );
+                    let ctx = format!("op {op:?} strategy {strategy:?} slabs {slabs}");
+                    prop_assert_eq!(&full.output, &ix.output, "output: {}", ctx);
+                    prop_assert_eq!(full.stats, ix.stats, "stats: {}", ctx);
+                    prop_assert_eq!(
+                        &full.degradations,
+                        &ix.degradations,
+                        "degradations: {}",
+                        ctx
+                    );
+                    prop_assert_eq!(full.slabs, ix.slabs, "slab count: {}", ctx);
+                }
+            }
+        }
+    }
+}

@@ -90,6 +90,14 @@ impl BBox {
         !self.is_empty() && self.ymin <= ymax && ymin <= self.ymax
     }
 
+    /// True if the whole box lies inside the closed band `ymin <= y <= ymax`
+    /// (the "no clipping needed" fast path of slab partitioning). An empty
+    /// box is vacuously inside.
+    #[inline]
+    pub fn inside_band(&self, ymin: f64, ymax: f64) -> bool {
+        self.ymin >= ymin && self.ymax <= ymax
+    }
+
     /// True if `p` lies inside or on the boundary.
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
@@ -186,5 +194,17 @@ mod tests {
         assert!(b.y_overlaps(5.0, 9.0)); // closed range: touching counts
         assert!(!b.y_overlaps(5.1, 9.0));
         assert!(b.y_overlaps(0.0, 2.0));
+    }
+
+    #[test]
+    fn inside_band_is_closed_and_matches_overlap_semantics() {
+        let b = BBox::new(0.0, 2.0, 1.0, 5.0);
+        assert!(b.inside_band(2.0, 5.0)); // boundary-touching counts as inside
+        assert!(b.inside_band(1.0, 6.0));
+        assert!(!b.inside_band(2.5, 5.0));
+        assert!(!b.inside_band(2.0, 4.5));
+        // Inside implies overlapping for non-empty boxes.
+        assert!(b.y_overlaps(2.0, 5.0));
+        assert!(BBox::EMPTY.inside_band(0.0, 1.0));
     }
 }

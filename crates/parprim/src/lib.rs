@@ -26,10 +26,12 @@ pub mod sort;
 pub use inversions::{
     count_inversions, par_count_inversions, par_report_inversions, report_inversions,
 };
-pub use pack::{pack, par_pack, scatter_offsets};
+pub use pack::{
+    pack, par_count_then_fill, par_dedup_adjacent, par_pack, par_pack_indexed, scatter_offsets,
+};
 pub use scan::{exclusive_scan, inclusive_scan, par_exclusive_scan, par_inclusive_scan};
 pub use segscan::{flags_from_offsets, par_seg_inclusive_scan, seg_inclusive_scan};
-pub use sort::{par_merge, par_merge_sort};
+pub use sort::{par_merge, par_merge_sort, par_sort_dedup};
 
 /// Default sequential cutoff below which parallel routines fall back to their
 /// sequential counterparts. Chosen so that rayon task overhead stays well

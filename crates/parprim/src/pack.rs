@@ -26,16 +26,39 @@ where
     T: Copy + Send + Sync,
     F: Fn(&T) -> bool + Send + Sync,
 {
+    par_pack_indexed(xs, |_, x| keep(x))
+}
+
+/// [`par_pack`] whose predicate also sees the element's global index —
+/// the building block for packs that inspect a neighbourhood, like
+/// [`par_dedup_adjacent`].
+pub fn par_pack_indexed<T, F>(xs: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize, &T) -> bool + Send + Sync,
+{
     let n = xs.len();
     if n <= SEQ_CUTOFF {
-        return pack(xs, keep);
+        return xs
+            .iter()
+            .enumerate()
+            .filter(|(i, x)| keep(*i, x))
+            .map(|(_, x)| *x)
+            .collect();
     }
     let threads = rayon::current_num_threads().max(1);
     let block = n.div_ceil(threads * 4).max(1);
 
     let counts: Vec<usize> = xs
         .par_chunks(block)
-        .map(|c| c.iter().filter(|x| keep(x)).count())
+        .enumerate()
+        .map(|(bi, c)| {
+            let base = bi * block;
+            c.iter()
+                .enumerate()
+                .filter(|(j, x)| keep(base + j, x))
+                .count()
+        })
         .collect();
     let total: usize = counts.iter().sum();
     let offsets = exclusive_scan(&counts, 0, |a, b| a + b);
@@ -59,10 +82,12 @@ where
     slices
         .into_par_iter()
         .zip(xs.par_chunks(block))
-        .for_each(|(dst, src)| {
+        .enumerate()
+        .for_each(|(bi, (dst, src))| {
+            let base = bi * block;
             let mut k = 0;
-            for x in src {
-                if keep(x) {
+            for (j, x) in src.iter().enumerate() {
+                if keep(base + j, x) {
                     dst[k] = *x;
                     k += 1;
                 }
@@ -70,6 +95,17 @@ where
             debug_assert_eq!(k, dst.len());
         });
     out
+}
+
+/// Remove adjacent duplicates from a **sorted** slice by parallel pack
+/// (`dedup` as stream compaction): keep `xs[i]` iff it differs from its
+/// left neighbour. On sorted input this yields the distinct values, exactly
+/// like `Vec::dedup` — but with O(n / p + log n) depth.
+pub fn par_dedup_adjacent<T>(xs: &[T]) -> Vec<T>
+where
+    T: Copy + Send + Sync + PartialEq,
+{
+    par_pack_indexed(xs, |i, x| i == 0 || xs[i - 1] != *x)
 }
 
 /// Turn per-producer output counts into `(offsets, total)`.
@@ -138,6 +174,28 @@ mod tests {
         let xs: Vec<u32> = (0..20_000).collect();
         assert_eq!(par_pack(&xs, |_| true), xs);
         assert!(par_pack(&xs, |_| false).is_empty());
+    }
+
+    #[test]
+    fn par_pack_indexed_sees_global_indices() {
+        let n = 3 * SEQ_CUTOFF;
+        let xs: Vec<u32> = (0..n as u32).collect();
+        // Keep exactly the elements whose *index* is a multiple of 7; with
+        // xs[i] == i this is checkable without the index.
+        let got = par_pack_indexed(&xs, |i, _| i % 7 == 0);
+        let want: Vec<u32> = (0..n as u32).filter(|x| x % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_dedup_adjacent_matches_vec_dedup() {
+        for n in [0usize, 1, 5, SEQ_CUTOFF + 3, 30_000] {
+            let mut xs: Vec<u32> = (0..n as u32).map(|i| i / 17).collect();
+            xs.sort_unstable();
+            let mut want = xs.clone();
+            want.dedup();
+            assert_eq!(par_dedup_adjacent(&xs), want, "n={n}");
+        }
     }
 
     #[test]

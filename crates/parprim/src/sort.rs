@@ -57,6 +57,25 @@ where
     }
 }
 
+/// Sort and deduplicate an owned vector — the parallel replacement for the
+/// ubiquitous `v.sort_unstable(); v.dedup();` event-schedule idiom (the
+/// paper's Step 1). Below [`SEQ_CUTOFF`] it runs exactly that sequential
+/// idiom; above it, [`par_merge_sort`] plus dedup-by-pack
+/// ([`crate::pack::par_dedup_adjacent`]). `Ord` keys are totally ordered, so
+/// both routes produce the identical vector.
+pub fn par_sort_dedup<T>(mut xs: Vec<T>) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default + Ord,
+{
+    if xs.len() <= SEQ_CUTOFF {
+        xs.sort_unstable();
+        xs.dedup();
+        return xs;
+    }
+    par_merge_sort(&mut xs, |a, b| a.cmp(b));
+    crate::pack::par_dedup_adjacent(&xs)
+}
+
 /// Parallel merge of two sorted runs into `out` (`out.len() == a.len() +
 /// b.len()`), splitting recursively by the median rank.
 pub fn par_merge<T, F>(a: &[T], b: &[T], cmp: F) -> Vec<T>
@@ -185,6 +204,18 @@ mod tests {
         let merged = par_merge(&a, &b, |x, y| x.cmp(y));
         let want: Vec<u64> = (0..120_000).collect();
         assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn par_sort_dedup_equals_sequential_idiom() {
+        let mut rng = xorshift(7);
+        for n in [0usize, 1, 100, SEQ_CUTOFF, SEQ_CUTOFF + 1, 120_000] {
+            let xs: Vec<u64> = (0..n).map(|_| rng() % 500).collect();
+            let mut want = xs.clone();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(par_sort_dedup(xs), want, "n={n}");
+        }
     }
 
     #[test]

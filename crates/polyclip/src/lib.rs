@@ -87,7 +87,9 @@ pub use polyclip_sweep as sweep;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use polyclip_core::algo2::{clip_pair_slabs, clip_pair_slabs_with, MergeStrategy};
+    pub use polyclip_core::algo2::{
+        clip_pair_slabs, clip_pair_slabs_backend, clip_pair_slabs_with, MergeStrategy,
+    };
     pub use polyclip_core::{
         clip, clip_with_stats, dissolve, eo_area, measure_op, overlay_difference,
         overlay_intersection, overlay_union, Algo2Result, BoolOp, ClipOptions, ClipStats, Layer,
@@ -96,9 +98,9 @@ pub mod prelude {
     pub use polyclip_core::{intersection_all, subtract_all, union_all, xor_all};
     pub use polyclip_core::{trapezoids, triangulate, validate, Trapezoid};
     pub use polyclip_core::{
-        try_clip, try_clip_pair_slabs, try_clip_pair_slabs_with, try_clip_with_stats,
-        try_overlay_difference, try_overlay_intersection, try_overlay_union, ClipError,
-        ClipOutcome, Degradation, FaultPlan, InputRole,
+        try_clip, try_clip_pair_slabs, try_clip_pair_slabs_backend, try_clip_pair_slabs_with,
+        try_clip_with_stats, try_overlay_difference, try_overlay_intersection, try_overlay_union,
+        ClipError, ClipOutcome, Degradation, FaultPlan, InputRole,
     };
     pub use polyclip_geom::{BBox, Contour, FillRule, Point, PolygonSet};
 }

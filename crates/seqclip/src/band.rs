@@ -12,6 +12,7 @@
 //! while general rectangle clipping of arbitrary polygons would not be.
 
 use polyclip_geom::{Contour, Point, PolygonSet, Segment};
+use std::borrow::Cow;
 
 /// Clip every contour of `poly` to the band `ymin <= y <= ymax`.
 ///
@@ -21,17 +22,46 @@ use polyclip_geom::{Contour, Point, PolygonSet, Segment};
 /// seam-cancelling merge relies on.
 pub fn band_clip(poly: &PolygonSet, ymin: f64, ymax: f64) -> PolygonSet {
     debug_assert!(ymin < ymax, "empty band");
+    let mut scratch = Vec::new();
     let mut out = PolygonSet::new();
     for c in poly.contours() {
         let b = c.bbox();
-        if b.ymax < ymin || b.ymin > ymax {
+        if !b.y_overlaps(ymin, ymax) {
             continue; // entirely outside the band
         }
-        if b.ymin >= ymin && b.ymax <= ymax {
+        if b.inside_band(ymin, ymax) {
             out.push(c.clone()); // entirely inside
             continue;
         }
-        out.push(band_clip_contour(c, ymin, ymax));
+        out.push(band_clip_contour_into(c, ymin, ymax, &mut scratch));
+    }
+    out
+}
+
+/// [`band_clip`] without deep-cloning untouched geometry: contours fully
+/// inside the band come back `Cow::Borrowed`, only boundary-crossing
+/// contours are clipped into owned storage. Contours that would not survive
+/// [`PolygonSet::push`]'s validity filter (fewer than three vertices) are
+/// omitted, so collecting the owned values reproduces `band_clip` exactly.
+pub fn band_clip_cow<'a>(poly: &'a PolygonSet, ymin: f64, ymax: f64) -> Vec<Cow<'a, Contour>> {
+    debug_assert!(ymin < ymax, "empty band");
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    for c in poly.contours() {
+        let b = c.bbox();
+        if !b.y_overlaps(ymin, ymax) {
+            continue;
+        }
+        if b.inside_band(ymin, ymax) {
+            if c.is_valid() {
+                out.push(Cow::Borrowed(c));
+            }
+            continue;
+        }
+        let clipped = band_clip_contour_into(c, ymin, ymax, &mut scratch);
+        if clipped.is_valid() {
+            out.push(Cow::Owned(clipped));
+        }
     }
     out
 }
@@ -43,10 +73,25 @@ pub fn band_clip(poly: &PolygonSet, ymin: f64, ymax: f64) -> PolygonSet {
 /// the same boundary line connect along that line, reproducing the classic
 /// SH boundary runs; an edge traversing the whole band emits both crossings
 /// and keeps its interior portion.
-fn band_clip_contour(c: &Contour, ymin: f64, ymax: f64) -> Contour {
+pub fn band_clip_contour(c: &Contour, ymin: f64, ymax: f64) -> Contour {
+    band_clip_contour_into(c, ymin, ymax, &mut Vec::with_capacity(c.len() + 8))
+}
+
+/// [`band_clip_contour`] writing through a caller-owned scratch buffer, so a
+/// slab worker clipping many contours reuses one allocation for the working
+/// vertex list instead of a fresh `Vec<Point>` per contour. Only the
+/// returned [`Contour`] allocates (exactly its final size); `scratch` keeps
+/// its capacity and may be reused immediately.
+pub fn band_clip_contour_into(
+    c: &Contour,
+    ymin: f64,
+    ymax: f64,
+    scratch: &mut Vec<Point>,
+) -> Contour {
     let pts = c.points();
     let n = pts.len();
-    let mut out: Vec<Point> = Vec::with_capacity(n + 8);
+    scratch.clear();
+    let out = scratch;
     for i in 0..n {
         let p = pts[i];
         let q = pts[(i + 1) % n];
@@ -63,24 +108,24 @@ fn band_clip_contour(c: &Contour, ymin: f64, ymax: f64) -> Contour {
         };
         if upward {
             if crosses_min {
-                emit_cross(ymin, &mut out);
+                emit_cross(ymin, &mut *out);
             }
             if crosses_max {
-                emit_cross(ymax, &mut out);
+                emit_cross(ymax, &mut *out);
             }
         } else {
             if crosses_max {
-                emit_cross(ymax, &mut out);
+                emit_cross(ymax, &mut *out);
             }
             if crosses_min {
-                emit_cross(ymin, &mut out);
+                emit_cross(ymin, &mut *out);
             }
         }
         if q.y >= ymin && q.y <= ymax {
             out.push(q);
         }
     }
-    Contour::new(out)
+    Contour::new(out.clone())
 }
 
 /// Clip every contour of `poly` to the vertical band `xmin <= x <= xmax`
@@ -178,6 +223,42 @@ mod tests {
         assert_eq!(out.len(), 2);
         let area: f64 = out.contours().iter().map(|c| c.area()).sum();
         assert!((area - (3.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cow_variant_matches_band_clip_and_borrows_inside_contours() {
+        let p = PolygonSet::from_contours(vec![
+            rect(0.0, 0.0, 1.0, 10.0), // crosses both boundaries
+            rect(2.0, 4.0, 3.0, 5.0),  // fully inside
+            rect(4.0, 8.0, 5.0, 9.0),  // fully outside
+            rect(6.0, 3.0, 7.0, 6.5),  // crosses the top boundary
+        ]);
+        let cows = band_clip_cow(&p, 3.0, 6.0);
+        let owned = band_clip(&p, 3.0, 6.0);
+        let collected =
+            PolygonSet::from_contours(cows.iter().map(|c| c.as_ref().clone()).collect());
+        assert_eq!(collected, owned);
+        let borrowed = cows
+            .iter()
+            .filter(|c| matches!(c, Cow::Borrowed(_)))
+            .count();
+        assert_eq!(borrowed, 1, "exactly the fully-inside contour is borrowed");
+    }
+
+    #[test]
+    fn scratch_buffer_reuse_is_bit_identical() {
+        let tri = Contour::new(vec![
+            Point::new(0.3, 0.1),
+            Point::new(5.7, 0.9),
+            Point::new(2.2, 4.7),
+        ]);
+        let mut scratch = Vec::new();
+        let a = band_clip_contour(&tri, 0.5, 3.0);
+        let b = band_clip_contour_into(&tri, 0.5, 3.0, &mut scratch);
+        assert_eq!(a, b);
+        // Reuse with stale capacity must not leak previous contents.
+        let c = band_clip_contour_into(&tri, 1.0, 2.0, &mut scratch);
+        assert_eq!(c, band_clip_contour(&tri, 1.0, 2.0));
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod greiner_hormann;
 pub mod liang_barsky;
 pub mod sutherland_hodgman;
 
-pub use band::{band_clip, rect_clip, xband_clip};
+pub use band::{
+    band_clip, band_clip_contour, band_clip_contour_into, band_clip_cow, rect_clip, xband_clip,
+};
 pub use greiner_hormann::{gh_clip, GhOp};
 pub use liang_barsky::clip_segment_to_rect;
 pub use sutherland_hodgman::{clip_to_convex, clip_to_halfplane};

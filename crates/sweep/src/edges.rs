@@ -1,6 +1,6 @@
 //! Normalized sweep edges.
 
-use polyclip_geom::{Point, PolygonSet, Segment};
+use polyclip_geom::{Contour, Point, PolygonSet, Segment};
 
 /// Which input polygon an edge came from. The paper's Lemma 3 parity test
 /// counts edges of *the other* polygon, so every edge carries its source.
@@ -87,12 +87,22 @@ use polyclip_geom::OrdF64;
 /// scanbeam and never enter an active edge set, and the engine's horizontal
 /// reconstruction regenerates their output geometry.
 pub fn collect_edges(subject: &PolygonSet, clip: &PolygonSet) -> Vec<InputEdge> {
+    let s: Vec<&Contour> = subject.contours().iter().collect();
+    let c: Vec<&Contour> = clip.contours().iter().collect();
+    collect_edges_refs(&s, &c)
+}
+
+/// [`collect_edges`] over borrowed contour slices — the entry point for
+/// callers (the slab index) that assemble an input from a mix of borrowed
+/// and freshly clipped contours without materializing a [`PolygonSet`].
+/// Given the same contour sequences, the output is bit-identical to
+/// [`collect_edges`].
+pub fn collect_edges_refs(subject: &[&Contour], clip: &[&Contour]) -> Vec<InputEdge> {
     // Build the vertex-y snap map across BOTH inputs so shared scanlines
     // agree between the polygons.
     let ys: Vec<OrdF64> = subject
-        .contours()
         .iter()
-        .chain(clip.contours())
+        .chain(clip.iter())
         .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
         .collect();
     let snap = snap_map(ys);
@@ -103,9 +113,10 @@ pub fn collect_edges(subject: &PolygonSet, clip: &PolygonSet) -> Vec<InputEdge> 
         }
     };
 
-    let mut out = Vec::with_capacity(subject.edge_count() + clip.edge_count());
-    let push_poly = |poly: &PolygonSet, src: Source, out: &mut Vec<InputEdge>| {
-        for contour in poly.contours() {
+    let cap: usize = subject.iter().chain(clip.iter()).map(|c| c.len()).sum();
+    let mut out = Vec::with_capacity(cap);
+    let push_contours = |contours: &[&Contour], src: Source, out: &mut Vec<InputEdge>| {
+        for contour in contours {
             for e in contour.edges() {
                 let (a, b) = (fix(e.a), fix(e.b));
                 if a == b || a.y == b.y {
@@ -123,8 +134,8 @@ pub fn collect_edges(subject: &PolygonSet, clip: &PolygonSet) -> Vec<InputEdge> 
             }
         }
     };
-    push_poly(subject, Source::Subject, &mut out);
-    push_poly(clip, Source::Clip, &mut out);
+    push_contours(subject, Source::Subject, &mut out);
+    push_contours(clip, Source::Clip, &mut out);
     out
 }
 
