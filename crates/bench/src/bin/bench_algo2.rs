@@ -99,9 +99,10 @@ fn main() {
                     )
                 });
                 println!(
-                    "{backend_name:>10}  p={p}  slabs={}  partition={:>9.3}ms  clip={:>9.3}ms  \
-                     merge={:>7.3}ms  wall={:>9.3}ms",
+                    "{backend_name:>10}  p={p}  slabs={}  sanitize={:>7.3}ms  \
+                     partition={:>9.3}ms  clip={:>9.3}ms  merge={:>7.3}ms  wall={:>9.3}ms",
                     r.slabs,
+                    r.times.sanitize.as_secs_f64() * 1e3,
                     r.times.partition_total().as_secs_f64() * 1e3,
                     r.times.clip_total().as_secs_f64() * 1e3,
                     r.times.merge.as_secs_f64() * 1e3,
@@ -112,6 +113,7 @@ fn main() {
                     ("backend", Value::Str(backend_name.into())),
                     ("p", Value::Num(p as f64)),
                     ("slabs", Value::Num(r.slabs as f64)),
+                    ("sanitize_ms", msf(r.times.sanitize)),
                     ("index_ms", msf(r.times.index)),
                     ("partition_total_ms", msf(r.times.partition_total())),
                     ("clip_total_ms", msf(r.times.clip_total())),

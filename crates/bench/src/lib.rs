@@ -45,7 +45,7 @@ pub fn critical_path(times: &PhaseTimes) -> Duration {
         .map(|(p, c)| *p + *c)
         .max()
         .unwrap_or(Duration::ZERO);
-    times.index + slowest + times.merge
+    times.sanitize + times.index + slowest + times.merge
 }
 
 /// Critical path of an overlay run: slowest slab + the (parallel-safe)
@@ -396,13 +396,14 @@ mod tests {
     #[test]
     fn critical_path_is_index_plus_slowest_slab_plus_merge() {
         let times = PhaseTimes {
+            sanitize: Duration::from_millis(1),
             index: Duration::from_millis(2),
             per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
             per_slab_clip: vec![Duration::from_millis(10), Duration::from_millis(5)],
             merge: Duration::from_millis(3),
             total: Duration::from_millis(23),
         };
-        assert_eq!(critical_path(&times), Duration::from_millis(16));
+        assert_eq!(critical_path(&times), Duration::from_millis(17));
     }
 
     #[test]

@@ -44,6 +44,10 @@ use std::time::{Duration, Instant};
 /// Wall-clock phase breakdown of one Algorithm-2 run (Figure 9 / 11 data).
 #[derive(Clone, Debug, Default)]
 pub struct PhaseTimes {
+    /// Up-front input sanitization across both operands. Zero when
+    /// [`ClipOptions::sanitize`] is off; a single read-only scan (no
+    /// allocation) when the input is clean.
+    pub sanitize: Duration,
     /// Shared slab-index build (contour binning). Zero on the
     /// [`PartitionBackend::FullScan`] path and on single-slab runs.
     pub index: Duration,
@@ -443,8 +447,48 @@ pub fn try_clip_pair_slabs_backend(
             });
         }
     }
+
+    // Up-front sanitization of both operands (once, not per slab), so
+    // every worker sees the repaired geometry and the repairs are reported
+    // exactly once. Slab workers and the merge then run with sanitization
+    // and output validation off: band clipping deliberately creates
+    // exactly-collinear seam vertices that fragment cancellation depends
+    // on, and the output ladder runs once on the merged result below.
+    let t_san = Instant::now();
+    let mut pre_degradations: Vec<Degradation> = Vec::new();
+    let mut pre_repairs = 0usize;
+    let repairs_only = crate::sanitize::SanitizeOptions::repairs_only();
+    let (subject_gate, clip_gate) = if opts.sanitize {
+        let (s, s_rep) = crate::sanitize::sanitize_set(subject, &repairs_only);
+        if !s_rep.is_clean() {
+            pre_repairs += s_rep.total();
+            pre_degradations.push(Degradation::InputRepaired {
+                role: InputRole::Subject,
+                repairs: s_rep,
+            });
+        }
+        let (c, c_rep) = crate::sanitize::sanitize_set(clip_p, &repairs_only);
+        if !c_rep.is_clean() {
+            pre_repairs += c_rep.total();
+            pre_degradations.push(Degradation::InputRepaired {
+                role: InputRole::Clip,
+                repairs: c_rep,
+            });
+        }
+        (s, c)
+    } else {
+        (
+            std::borrow::Cow::Borrowed(subject),
+            std::borrow::Cow::Borrowed(clip_p),
+        )
+    };
+    let (subject, clip_p) = (&*subject_gate, &*clip_gate);
+    let t_sanitize = t_san.elapsed();
+
     let seq = ClipOptions {
         parallel: false,
+        sanitize: false,
+        validate_output: false,
         ..*opts
     };
 
@@ -464,7 +508,20 @@ pub fn try_clip_pair_slabs_backend(
         // Degenerate instance or a single slab: one unbanded worker, still
         // under the recovery ladder (slab index 0).
         let partial = run_slab(0, None, subject, clip_p, op, &seq)?;
+        let mut stats = partial.stats;
+        stats.input_repairs += pre_repairs;
+        let mut degradations = pre_degradations;
+        degradations.extend(partial.degradations);
+        let mut outcome = ClipOutcome {
+            result: partial.output,
+            stats,
+            degradations,
+        };
+        if opts.validate_output {
+            crate::engine::repair_output(subject, clip_p, op, opts, &mut outcome);
+        }
         let times = PhaseTimes {
+            sanitize: t_sanitize,
             index: Duration::ZERO,
             per_slab_partition: vec![Duration::ZERO],
             per_slab_clip: vec![partial.t_clip],
@@ -472,11 +529,11 @@ pub fn try_clip_pair_slabs_backend(
             total: t_start.elapsed(),
         };
         return Ok(Algo2Result {
-            output: partial.output,
+            output: outcome.result,
             times,
             slabs: 1,
-            stats: partial.stats,
-            degradations: partial.degradations,
+            stats: outcome.stats,
+            degradations: outcome.degradations,
         });
     }
 
@@ -511,8 +568,11 @@ pub fn try_clip_pair_slabs_backend(
     let mut parts: Vec<PolygonSet> = Vec::with_capacity(slabs);
     let mut per_slab_partition: Vec<Duration> = Vec::with_capacity(slabs);
     let mut per_slab_clip: Vec<Duration> = Vec::with_capacity(slabs);
-    let mut stats = ClipStats::default();
-    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut stats = ClipStats {
+        input_repairs: pre_repairs,
+        ..ClipStats::default()
+    };
+    let mut degradations: Vec<Degradation> = pre_degradations;
     for partial in partials {
         let p = partial?;
         parts.push(p.output);
@@ -531,9 +591,23 @@ pub fn try_clip_pair_slabs_backend(
     };
     let merge = t_merge.elapsed();
 
+    // Output ladder on the merged result (once, not per slab).
+    let (output, stats, degradations) = if opts.validate_output {
+        let mut outcome = ClipOutcome {
+            result: output,
+            stats,
+            degradations,
+        };
+        crate::engine::repair_output(subject, clip_p, op, opts, &mut outcome);
+        (outcome.result, outcome.stats, outcome.degradations)
+    } else {
+        (output, stats, degradations)
+    };
+
     Ok(Algo2Result {
         output,
         times: PhaseTimes {
+            sanitize: t_sanitize,
             index: t_index,
             per_slab_partition,
             per_slab_clip,
@@ -956,6 +1030,7 @@ mod tests {
     #[test]
     fn phase_totals_sum_index_and_per_slab_times() {
         let t = PhaseTimes {
+            sanitize: Duration::ZERO,
             index: Duration::from_millis(3),
             per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
             per_slab_clip: vec![Duration::from_millis(5), Duration::from_millis(7)],

@@ -22,7 +22,10 @@
 
 use crate::classify::{classify_beam, BeamOutput, BoolOp};
 use crate::horizontal::horizontal_edges;
-use crate::resilience::{self, ClipError, ClipOutcome, Degradation, FaultPlan, InputRole};
+use crate::resilience::{
+    self, ClipError, ClipOutcome, Degradation, FaultPlan, InputRole, RepairRung,
+};
+use crate::sanitize::{sanitize_set, SanitizeOptions};
 use crate::stats::ClipStats;
 use crate::stitch::stitch_counted;
 use crate::validate::{is_degenerate, sanitize_counted};
@@ -48,6 +51,32 @@ pub struct ClipOptions {
     /// Keep the k' virtual vertices in the output instead of packing them
     /// away (useful for inspecting the scanbeam structure).
     pub keep_virtual: bool,
+    /// Snap-rounding grid cell for intersection vertices. `0.0` (the
+    /// default) disables snapping — results are bit-identical to the
+    /// pre-snap engine. When positive, every discovered crossing is
+    /// rounded onto the uniform grid of this cell size *if* the rounded
+    /// point still lies on both crossing edges' spans (verified before
+    /// use; otherwise the exact crossing is kept). Snapping collapses
+    /// near-coincident intersection clusters that would otherwise produce
+    /// ulp-thin scanbeams and sliver contours, at the cost of perturbing
+    /// crossing vertices by at most half a cell diagonal.
+    pub snap_cell: f64,
+    /// Run the input sanitizer on both operands before clipping (see
+    /// [`crate::sanitize`]): repairs duplicate/collinear/spike vertices
+    /// and culls zero-area contours, recording any surgery as
+    /// [`Degradation::InputRepaired`]. Clean input passes through
+    /// borrowed, untouched — repairs never change the enclosed region,
+    /// so clean-input results are identical with or without this flag.
+    /// Orientation is never touched (it is semantic under nonzero
+    /// winding).
+    pub sanitize: bool,
+    /// Validate the output against the engine's canonical-output
+    /// guarantees and, on violation, run the self-repair ladder
+    /// (re-dissolve → tightened snap re-clip → pristine sequential
+    /// re-clip), recording [`Degradation::OutputRepaired`]. Off by
+    /// default: the engine's output is canonical by construction and the
+    /// check costs a validation sweep.
+    pub validate_output: bool,
     /// Deterministic fault plan for resilience testing. Inert unless the
     /// `fault-injection` cargo feature is enabled.
     pub faults: FaultPlan,
@@ -60,6 +89,9 @@ impl Default for ClipOptions {
             parallel: true,
             backend: PartitionBackend::DirectScan,
             keep_virtual: false,
+            snap_cell: 0.0,
+            sanitize: true,
+            validate_output: false,
             faults: FaultPlan::default(),
         }
     }
@@ -106,6 +138,29 @@ fn snap_to_events(ys: &[f64], y: f64) -> f64 {
     }
 }
 
+/// Snap a discovered crossing onto the uniform grid of cell size `cell`,
+/// verified: the rounded point is used only when it still lies on both
+/// crossing edges' spans, otherwise the exact crossing is kept (so
+/// snapping can collapse sliver clusters but never move a vertex off its
+/// generating edges). Identity when `cell <= 0`.
+fn snap_crossing(p: Point, a: &InputEdge, b: &InputEdge, cell: f64) -> Point {
+    if cell <= 0.0 {
+        return p;
+    }
+    let s = p.snap_to_grid(cell);
+    if s == p {
+        return p;
+    }
+    let on_span = |e: &InputEdge| {
+        s.x >= e.lo.x.min(e.hi.x) && s.x <= e.lo.x.max(e.hi.x) && s.y >= e.lo.y && s.y <= e.hi.y
+    };
+    if on_span(a) && on_span(b) {
+        s
+    } else {
+        p
+    }
+}
+
 /// Everything `prepare` absorbed and measured besides the scanbeam
 /// structure itself: degradations plus the refinement counters.
 #[derive(Debug, Default)]
@@ -113,14 +168,17 @@ pub(crate) struct PrepReport {
     pub(crate) degradations: Vec<Degradation>,
     pub(crate) refine_rounds: usize,
     pub(crate) residuals_accepted: usize,
+    pub(crate) input_repairs: usize,
 }
 
 /// Input gate: reject non-finite coordinates (they poison the event
-/// ordering), drop contours that provably cannot contribute area, record
-/// the drops. Borrows the input untouched in the clean case.
+/// ordering), run the vertex-repair sanitizer when configured (recording
+/// any surgery), then drop contours that provably cannot contribute area,
+/// recording the drops. Borrows the input untouched in the clean case.
 fn gate_input<'a>(
     p: &'a PolygonSet,
     role: InputRole,
+    opts: &ClipOptions,
     report: &mut PrepReport,
 ) -> Result<Cow<'a, PolygonSet>, ClipError> {
     if let Some((contour, vertex)) = p.first_non_finite() {
@@ -130,7 +188,25 @@ fn gate_input<'a>(
             vertex,
         });
     }
-    let (gated, dropped) = sanitize_counted(p);
+    let repaired = if opts.sanitize {
+        let (repaired, repairs) = sanitize_set(p, &SanitizeOptions::repairs_only());
+        if !repairs.is_clean() {
+            report.input_repairs += repairs.total();
+            report
+                .degradations
+                .push(Degradation::InputRepaired { role, repairs });
+        }
+        repaired
+    } else {
+        Cow::Borrowed(p)
+    };
+    let (gated, dropped) = match repaired {
+        Cow::Borrowed(q) => sanitize_counted(q),
+        Cow::Owned(q) => {
+            let (g, dropped) = sanitize_counted(&q);
+            (Cow::Owned(g.into_owned()), dropped)
+        }
+    };
     if dropped > 0 {
         report.degradations.push(Degradation::SanitizedInput {
             role,
@@ -183,14 +259,17 @@ pub(crate) fn prepare(
     opts: &ClipOptions,
     report: &mut PrepReport,
 ) -> Result<Option<Prepared>, ClipError> {
-    let subject = gate_input(subject, InputRole::Subject, report)?;
-    let clip = gate_input(clip, InputRole::Clip, report)?;
+    let subject = gate_input(subject, InputRole::Subject, opts, report)?;
+    let clip = gate_input(clip, InputRole::Clip, opts, report)?;
     let edges = collect_edges(&subject, &clip);
     prepare_edges(edges, opts, report)
 }
 
-/// [`prepare`] over borrowed contour slices — identical gating and sweep
-/// construction, no `PolygonSet` materialization.
+/// [`prepare`] over borrowed contour slices — identical non-finite and
+/// degeneracy gating, no `PolygonSet` materialization. Deliberately skips
+/// [`ClipOptions::sanitize`]: this is the slab-worker hot path, whose
+/// band-clipped contours carry exactly-collinear seam vertices that the
+/// merge's fragment cancellation depends on.
 pub(crate) fn prepare_refs(
     subject: &[&Contour],
     clip: &[&Contour],
@@ -233,12 +312,18 @@ fn prepare_edges(
     let mut extra: Vec<f64> = Vec::with_capacity(crossings.len());
     let mut k_pairs: Vec<(u32, u32)> = Vec::with_capacity(crossings.len());
     for c in &crossings {
-        let py = snap_to_events(&ys_a, c.p.y);
+        let cp = snap_crossing(
+            c.p,
+            &edges[c.e1 as usize],
+            &edges[c.e2 as usize],
+            opts.snap_cell,
+        );
+        let py = snap_to_events(&ys_a, cp.y);
         let mut applied = false;
         for eid in [c.e1, c.e2] {
             let e = &edges[eid as usize];
             if py > e.lo.y && py < e.hi.y {
-                triples.push((eid, py, c.p.x));
+                triples.push((eid, py, cp.x));
                 applied = true;
             }
         }
@@ -297,17 +382,23 @@ fn prepare_edges(
         }
         let mut progressed = false;
         for c in &residual {
+            let cp = snap_crossing(
+                c.p,
+                &edges[c.e1 as usize],
+                &edges[c.e2 as usize],
+                opts.snap_cell,
+            );
             for eid in [c.e1, c.e2] {
                 let e = &edges[eid as usize];
-                if c.p.y > e.lo.y && c.p.y < e.hi.y {
-                    let t = (eid, c.p.y, c.p.x);
+                if cp.y > e.lo.y && cp.y < e.hi.y {
+                    let t = (eid, cp.y, cp.x);
                     if !triples.contains(&t) {
                         triples.push(t);
                         progressed = true;
                     }
                 }
             }
-            extra.push(c.p.y);
+            extra.push(cp.y);
         }
         if !progressed {
             // The remaining residuals sit inside beams already at the
@@ -360,7 +451,90 @@ pub fn try_clip_with_stats(
 ) -> Result<ClipOutcome, ClipError> {
     let mut report = PrepReport::default();
     let prepared = prepare(subject, clip, opts, &mut report)?;
-    Ok(clip_prepared(prepared, report, op, opts))
+    let mut outcome = clip_prepared(prepared, report, op, opts);
+    if opts.validate_output {
+        repair_output(subject, clip, op, opts, &mut outcome);
+    }
+    Ok(outcome)
+}
+
+/// The output self-repair ladder: validate the result and, on violation,
+/// escalate through increasingly expensive re-derivations until one
+/// validates — re-dissolve the output, re-clip with a tightened snap
+/// grid, re-clip on the pristine sequential engine — keeping the original
+/// if every rung still violates. Every invocation (repaired or not) is
+/// recorded as [`Degradation::OutputRepaired`].
+pub(crate) fn repair_output(
+    subject: &PolygonSet,
+    clip: &PolygonSet,
+    op: BoolOp,
+    opts: &ClipOptions,
+    outcome: &mut ClipOutcome,
+) {
+    let violations = crate::validate::validate(&outcome.result).violations.len();
+    if violations == 0 {
+        return;
+    }
+    // Internal re-derivations must not sanitize (the inputs were already
+    // gated) and must not re-validate (no recursion).
+    let internal = ClipOptions {
+        sanitize: false,
+        validate_output: false,
+        ..*opts
+    };
+
+    let mut rung = RepairRung::Unrepaired;
+
+    // Rung 1: re-dissolve the output. Cheap — proportional to the output,
+    // not the inputs — and fixes most stitch-level defects (duplicate
+    // vertices, crossing slivers).
+    let redissolved = dissolve(&outcome.result, &internal);
+    if crate::validate::validate(&redissolved).is_canonical() {
+        outcome.result = redissolved;
+        rung = RepairRung::Redissolve;
+    } else {
+        // Rung 2: re-clip with a tightened snap grid, collapsing the
+        // near-coincident crossings that produced the violation. Doubling
+        // an explicit cell widens the grid; otherwise derive one from the
+        // input extent.
+        let cell = if opts.snap_cell > 0.0 {
+            opts.snap_cell * 2.0
+        } else {
+            let bb = subject.bbox().union(&clip.bbox());
+            let span = (bb.xmax - bb.xmin).max(bb.ymax - bb.ymin);
+            if span.is_finite() && span > 0.0 {
+                span * polyclip_geom::EPS_BOUNDARY
+            } else {
+                polyclip_geom::EPS_BOUNDARY
+            }
+        };
+        let snapped = ClipOptions {
+            snap_cell: cell,
+            ..internal
+        };
+        if let Ok(o) = try_clip_with_stats(subject, clip, op, &snapped) {
+            if crate::validate::validate(&o.result).is_canonical() {
+                outcome.result = o.result;
+                rung = RepairRung::TightenedSnap;
+            }
+        }
+        // Rung 3: pristine sequential re-clip.
+        if rung == RepairRung::Unrepaired {
+            let pristine = resilience::pristine(&internal);
+            if let Ok(o) = try_clip_with_stats(subject, clip, op, &pristine) {
+                if crate::validate::validate(&o.result).is_canonical() {
+                    outcome.result = o.result;
+                    rung = RepairRung::PristineSequential;
+                }
+            }
+        }
+    }
+    outcome.stats.output_repairs += 1;
+    outcome.stats.out_contours = outcome.result.len();
+    outcome.stats.out_vertices = outcome.result.vertex_count();
+    outcome
+        .degradations
+        .push(Degradation::OutputRepaired { rung, violations });
 }
 
 /// [`try_clip_with_stats`] over borrowed contour slices.
@@ -457,6 +631,8 @@ fn clip_prepared(
         refine_rounds: report.refine_rounds,
         residuals_accepted: report.residuals_accepted,
         slab_retries: 0,
+        input_repairs: report.input_repairs,
+        output_repairs: 0,
     };
     ClipOutcome {
         result: out,

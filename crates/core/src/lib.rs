@@ -23,6 +23,9 @@
 //!   feeds each Algorithm-2 worker only the contours overlapping its slab;
 //! * [`overlay`] — clipping two *sets* of polygons (GIS layers), with the
 //!   paper's replication strategy and an improved unique-owner assignment;
+//! * [`sanitize`] — the degeneracy-hardened front door: counted repair of
+//!   dirty input (duplicate/collinear/spike vertices, zero-area contours)
+//!   before it reaches the sweep;
 //! * [`stats`] — the n / k / k' instrumentation demonstrating output
 //!   sensitivity.
 //!
@@ -47,6 +50,7 @@ pub mod ops;
 pub mod overlay;
 pub mod pram;
 pub mod resilience;
+pub mod sanitize;
 pub mod slabindex;
 pub mod stats;
 pub mod stitch;
@@ -69,7 +73,8 @@ pub use overlay::{
     SlabAssignment,
 };
 pub use pram::{pram_cost, PhaseCost, PramCostModel};
-pub use resilience::{ClipError, ClipOutcome, Degradation, FaultPlan, InputRole};
+pub use resilience::{ClipError, ClipOutcome, Degradation, FaultPlan, InputRole, RepairRung};
+pub use sanitize::{sanitize_set, SanitizeOptions, SanitizeReport};
 pub use slabindex::{SlabEntry, SlabIndex};
 pub use stats::ClipStats;
 pub use stitch::stitch_counted;

@@ -218,6 +218,8 @@ pub fn try_overlay_intersection(
     gate_layer(b, InputRole::Clip)?;
     let seq = ClipOptions {
         parallel: false,
+        sanitize: false,
+        validate_output: false,
         ..*opts
     };
 
@@ -371,6 +373,8 @@ pub fn overlay_intersection_grid(
     let t_start = Instant::now();
     let seq = ClipOptions {
         parallel: false,
+        sanitize: false,
+        validate_output: false,
         ..*opts
     };
     let t_part = Instant::now();
@@ -456,6 +460,8 @@ pub fn try_overlay_difference(
     gate_layer(b, InputRole::Clip)?;
     let seq = ClipOptions {
         parallel: false,
+        sanitize: false,
+        validate_output: false,
         ..*opts
     };
     let t_part = Instant::now();
@@ -512,6 +518,8 @@ pub fn try_overlay_difference(
                     }
                     let nz = ClipOptions {
                         fill_rule: polyclip_geom::FillRule::NonZero,
+                        sanitize: false,
+                        validate_output: false,
                         ..*engine_opts
                     };
                     let outcome = try_clip_with_stats(fa, &mask, BoolOp::Difference, &nz)?;

@@ -165,6 +165,8 @@ pub fn pram_cost(
         refine_rounds: report.refine_rounds,
         residuals_accepted: report.residuals_accepted,
         slab_retries: 0,
+        input_repairs: 0,
+        output_repairs: 0,
     };
     PramCostModel { phases, stats }
 }

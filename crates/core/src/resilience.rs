@@ -85,6 +85,26 @@ pub enum ClipError {
         /// Fragments consumed by walks that never closed.
         dropped_fragments: usize,
     },
+    /// An input needed sanitizer repairs (duplicate/collinear/spike
+    /// vertices, redundant ring closers, zero-area contours). The clip
+    /// result is exact *for the repaired input*; strict callers asked to
+    /// be told when the input they supplied was not what was clipped.
+    /// Surfaced by [`ClipOutcome::strict`] from
+    /// [`Degradation::InputRepaired`].
+    DirtyInput {
+        /// Which operand needed repairs.
+        role: InputRole,
+        /// What was repaired.
+        repairs: crate::sanitize::SanitizeReport,
+    },
+    /// Post-clip validation found violations of the engine's output
+    /// guarantees (surfaced by [`ClipOutcome::strict`] from
+    /// [`Degradation::OutputRepaired`], whether or not the repair ladder
+    /// managed to fix them).
+    InvalidOutput {
+        /// Number of violations found by [`crate::validate::validate`].
+        violations: usize,
+    },
 }
 
 impl fmt::Display for ClipError {
@@ -116,6 +136,12 @@ impl fmt::Display for ClipError {
                 f,
                 "stitching dropped {dropped_fragments} boundary fragments from unclosed walks"
             ),
+            ClipError::DirtyInput { role, repairs } => {
+                write!(f, "{role} input needed sanitizer repairs: {repairs}")
+            }
+            ClipError::InvalidOutput { violations } => {
+                write!(f, "output failed validation with {violations} violations")
+            }
         }
     }
 }
@@ -174,24 +200,77 @@ pub enum Degradation {
         /// Fragments consumed by unclosed walks.
         fragments: usize,
     },
+    /// The sanitizer repaired an input before clipping: redundant ring
+    /// closers, duplicate/collinear/spike vertices, or zero-area contours
+    /// were removed. The result is exact *for the repaired input* — the
+    /// repairs themselves preserve enclosed area — but strict callers are
+    /// told the input they supplied was not what was clipped.
+    InputRepaired {
+        /// Which operand was repaired.
+        role: InputRole,
+        /// Tally of the repairs performed.
+        repairs: crate::sanitize::SanitizeReport,
+    },
+    /// Post-clip validation found the output violating the engine's
+    /// canonical-output guarantees, and the self-repair ladder ran.
+    /// Lossy: even a successful repair re-derived the result by a
+    /// different route than the one requested.
+    OutputRepaired {
+        /// The highest rung of the repair ladder that ran.
+        rung: RepairRung,
+        /// Violations found in the original output.
+        violations: usize,
+    },
+}
+
+/// A rung of the output self-repair ladder, cheapest first. Recorded in
+/// [`Degradation::OutputRepaired`] as the rung whose result was kept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairRung {
+    /// Re-dissolved the output through a union-with-empty pass.
+    Redissolve,
+    /// Re-clipped with a tightened snap-rounding grid.
+    TightenedSnap,
+    /// Re-clipped on the pristine sequential engine.
+    PristineSequential,
+    /// Every rung still produced violations; the original output was
+    /// kept.
+    Unrepaired,
+}
+
+impl fmt::Display for RepairRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairRung::Redissolve => write!(f, "re-dissolve"),
+            RepairRung::TightenedSnap => write!(f, "tightened snap"),
+            RepairRung::PristineSequential => write!(f, "pristine sequential re-clip"),
+            RepairRung::Unrepaired => write!(f, "unrepaired"),
+        }
+    }
 }
 
 impl Degradation {
     /// Severity rank, higher is worse. Ranks 1–3 preserve exactness;
-    /// ranks 4+ mean the result may deviate by resolution-limit slivers.
+    /// rank 4 means the input was repaired (exact for the repaired input,
+    /// but not the bytes the caller supplied); ranks 5+ mean the result
+    /// may deviate by resolution-limit slivers.
     pub fn severity(&self) -> u8 {
         match self {
             Degradation::SanitizedInput { .. } => 1,
             Degradation::SlabRetry { .. } => 2,
             Degradation::SlabFallback { .. } => 3,
-            Degradation::ResidualsAccepted { .. } => 4,
-            Degradation::RefinementExhausted { .. } => 5,
-            Degradation::DroppedFragments { .. } => 6,
+            Degradation::InputRepaired { .. } => 4,
+            Degradation::ResidualsAccepted { .. } => 5,
+            Degradation::RefinementExhausted { .. } => 6,
+            Degradation::DroppedFragments { .. } => 7,
+            Degradation::OutputRepaired { .. } => 8,
         }
     }
 
-    /// Whether this degradation can make the result differ from the true
-    /// boolean result (by slivers at the floating-point resolution limit).
+    /// Whether [`ClipOutcome::strict`] escalates this degradation: either
+    /// the result may differ from the true boolean result (by slivers at
+    /// the floating-point resolution limit), or the input/output needed
+    /// repairs a strict caller asked to be told about.
     pub fn is_lossy(&self) -> bool {
         self.severity() >= 4
     }
@@ -216,6 +295,12 @@ impl Degradation {
             Degradation::DroppedFragments { fragments } => Some(ClipError::StitchImbalance {
                 dropped_fragments: fragments,
             }),
+            Degradation::InputRepaired { role, repairs } => {
+                Some(ClipError::DirtyInput { role, repairs })
+            }
+            Degradation::OutputRepaired { violations, .. } => {
+                Some(ClipError::InvalidOutput { violations })
+            }
             _ => None,
         }
     }
@@ -254,6 +339,15 @@ impl fmt::Display for Degradation {
                 write!(
                     f,
                     "dropped {fragments} fragments from unclosed stitch walks"
+                )
+            }
+            Degradation::InputRepaired { role, repairs } => {
+                write!(f, "repaired {role} input: {repairs}")
+            }
+            Degradation::OutputRepaired { rung, violations } => {
+                write!(
+                    f,
+                    "output had {violations} validation violations, repaired via {rung}"
                 )
             }
         }
@@ -414,6 +508,10 @@ mod tests {
             },
             Degradation::SlabRetry { slab: 0 },
             Degradation::SlabFallback { slab: 0 },
+            Degradation::InputRepaired {
+                role: InputRole::Subject,
+                repairs: crate::sanitize::SanitizeReport::default(),
+            },
             Degradation::ResidualsAccepted {
                 residual_crossings: 1,
             },
@@ -422,6 +520,10 @@ mod tests {
                 residual_crossings: 1,
             },
             Degradation::DroppedFragments { fragments: 2 },
+            Degradation::OutputRepaired {
+                rung: RepairRung::Redissolve,
+                violations: 1,
+            },
         ];
         for w in ladder.windows(2) {
             assert!(w[0].severity() < w[1].severity());
@@ -456,6 +558,27 @@ mod tests {
             lossy.strict().unwrap_err(),
             ClipError::StitchImbalance {
                 dropped_fragments: 4
+            }
+        );
+
+        // A repaired input is exact for the repaired geometry, but strict
+        // callers asked to reject anything that needed surgery.
+        let repairs = crate::sanitize::SanitizeReport {
+            spikes_dropped: 2,
+            ..Default::default()
+        };
+        let dirty = ClipOutcome {
+            degradations: vec![Degradation::InputRepaired {
+                role: InputRole::Subject,
+                repairs,
+            }],
+            ..ClipOutcome::default()
+        };
+        assert_eq!(
+            dirty.strict().unwrap_err(),
+            ClipError::DirtyInput {
+                role: InputRole::Subject,
+                repairs,
             }
         );
     }

@@ -1,0 +1,518 @@
+//! Input sanitizer: canonicalize arbitrary polygon sets before clipping.
+//!
+//! External data (WKT/GeoJSON exports, digitized maps, fuzzer output) is
+//! routinely *dirty*: rings closed by repeating the first vertex, runs of
+//! duplicate points, collinear-redundant vertices left by previous
+//! simplification passes, hairline spikes where a digitizer doubled back,
+//! and zero-area contours. The sweep engine tolerates most of this, but
+//! every redundant vertex costs events and every spike risks a sliver in
+//! the output. This module repairs those defects up front, and — unlike a
+//! silent "cleanup" — **counts every repair** in a [`SanitizeReport`] so
+//! the engine can surface a [`Degradation::InputRepaired`] and strict-mode
+//! callers can reject input that needed surgery.
+//!
+//! Two deliberate non-goals, both load-bearing:
+//!
+//! * **Bow-ties are preserved.** A self-intersecting contour whose lobes
+//!   cancel (zero *signed* area, nonzero even-odd area) encloses area under
+//!   both fill rules the engine supports; culling it would change the
+//!   answer. Only contours whose vertices are *all collinear* — which
+//!   provably bound no area under any fill rule — are culled.
+//! * **The engine's front door never reorients.** Sweep edges are
+//!   y-normalized, so orientation is invisible under even-odd but semantic
+//!   under nonzero winding, and callers (e.g. the `donut` generator)
+//!   legitimately emit holes in either direction. Orientation
+//!   normalization is opt-in via [`SanitizeOptions::reorient`], used by the
+//!   standalone [`sanitize_set`] entry point for callers who want canonical
+//!   outer-CCW / hole-CW output.
+//!
+//! Contours that the engine's cheap degeneracy gate already handles
+//! (fewer than three vertices, zero-extent bounding box — see
+//! [`crate::validate::is_degenerate`]) pass through untouched so that gate
+//! keeps reporting them as [`Degradation::SanitizedInput`] exactly as
+//! before.
+//!
+//! [`Degradation::InputRepaired`]: crate::resilience::Degradation::InputRepaired
+//! [`Degradation::SanitizedInput`]: crate::resilience::Degradation::SanitizedInput
+
+use crate::validate::is_degenerate;
+use polyclip_geom::{orient2d, Contour, Orientation, Point, PolygonSet, EPS_COLLINEAR_REL};
+use std::borrow::Cow;
+use std::fmt;
+
+/// Knobs for [`sanitize_set`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SanitizeOptions {
+    /// Normalize contour orientation by containment parity: contours at
+    /// even depth (outers) become counterclockwise, odd depth (holes)
+    /// clockwise. Defaults on for the standalone API; the engine's input
+    /// gate runs with it **off** because orientation is semantic under
+    /// nonzero winding.
+    pub reorient: bool,
+}
+
+impl Default for SanitizeOptions {
+    fn default() -> Self {
+        SanitizeOptions { reorient: true }
+    }
+}
+
+impl SanitizeOptions {
+    /// The configuration the engine's input gate uses: vertex repairs
+    /// only, never reorient.
+    pub fn repairs_only() -> Self {
+        SanitizeOptions { reorient: false }
+    }
+}
+
+/// Tally of every repair [`sanitize_set`] performed. All-zero
+/// (`is_clean()`) means the input was already canonical and was returned
+/// borrowed, untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Rings closed by repeating their first vertex: the redundant closer
+    /// was dropped (the closing edge is implicit).
+    pub closers_dropped: usize,
+    /// Consecutive duplicate vertices removed.
+    pub duplicates_dropped: usize,
+    /// Collinear-redundant vertices removed (vertex on the segment between
+    /// its neighbours — carries no geometric information).
+    pub collinear_dropped: usize,
+    /// Spike vertices removed (the boundary doubles back through a
+    /// sub-epsilon excursion that bounds no area).
+    pub spikes_dropped: usize,
+    /// Contours culled because every vertex was collinear: zero area under
+    /// any fill rule.
+    pub contours_dropped: usize,
+    /// Contours reversed by orientation normalization
+    /// ([`SanitizeOptions::reorient`]).
+    pub contours_reoriented: usize,
+}
+
+impl SanitizeReport {
+    /// Total number of individual repairs.
+    pub fn total(&self) -> usize {
+        self.closers_dropped
+            + self.duplicates_dropped
+            + self.collinear_dropped
+            + self.spikes_dropped
+            + self.contours_dropped
+            + self.contours_reoriented
+    }
+
+    /// True when nothing needed repair.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut sep = "";
+        let mut item = |f: &mut fmt::Formatter<'_>, n: usize, what: &str| {
+            if n > 0 {
+                let r = write!(f, "{sep}{n} {what}");
+                sep = ", ";
+                r
+            } else {
+                Ok(())
+            }
+        };
+        item(f, self.closers_dropped, "ring closers")?;
+        item(f, self.duplicates_dropped, "duplicate vertices")?;
+        item(f, self.collinear_dropped, "collinear vertices")?;
+        item(f, self.spikes_dropped, "spike vertices")?;
+        item(f, self.contours_dropped, "zero-area contours")?;
+        item(f, self.contours_reoriented, "reoriented contours")
+    }
+}
+
+/// Canonicalize a polygon set, counting every repair.
+///
+/// Borrows the input untouched in the clean case (`Cow::Borrowed`) —
+/// the common path is a single read-only scan — and clones only when at
+/// least one repair is needed. See the module docs for what is (and
+/// deliberately is not) repaired.
+pub fn sanitize_set<'a>(
+    p: &'a PolygonSet,
+    opts: &SanitizeOptions,
+) -> (Cow<'a, PolygonSet>, SanitizeReport) {
+    let mut report = SanitizeReport::default();
+
+    // Pass 1: read-only scan — does anything need repair?
+    let needs_vertex_repair = p
+        .contours()
+        .iter()
+        .any(|c| !skip_contour(c) && contour_needs_repair(c));
+    if !needs_vertex_repair {
+        if !opts.reorient {
+            return (Cow::Borrowed(p), report);
+        }
+        let flips = orientation_flips(p.contours());
+        if flips.is_empty() {
+            return (Cow::Borrowed(p), report);
+        }
+        let mut owned = p.clone();
+        for ci in flips {
+            owned.contours_mut()[ci].reverse();
+            report.contours_reoriented += 1;
+        }
+        return (Cow::Owned(owned), report);
+    }
+
+    // Pass 2: repair. Contours the cheap degeneracy gate already handles
+    // pass through untouched; everything else gets the fixed-point vertex
+    // repair, and contours reduced below a triangle (or left fully
+    // collinear) are culled.
+    let mut out: Vec<Contour> = Vec::with_capacity(p.len());
+    for c in p.contours() {
+        if skip_contour(c) {
+            out.push(c.clone());
+            continue;
+        }
+        match repair_contour(c, &mut report) {
+            Some(fixed) => out.push(fixed),
+            None => report.contours_dropped += 1,
+        }
+    }
+
+    if opts.reorient {
+        for ci in orientation_flips(&out) {
+            out[ci].reverse();
+            report.contours_reoriented += 1;
+        }
+    }
+
+    let mut owned = PolygonSet::new();
+    *owned.contours_mut() = out;
+    (Cow::Owned(owned), report)
+}
+
+/// Contours the sanitizer must not touch: ones the cheap degeneracy gate
+/// already handles, and ones carrying non-finite coordinates (NaN poisons
+/// `orient2d` into reporting collinearity; rejecting non-finite input is
+/// the engine gate's job, not a "repair").
+fn skip_contour(c: &Contour) -> bool {
+    is_degenerate(c) || c.first_non_finite().is_some()
+}
+
+/// Cheap read-only test: would [`repair_contour`] change this contour?
+fn contour_needs_repair(c: &Contour) -> bool {
+    let pts = c.points();
+    let n = pts.len();
+    for i in 0..n {
+        let p = pts[(i + n - 1) % n];
+        let v = pts[i];
+        let nx = pts[(i + 1) % n];
+        if v == nx || removable_vertex(p, v, nx).is_some() {
+            return true;
+        }
+    }
+    all_collinear(pts)
+}
+
+/// Why a vertex can be removed without changing the enclosed region.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Removal {
+    Collinear,
+    Spike,
+}
+
+/// Classify vertex `v` between cyclic neighbours `p` and `n`. NaN-safe:
+/// every comparison fails closed (keep the vertex) on non-finite
+/// intermediates.
+fn removable_vertex(p: Point, v: Point, n: Point) -> Option<Removal> {
+    if p == n {
+        // The boundary goes p → v → p: a pure out-and-back excursion.
+        return Some(Removal::Spike);
+    }
+    let pv = v - p;
+    let vn = n - v;
+    if orient2d(p, v, n) == Orientation::Collinear {
+        // Exactly on the line through p and n: between them it is
+        // redundant, beyond them it is the tip of a zero-width spike.
+        let t = (v - p).dot(&(n - p));
+        return if t >= 0.0 && t <= (n - p).norm2() {
+            Some(Removal::Collinear)
+        } else {
+            Some(Removal::Spike)
+        };
+    }
+    // Near-collinear with a direction reversal: a sub-epsilon spike. The
+    // relative tolerance only fires on rounding-level deviations.
+    if pv.dot(&vn) < 0.0 && pv.cross(&vn).abs() <= EPS_COLLINEAR_REL * pv.norm() * vn.norm() {
+        return Some(Removal::Spike);
+    }
+    None
+}
+
+/// All vertices collinear (or fewer than three distinct directions): the
+/// contour bounds zero area under any fill rule.
+fn all_collinear(pts: &[Point]) -> bool {
+    if pts.len() < 3 {
+        return true;
+    }
+    let a = pts[0];
+    let b = pts[1];
+    pts[2..]
+        .iter()
+        .all(|&c| orient2d(a, b, c) == Orientation::Collinear)
+}
+
+/// Fixed-point vertex repair for one contour. Returns `None` when the
+/// contour is culled (reduced below a triangle, or fully collinear).
+fn repair_contour(c: &Contour, report: &mut SanitizeReport) -> Option<Contour> {
+    let mut pts: Vec<Point> = c.points().to_vec();
+
+    // Duplicate removal first, separately, so the closer (a ring closed by
+    // repeating its first vertex) is counted as such rather than as a
+    // generic duplicate.
+    if pts.len() >= 2 && pts[pts.len() - 1] == pts[0] {
+        pts.pop();
+        report.closers_dropped += 1;
+    }
+    let before = pts.len();
+    pts.dedup();
+    if pts.len() >= 2 && pts[pts.len() - 1] == pts[0] {
+        pts.pop();
+    }
+    report.duplicates_dropped += before - pts.len();
+
+    // Fixed point: removing a spike tip can expose a new duplicate or a
+    // new collinear triple at the join, so iterate until stable. Each
+    // round removes at least one vertex, so this terminates.
+    loop {
+        if pts.len() < 3 || all_collinear(&pts) {
+            return None;
+        }
+        let n = pts.len();
+        let mut removed_at = None;
+        for i in 0..n {
+            let p = pts[(i + n - 1) % n];
+            let v = pts[i];
+            let nx = pts[(i + 1) % n];
+            if let Some(kind) = removable_vertex(p, v, nx) {
+                match kind {
+                    Removal::Collinear => report.collinear_dropped += 1,
+                    Removal::Spike => report.spikes_dropped += 1,
+                }
+                removed_at = Some(i);
+                break;
+            }
+        }
+        match removed_at {
+            Some(i) => {
+                pts.remove(i);
+                // Removing a spike tip leaves its two (equal) neighbours
+                // adjacent; fold them immediately.
+                let before = pts.len();
+                pts.dedup();
+                if pts.len() >= 2 && pts[pts.len() - 1] == pts[0] {
+                    pts.pop();
+                }
+                report.duplicates_dropped += before - pts.len();
+            }
+            None => return Some(Contour::from_raw(pts)),
+        }
+    }
+}
+
+/// Indices of contours whose orientation disagrees with containment
+/// parity (even depth → counterclockwise, odd depth → clockwise).
+/// Zero-signed-area contours (bow-ties) have no meaningful orientation and
+/// are skipped. Candidate containments are prefiltered by bounding box,
+/// then confirmed with an even-odd point test.
+fn orientation_flips(contours: &[Contour]) -> Vec<usize> {
+    let boxes: Vec<_> = contours.iter().map(|c| c.bbox()).collect();
+    let mut flips = Vec::new();
+    for (i, c) in contours.iter().enumerate() {
+        let area = c.signed_area();
+        if area == 0.0 || !area.is_finite() || c.len() < 3 {
+            continue;
+        }
+        let probe = c.points()[0];
+        let depth = contours
+            .iter()
+            .enumerate()
+            .filter(|&(j, o)| {
+                j != i && boxes[j].contains(probe) && o.len() >= 3 && o.contains_even_odd(probe)
+            })
+            .count();
+        let want_ccw = depth % 2 == 0;
+        if (area > 0.0) != want_ccw {
+            flips.push(i);
+        }
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::point::pt;
+
+    fn set(contours: Vec<Contour>) -> PolygonSet {
+        let mut p = PolygonSet::new();
+        *p.contours_mut() = contours;
+        p
+    }
+
+    #[test]
+    fn clean_input_is_borrowed_untouched() {
+        let p = PolygonSet::from_contours(vec![rect(0.0, 0.0, 4.0, 4.0)]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::default());
+        assert!(report.is_clean());
+        assert!(matches!(out, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn bowtie_survives_sanitization() {
+        // Zero signed area but nonzero even-odd area: must NOT be culled.
+        let bow = PolygonSet::from_xy(&[(0.0, 0.0), (2.0, 2.0), (2.0, 0.0), (0.0, 2.0)]);
+        let (out, report) = sanitize_set(&bow, &SanitizeOptions::default());
+        assert!(report.is_clean());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.contours()[0].len(), 4);
+    }
+
+    #[test]
+    fn ring_closer_and_duplicates_are_counted_separately() {
+        let c = Contour::from_raw(vec![
+            pt(0.0, 0.0),
+            pt(4.0, 0.0),
+            pt(4.0, 0.0), // duplicate
+            pt(4.0, 4.0),
+            pt(0.0, 4.0),
+            pt(0.0, 0.0), // closer
+        ]);
+        let p = set(vec![c]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert_eq!(report.closers_dropped, 1);
+        assert_eq!(report.duplicates_dropped, 1);
+        assert_eq!(out.contours()[0].len(), 4);
+    }
+
+    #[test]
+    fn collinear_redundant_vertex_is_removed() {
+        let c = Contour::from_raw(vec![
+            pt(0.0, 0.0),
+            pt(2.0, 0.0), // on the segment (0,0)-(4,0)
+            pt(4.0, 0.0),
+            pt(4.0, 4.0),
+            pt(0.0, 4.0),
+        ]);
+        let p = set(vec![c]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert_eq!(report.collinear_dropped, 1);
+        assert_eq!(report.spikes_dropped, 0);
+        assert_eq!(out.contours()[0].len(), 4);
+        assert_eq!(out.contours()[0].signed_area(), 16.0);
+    }
+
+    #[test]
+    fn spike_is_removed_and_area_preserved() {
+        // A zero-width excursion from the top edge: 4,4 → 2,8 → lies
+        // outside the chord, boundary doubles back through it.
+        let c = Contour::from_raw(vec![
+            pt(0.0, 0.0),
+            pt(4.0, 0.0),
+            pt(4.0, 4.0),
+            pt(2.0, 4.0),
+            pt(2.0, 8.0), // spike tip
+            pt(2.0, 4.0), // exact retrace
+            pt(0.0, 4.0),
+        ]);
+        let p = set(vec![c]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert!(report.spikes_dropped >= 1, "report: {report}");
+        let fixed = &out.contours()[0];
+        assert_eq!(fixed.signed_area(), 16.0);
+        // The retrace partner collapses as a duplicate; 2,4 stays as a
+        // collinear point only if still doubled — final ring is the rect
+        // (2,4 becomes collinear-redundant and is dropped too).
+        assert_eq!(fixed.len(), 4);
+    }
+
+    #[test]
+    fn all_collinear_contour_is_culled() {
+        // Diagonal line: nonzero bbox in both axes, so the cheap
+        // degeneracy gate does NOT catch it — the sanitizer must.
+        let line = Contour::from_raw(vec![pt(0.0, 0.0), pt(1.0, 1.0), pt(3.0, 3.0), pt(2.0, 2.0)]);
+        let p = set(vec![line, rect(5.0, 5.0, 6.0, 6.0)]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert_eq!(report.contours_dropped, 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_contours_pass_through_for_the_cheap_gate() {
+        // Sub-3-vertex and zero-extent contours are the cheap gate's job;
+        // the sanitizer must leave them (and its report) untouched.
+        let two = Contour::from_raw(vec![pt(0.0, 0.0), pt(1.0, 0.0)]);
+        let p = set(vec![two]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert!(report.is_clean());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.contours()[0].len(), 2);
+    }
+
+    #[test]
+    fn reorient_normalizes_hole_direction() {
+        let outer = rect(0.0, 0.0, 10.0, 10.0); // CCW
+        let mut hole = rect(2.0, 2.0, 4.0, 4.0); // CCW — wrong for a hole
+        assert!(outer.is_ccw() && hole.is_ccw());
+        let p = set(vec![outer.clone(), hole.clone()]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::default());
+        assert_eq!(report.contours_reoriented, 1);
+        assert!(out.contours()[0].is_ccw());
+        assert!(!out.contours()[1].is_ccw());
+
+        // Already canonical: no flip, borrowed.
+        hole.reverse();
+        let canonical = set(vec![outer, hole]);
+        let (out, report) = sanitize_set(&canonical, &SanitizeOptions::default());
+        assert!(report.is_clean());
+        assert!(matches!(out, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn repairs_only_never_reorients() {
+        let outer = rect(0.0, 0.0, 10.0, 10.0);
+        let hole = rect(2.0, 2.0, 4.0, 4.0); // CCW hole stays CCW
+        let p = set(vec![outer, hole]);
+        let (out, report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert!(report.is_clean());
+        assert!(out.contours()[1].is_ccw());
+    }
+
+    #[test]
+    fn nan_vertices_fail_closed() {
+        // Non-finite coordinates must not be "repaired" away — the
+        // engine's non-finite gate owns rejecting them.
+        let c = Contour::from_raw(vec![
+            pt(0.0, 0.0),
+            pt(4.0, f64::NAN),
+            pt(4.0, 4.0),
+            pt(0.0, 4.0),
+        ]);
+        let p = set(vec![c]);
+        let (out, _report) = sanitize_set(&p, &SanitizeOptions::repairs_only());
+        assert_eq!(out.contours()[0].len(), 4);
+    }
+
+    #[test]
+    fn report_renders_human_readably() {
+        let r = SanitizeReport {
+            closers_dropped: 1,
+            spikes_dropped: 2,
+            ..SanitizeReport::default()
+        };
+        assert_eq!(r.to_string(), "1 ring closers, 2 spike vertices");
+        assert_eq!(r.total(), 3);
+        assert_eq!(SanitizeReport::default().to_string(), "clean");
+    }
+}

@@ -36,6 +36,12 @@ pub struct ClipStats {
     /// Slab workers that needed a retry or a sequential fallback after a
     /// panic (Algorithm 2 / overlay runs; always 0 for single-slab runs).
     pub slab_retries: usize,
+    /// Individual input repairs the sanitizer performed across both
+    /// operands (0 when the input was clean or sanitization was off).
+    pub input_repairs: usize,
+    /// Output self-repair ladder invocations (0 unless
+    /// `validate_output` found violations).
+    pub output_repairs: usize,
 }
 
 impl ClipStats {
@@ -65,6 +71,8 @@ impl ClipStats {
         self.refine_rounds = self.refine_rounds.max(other.refine_rounds);
         self.residuals_accepted += other.residuals_accepted;
         self.slab_retries += other.slab_retries;
+        self.input_repairs += other.input_repairs;
+        self.output_repairs += other.output_repairs;
     }
 }
 

@@ -17,7 +17,7 @@
 //!    the scanbeam partition (the k' virtual vertices) are packed away,
 //!    exactly as the paper prescribes ("removed finally by array packing").
 
-use polyclip_geom::{orient2d, Contour, OrdF64, Orientation, Point};
+use polyclip_geom::{orient2d, Contour, OrdF64, Orientation, Point, EPS_COLLINEAR_REL};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -226,7 +226,7 @@ fn removable(a: Point, b: Point, c: Point) -> bool {
     let ac = c - a;
     let cross = ab.cross(&ac).abs();
     // |cross| = |ab||ac| sin θ; deviation of b from chord a-c ≈ cross/|ac|.
-    cross <= 1e-12 * ab.norm() * ac.norm()
+    cross <= EPS_COLLINEAR_REL * ab.norm() * ac.norm()
 }
 
 /// Drop vertices that are (near-)collinear with their neighbours — the k'

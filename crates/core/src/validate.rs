@@ -42,10 +42,47 @@ pub enum Violation {
     EdgesOverlap,
 }
 
+impl Violation {
+    /// Sort key: contour-bearing violations ordered by (contour, vertex),
+    /// then edge-level ones (which have no contour index).
+    fn sort_key(&self) -> (u8, usize, usize) {
+        match *self {
+            Violation::TooFewVertices { contour } => (0, contour, 0),
+            Violation::ZeroArea { contour } => (0, contour, 1),
+            Violation::DuplicateVertex { contour, vertex } => (0, contour, 2 + vertex),
+            Violation::EdgesCross { edges } => (1, edges.0 as usize, edges.1 as usize),
+            Violation::EdgesOverlap => (2, 0, 0),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::TooFewVertices { contour } => {
+                write!(f, "contour {contour} has fewer than 3 vertices")
+            }
+            Violation::ZeroArea { contour } => {
+                write!(f, "contour {contour} has zero signed area")
+            }
+            Violation::DuplicateVertex { contour, vertex } => {
+                write!(f, "contour {contour} repeats vertex {vertex}")
+            }
+            Violation::EdgesCross { edges } => {
+                write!(f, "edges {} and {} cross", edges.0, edges.1)
+            }
+            Violation::EdgesOverlap => write!(f, "two edges overlap collinearly"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
 /// Report of a validation run.
 #[derive(Clone, Debug, Default)]
 pub struct ValidationReport {
-    /// All violations found (empty = canonical).
+    /// All violations found (empty = canonical), sorted by contour index
+    /// (per-contour checks first, then edge-level crossings/overlaps).
     pub violations: Vec<Violation>,
 }
 
@@ -120,6 +157,7 @@ pub fn validate(p: &PolygonSet) -> ValidationReport {
             }
         }
     }
+    report.violations.sort_by_key(|v| v.sort_key());
     report
 }
 
@@ -299,6 +337,48 @@ mod tests {
         let (gated, dropped) = sanitize_counted(&dirty);
         assert_eq!(dropped, 3);
         assert_eq!(gated.len(), 1);
+    }
+
+    #[test]
+    fn violations_display_and_sort_by_contour() {
+        let mut p = PolygonSet::new();
+        p.push(rect(5.0, 5.0, 6.0, 6.0));
+        p.contours_mut().push(Contour::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 2.0), // collinear: zero area (contour 1)
+        ]));
+        p.contours_mut()
+            .push(Contour::from_xy(&[(0.0, 0.0), (1.0, 0.0)])); // contour 2
+        let r = validate(&p);
+        let contours: Vec<_> = r
+            .violations
+            .iter()
+            .filter_map(|v| match v {
+                Violation::TooFewVertices { contour }
+                | Violation::ZeroArea { contour }
+                | Violation::DuplicateVertex { contour, .. } => Some(*contour),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = contours.clone();
+        sorted.sort_unstable();
+        assert_eq!(contours, sorted);
+
+        assert_eq!(
+            Violation::ZeroArea { contour: 1 }.to_string(),
+            "contour 1 has zero signed area"
+        );
+        assert_eq!(
+            Violation::TooFewVertices { contour: 2 }.to_string(),
+            "contour 2 has fewer than 3 vertices"
+        );
+        assert_eq!(
+            Violation::EdgesCross { edges: (3, 7) }.to_string(),
+            "edges 3 and 7 cross"
+        );
+        let err: Box<dyn std::error::Error> = Box::new(Violation::EdgesOverlap);
+        assert_eq!(err.to_string(), "two edges overlap collinearly");
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Degeneracy torture generators.
+//!
+//! Every generator here produces input that is *hostile on purpose*:
+//! duplicate vertices, zero-width spikes, collinear runs, zero-area rings,
+//! slivers thinner than the snapping tolerance, contours that touch
+//! themselves or each other along shared edges. They feed the robustness
+//! test suite (`tests/degeneracy.rs`, `tests/resilience.rs`) and the fuzz
+//! target; none of them should ever make the clipping pipeline panic, and
+//! with output validation enabled the result must come back violation-free.
+//!
+//! Dirt is injected with [`Contour::from_raw`], which — unlike
+//! [`Contour::new`] — performs **no** normalization, so duplicated closers
+//! and consecutive duplicate vertices survive into the returned sets.
+//!
+//! All generators are deterministic in their seed.
+
+use polyclip_geom::{Contour, Point, PolygonSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ring of `n` base vertices where every third vertex grows a zero-width
+/// out-and-back spike, every fourth is duplicated, and every fifth edge
+/// gains a collinear midpoint. The underlying shape is a circle of the
+/// given `radius`; sanitization recovers it exactly.
+pub fn spiky_ring(seed: u64, center: Point, radius: f64, n: usize) -> PolygonSet {
+    assert!(n >= 8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+        let p = Point::new(center.x + radius * ang.cos(), center.y + radius * ang.sin());
+        pts.push(p);
+        if i % 3 == 0 {
+            // Out-and-back spike of random length: zero enclosed area.
+            let len = radius * (0.05 + 0.2 * rng.gen::<f64>());
+            let tip = Point::new(p.x + len * ang.cos(), p.y + len * ang.sin());
+            pts.push(tip);
+            pts.push(p);
+        }
+        if i % 4 == 0 {
+            pts.push(p); // consecutive duplicate
+        }
+        if i % 5 == 0 {
+            let j = (i + 1) % n;
+            let ang2 = j as f64 / n as f64 * std::f64::consts::TAU;
+            let q = Point::new(
+                center.x + radius * ang2.cos(),
+                center.y + radius * ang2.sin(),
+            );
+            pts.push(p.lerp(&q, 0.5)); // collinear midpoint of the next edge
+        }
+    }
+    // Redundant explicit closer.
+    pts.push(pts[0]);
+    PolygonSet::from_contours(vec![Contour::from_raw(pts)])
+}
+
+/// A fan of `n` sliver triangles around `center`: each blade has an apex
+/// angle so small its area is orders of magnitude below its perimeter²,
+/// stressing near-collinear orientation tests. Blades are disjoint.
+pub fn sliver_fan(seed: u64, center: Point, radius: f64, n: usize) -> PolygonSet {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contours = Vec::with_capacity(n);
+    for i in 0..n {
+        let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+        // Half-width between 1e-7 and 1e-5 of the radius: thin but nonzero.
+        let half = radius * 1e-7 * 10f64.powf(2.0 * rng.gen::<f64>());
+        let dir = Point::new(ang.cos(), ang.sin());
+        let nrm = Point::new(-ang.sin(), ang.cos());
+        let tip = Point::new(center.x + radius * dir.x, center.y + radius * dir.y);
+        contours.push(Contour::from_raw(vec![
+            Point::new(center.x + half * nrm.x, center.y + half * nrm.y),
+            tip,
+            Point::new(center.x - half * nrm.x, center.y - half * nrm.y),
+        ]));
+    }
+    PolygonSet::from_contours(contours)
+}
+
+/// A self-touching "pinched" ring: two square lobes joined at a single
+/// shared vertex (a figure-eight traced so the signed area does not cancel).
+/// The pinch point is visited twice; naive clippers split or drop a lobe.
+pub fn pinched_ring(origin: Point, lobe: f64) -> PolygonSet {
+    let o = origin;
+    let pts = vec![
+        o,
+        Point::new(o.x + lobe, o.y),
+        Point::new(o.x + lobe, o.y + lobe),
+        Point::new(o.x, o.y + lobe),
+        o, // the pinch: back through the origin...
+        Point::new(o.x - lobe, o.y),
+        Point::new(o.x - lobe, o.y - lobe),
+        Point::new(o.x, o.y - lobe),
+    ];
+    PolygonSet::from_contours(vec![Contour::from_raw(pts)])
+}
+
+/// A pair of unit-ish squares sharing one full edge exactly, with the
+/// shared edge of the second square subdivided by collinear vertices so
+/// the coincident geometry is *not* vertex-aligned between operands.
+pub fn coincident_edge_pair(origin: Point, side: f64) -> (PolygonSet, PolygonSet) {
+    let o = origin;
+    let a = PolygonSet::from_xy(&[
+        (o.x, o.y),
+        (o.x + side, o.y),
+        (o.x + side, o.y + side),
+        (o.x, o.y + side),
+    ]);
+    // Second square to the right; its left edge coincides with a's right
+    // edge but carries two extra collinear vertices.
+    let b = PolygonSet::from_contours(vec![Contour::from_raw(vec![
+        Point::new(o.x + side, o.y),
+        Point::new(o.x + 2.0 * side, o.y),
+        Point::new(o.x + 2.0 * side, o.y + side),
+        Point::new(o.x + side, o.y + side),
+        Point::new(o.x + side, o.y + 0.75 * side),
+        Point::new(o.x + side, o.y + 0.25 * side),
+    ])]);
+    (a, b)
+}
+
+/// A polygon set with every class of junk ring at once: a sound ring, an
+/// exact duplicate of it, a zero-area collinear chain, a two-vertex
+/// fragment, and a ring that is all one repeated point.
+pub fn junk_pile(origin: Point, side: f64) -> PolygonSet {
+    let o = origin;
+    let sound = Contour::from_raw(vec![
+        o,
+        Point::new(o.x + side, o.y),
+        Point::new(o.x + side, o.y + side),
+        Point::new(o.x, o.y + side),
+    ]);
+    let duplicate = sound.clone();
+    let collinear = Contour::from_raw(vec![
+        Point::new(o.x, o.y - side),
+        Point::new(o.x + side, o.y - side),
+        Point::new(o.x + 2.0 * side, o.y - side),
+        Point::new(o.x + side, o.y - side),
+    ]);
+    let fragment = Contour::from_raw(vec![o, Point::new(o.x + side, o.y + side)]);
+    let point_ring = Contour::from_raw(vec![o, o, o, o]);
+    // `from_contours` would drop the 2-vertex fragment at the door; inject
+    // it directly so downstream sanitization is what has to cope.
+    let mut p = PolygonSet::new();
+    *p.contours_mut() = vec![sound, duplicate, collinear, fragment, point_ring];
+    p
+}
+
+/// A grid of near-coincident thin rectangles whose long edges are within
+/// `gap` of each other — adjacent strips nearly (or exactly, when
+/// `gap == 0`) share boundaries, generating dense clusters of
+/// intersections and collinear overlaps when clipped against anything.
+pub fn shingled_strips(seed: u64, origin: Point, w: f64, h: f64, n: usize, gap: f64) -> PolygonSet {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contours = Vec::with_capacity(n);
+    let pitch = h / n as f64;
+    for i in 0..n {
+        let y0 = origin.y + i as f64 * pitch;
+        let jitter = gap * (rng.gen::<f64>() - 0.5);
+        let y1 = y0 + pitch + jitter;
+        contours.push(Contour::from_raw(vec![
+            Point::new(origin.x, y0),
+            Point::new(origin.x + w, y0),
+            Point::new(origin.x + w, y1),
+            Point::new(origin.x, y1),
+        ]));
+    }
+    PolygonSet::from_contours(contours)
+}
+
+/// One named subject/clip pair of the torture corpus.
+pub struct TortureCase {
+    /// Stable human-readable label for failure messages.
+    pub name: &'static str,
+    pub subject: PolygonSet,
+    pub clip: PolygonSet,
+}
+
+/// The full degeneracy torture corpus: every generator above, paired with
+/// a partner polygon positioned to overlap it. Deterministic in `seed`.
+pub fn torture_corpus(seed: u64) -> Vec<TortureCase> {
+    let c = Point::new(0.0, 0.0);
+    let square = PolygonSet::from_xy(&[(-0.6, -0.6), (0.7, -0.6), (0.7, 0.7), (-0.6, 0.7)]);
+    let blob = crate::shapes::smooth_blob(seed ^ 0x5bd1, Point::new(0.3, 0.2), 0.9, 96, 0.25);
+    let (co_a, co_b) = coincident_edge_pair(Point::new(-0.5, -0.5), 1.0);
+    vec![
+        TortureCase {
+            name: "spiky_ring vs square",
+            subject: spiky_ring(seed, c, 1.0, 24),
+            clip: square.clone(),
+        },
+        TortureCase {
+            name: "spiky_ring vs spiky_ring",
+            subject: spiky_ring(seed, c, 1.0, 24),
+            clip: spiky_ring(seed ^ 0x9e37, Point::new(0.4, 0.3), 1.0, 20),
+        },
+        TortureCase {
+            name: "sliver_fan vs blob",
+            subject: sliver_fan(seed, c, 1.0, 12),
+            clip: blob.clone(),
+        },
+        TortureCase {
+            name: "pinched_ring vs square",
+            subject: pinched_ring(c, 1.0),
+            clip: square.clone(),
+        },
+        TortureCase {
+            name: "coincident edges",
+            subject: co_a,
+            clip: co_b,
+        },
+        TortureCase {
+            name: "junk_pile vs blob",
+            subject: junk_pile(Point::new(-0.5, -0.2), 1.0),
+            clip: blob,
+        },
+        TortureCase {
+            name: "shingled_strips exact vs square",
+            subject: shingled_strips(seed, Point::new(-0.8, -0.8), 1.6, 1.6, 8, 0.0),
+            clip: square.clone(),
+        },
+        TortureCase {
+            name: "shingled_strips jittered vs square",
+            subject: shingled_strips(seed ^ 0xabcd, Point::new(-0.8, -0.8), 1.6, 1.6, 8, 1e-9),
+            clip: square,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::point::pt;
+
+    #[test]
+    fn spiky_ring_carries_dirt_and_is_deterministic() {
+        let a = spiky_ring(11, pt(0.0, 0.0), 1.0, 24);
+        let b = spiky_ring(11, pt(0.0, 0.0), 1.0, 24);
+        assert_eq!(a, b);
+        let c = &a.contours()[0];
+        let pts = c.points();
+        // The explicit closer survived from_raw.
+        assert_eq!(pts.first(), pts.last());
+        // At least one consecutive duplicate survived.
+        assert!(pts.windows(2).any(|w| w[0] == w[1]));
+        // More vertices than the base ring: spikes and midpoints are in.
+        assert!(pts.len() > 24);
+    }
+
+    #[test]
+    fn sliver_fan_blades_are_thin_but_nonzero() {
+        let f = sliver_fan(3, pt(0.0, 0.0), 1.0, 12);
+        assert_eq!(f.len(), 12);
+        for c in f.contours() {
+            let area = c.signed_area().abs();
+            assert!(area > 0.0 && area < 1e-4, "area {area}");
+        }
+    }
+
+    #[test]
+    fn pinched_ring_visits_the_pinch_twice() {
+        let p = pinched_ring(pt(0.0, 0.0), 1.0);
+        let pts = p.contours()[0].points();
+        let hits = pts.iter().filter(|q| **q == pt(0.0, 0.0)).count();
+        assert_eq!(hits, 2);
+        // Both lobes enclose area with the same sign: no cancellation.
+        assert!(p.contours()[0].signed_area().abs() > 1.9);
+    }
+
+    #[test]
+    fn coincident_edge_pair_shares_geometry_not_vertices() {
+        let (a, b) = coincident_edge_pair(pt(0.0, 0.0), 1.0);
+        // a's right edge x = 1 coincides with b's left boundary.
+        assert!(a.contours()[0].points().iter().any(|p| p.x == 1.0));
+        // b carries collinear subdivision vertices on that boundary.
+        let on_seam = b.contours()[0]
+            .points()
+            .iter()
+            .filter(|p| p.x == 1.0)
+            .count();
+        assert_eq!(on_seam, 4);
+    }
+
+    #[test]
+    fn junk_pile_has_every_junk_class() {
+        let j = junk_pile(pt(0.0, 0.0), 1.0);
+        assert_eq!(j.len(), 5);
+        let lens: Vec<usize> = j.contours().iter().map(|c| c.len()).collect();
+        assert!(lens.contains(&2)); // fragment
+        assert!(j.contours().iter().any(|c| c.signed_area() == 0.0));
+    }
+
+    #[test]
+    fn torture_corpus_is_deterministic_and_overlapping() {
+        let a = torture_corpus(7);
+        let b = torture_corpus(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.subject, y.subject);
+            assert_eq!(x.clip, y.clip);
+        }
+        for case in &a {
+            assert!(
+                case.subject.bbox().intersects(&case.clip.bbox()),
+                "{} operands do not overlap",
+                case.name
+            );
+        }
+    }
+}

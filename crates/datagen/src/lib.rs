@@ -10,9 +10,14 @@
 //!
 //! All generators are deterministic in their seed.
 
+pub mod degenerate;
 pub mod gis;
 pub mod shapes;
 
+pub use degenerate::{
+    coincident_edge_pair, junk_pile, pinched_ring, shingled_strips, sliver_fan, spiky_ring,
+    torture_corpus, TortureCase,
+};
 pub use gis::{generate_layer, table3_spec, DatasetSpec};
 pub use shapes::{
     circle, comb, donut, pentagram, perturbed, smooth_blob, spiral, star, synthetic_pair,

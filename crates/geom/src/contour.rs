@@ -33,6 +33,17 @@ impl Contour {
         Contour::new(xy.iter().map(|&(x, y)| Point::new(x, y)).collect())
     }
 
+    /// Create a contour from raw vertices with **no normalization**:
+    /// duplicate runs and a repeated closing vertex are kept verbatim.
+    ///
+    /// This is the ingestion constructor for dirty external data that a
+    /// sanitizer pass will repair (and for building degenerate test
+    /// fixtures); everything else should use [`Contour::new`], which
+    /// canonicalizes on construction.
+    pub fn from_raw(points: Vec<Point>) -> Self {
+        Contour { points }
+    }
+
     /// The vertices (closing edge implicit).
     #[inline]
     pub fn points(&self) -> &[Point] {

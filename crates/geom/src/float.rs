@@ -9,6 +9,45 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+/// Half machine epsilon, 2⁻⁵³ — the rounding-error unit of a single f64
+/// operation. The floating-point filters of [`crate::predicates`] build
+/// their error bounds from this value.
+pub const EPS_MACHINE: f64 = 1.110_223_024_625_156_5e-16;
+
+/// Relative cross-product tolerance below which three points are treated as
+/// collinear at rounding level: `|cross| <= EPS_COLLINEAR_REL · |ab| · |ac|`.
+/// Used by the virtual-vertex packer and the input sanitizer's spike cull.
+pub const EPS_COLLINEAR_REL: f64 = 1e-12;
+
+/// On-boundary classification tolerance for the baseline clippers and the
+/// datagen guards — points within this distance of an edge count as on it.
+pub const EPS_BOUNDARY: f64 = 1e-9;
+
+/// Relative event-snap tolerance: vertex/intersection y's within
+/// `EPS_EVENT_SNAP_REL · |y|` of an existing scanline cluster onto it
+/// (≈ 16 ulps — see `sweep::edges::snap_tolerance`).
+pub const EPS_EVENT_SNAP_REL: f64 = 16.0 * f64::EPSILON;
+
+/// Round `v` onto the uniform grid with the given cell size.
+///
+/// A non-positive `cell` disables snapping (identity) — the default
+/// configuration, under which every pipeline result is bit-identical to a
+/// build without snap rounding. Non-finite grid positions (overflow-scale
+/// `v / cell`) also pass through unchanged rather than poisoning the
+/// coordinate.
+#[inline]
+pub fn snap_to_grid(v: f64, cell: f64) -> f64 {
+    if cell <= 0.0 {
+        return v;
+    }
+    let snapped = (v / cell).round() * cell;
+    if snapped.is_finite() {
+        snapped
+    } else {
+        v
+    }
+}
+
 /// A finite `f64` with total ordering, equality and hashing.
 ///
 /// Construction panics on NaN: coordinates in this workspace are always
@@ -127,6 +166,20 @@ mod tests {
         v.sort();
         v.dedup();
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn snap_to_grid_rounds_and_degrades_gracefully() {
+        assert_eq!(snap_to_grid(1.26, 0.5), 1.5);
+        assert_eq!(snap_to_grid(-0.74, 0.5), -0.5);
+        // cell <= 0 disables snapping exactly.
+        assert_eq!(snap_to_grid(1.26, 0.0), 1.26);
+        assert_eq!(snap_to_grid(1.26, -1.0), 1.26);
+        // Overflow-scale grid positions fall back to the unsnapped value.
+        assert_eq!(snap_to_grid(1e308, 1e-320), 1e308);
+        // Snapped values are exactly representable grid multiples.
+        let v = snap_to_grid(0.30000000001, 0.1);
+        assert_eq!(v, 0.1f64 * 3.0);
     }
 
     #[test]

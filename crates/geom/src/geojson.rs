@@ -390,6 +390,38 @@ mod tests {
     use crate::contour::rect;
 
     #[test]
+    fn degenerate_rings_parse_and_roundtrip() {
+        // Empty ring: contributes no contour instead of erroring.
+        let q = from_geojson(r#"{"type":"Polygon","coordinates":[[]]}"#).unwrap();
+        assert!(q.is_empty());
+        let q = from_geojson(
+            r#"{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]],[]]}"#,
+        )
+        .unwrap();
+        assert_eq!(q.len(), 1);
+
+        // Two-vertex ring: parses, dropped as unable to bound area.
+        let q = from_geojson(r#"{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}"#).unwrap();
+        assert!(q.is_empty());
+
+        // Unclosed ring (spec violation, common in the wild) == closed ring.
+        let open = from_geojson(r#"{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,1],[0,1]]]}"#)
+            .unwrap();
+        let closed =
+            from_geojson(r#"{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,1],[0,1],[0,0]]]}"#)
+                .unwrap();
+        assert_eq!(open, closed);
+        assert_eq!(from_geojson(&to_geojson(&open, false)).unwrap(), open);
+
+        // Repeated first vertex collapses to a single occurrence.
+        let rep = from_geojson(
+            r#"{"type":"Polygon","coordinates":[[[0,0],[0,0],[2,0],[2,1],[0,1],[0,0]]]}"#,
+        )
+        .unwrap();
+        assert_eq!(rep, closed);
+    }
+
+    #[test]
     fn roundtrip_polygon_with_hole() {
         let p = PolygonSet::from_contours(vec![rect(0.0, 0.0, 4.0, 4.0), rect(1.0, 1.0, 2.0, 2.0)]);
         let gj = to_geojson(&p, false);

@@ -31,7 +31,10 @@ pub mod wkt;
 
 pub use bbox::BBox;
 pub use contour::Contour;
-pub use float::OrdF64;
+pub use float::{
+    approx_eq, snap_to_grid, OrdF64, EPS_BOUNDARY, EPS_COLLINEAR_REL, EPS_EVENT_SNAP_REL,
+    EPS_MACHINE,
+};
 pub use hull::{convex_contains, convex_hull};
 pub use point::Point;
 pub use polygon::{FillRule, PolygonSet};

@@ -73,6 +73,16 @@ impl Point {
     pub fn is_finite(&self) -> bool {
         self.x.is_finite() && self.y.is_finite()
     }
+
+    /// Both coordinates rounded onto the uniform grid with cell size `cell`
+    /// (identity when `cell <= 0` — see [`crate::float::snap_to_grid`]).
+    #[inline]
+    pub fn snap_to_grid(&self, cell: f64) -> Point {
+        Point::new(
+            crate::float::snap_to_grid(self.x, cell),
+            crate::float::snap_to_grid(self.y, cell),
+        )
+    }
 }
 
 impl Add for Point {

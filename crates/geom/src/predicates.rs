@@ -53,8 +53,9 @@ impl Orientation {
 
 // ---- exact expansion arithmetic -------------------------------------------
 
-/// Machine epsilon for the error-bound filter: 2^-53.
-const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
+/// Machine epsilon for the error-bound filter: 2^-53 (the workspace-wide
+/// constant, re-used here so every crate derives tolerances from one place).
+const EPSILON: f64 = crate::float::EPS_MACHINE;
 /// Shewchuk's static error bound coefficient for the orient2d filter.
 const CCW_ERR_BOUND_A: f64 = (3.0 + 16.0 * EPSILON) * EPSILON;
 /// Splitter constant 2^27 + 1 for Dekker's product splitting.

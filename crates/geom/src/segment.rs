@@ -162,6 +162,35 @@ impl Segment {
         self.a.lerp(&self.b, t)
     }
 
+    /// [`cross_point`](Segment::cross_point) rounded onto the uniform grid
+    /// with cell size `cell`, with exact-predicate verification.
+    ///
+    /// Snap rounding keeps the coordinates of nearby crossings consistent:
+    /// two numerically distinct intersection points of (nearly) the same
+    /// geometric crossing land on the same grid vertex, so they cannot emit
+    /// contradictory event orderings downstream. The snapped point is
+    /// *verified* against both segments — it must stay inside the bounding
+    /// box of each (the invariant the robust [`Segment::intersect`]
+    /// predicates established for the true crossing); if snapping would
+    /// push it outside either box, the exact (unsnapped) parametric point
+    /// is returned instead. `cell <= 0` disables snapping and is
+    /// bit-identical to [`cross_point`](Segment::cross_point).
+    pub fn cross_point_snapped(&self, o: &Segment, cell: f64) -> Point {
+        let exact = self.cross_point(o);
+        if cell <= 0.0 {
+            return exact;
+        }
+        let snapped = exact.snap_to_grid(cell);
+        if snapped == exact {
+            return exact;
+        }
+        if in_box(self.a, self.b, snapped) && in_box(o.a, o.b, snapped) {
+            snapped
+        } else {
+            exact
+        }
+    }
+
     fn collinear_overlap(&self, o: &Segment) -> SegmentIntersection {
         // Order both segments along the dominant axis of `self`.
         let horizontal_dominant = (self.b.x - self.a.x).abs() >= (self.b.y - self.a.y).abs();
@@ -281,6 +310,24 @@ mod tests {
         let t = seg(0.0, 1.0, 1.0, 0.0);
         let p = s.cross_point(&t);
         assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);
+    }
+
+    #[test]
+    fn cross_point_snapped_rounds_but_stays_on_both_segments() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        let t = seg(0.0, 2.0, 2.0, 0.0);
+        // Disabled snapping is bit-identical to the exact crossing.
+        assert_eq!(s.cross_point_snapped(&t, 0.0), s.cross_point(&t));
+        // A coarse grid rounds the crossing onto a representable multiple.
+        let p = s.cross_point_snapped(&t, 0.25);
+        assert_eq!(p, pt(1.0, 1.0));
+        // Crossing at (0.1, 0.1): a 0.25 grid would snap it to (0, 0) —
+        // still inside both boxes here, so it snaps; but when snapping
+        // would leave a segment's box, the exact point is kept.
+        let a = seg(0.05, 0.0, 0.15, 0.2);
+        let b = seg(0.0, 0.1, 0.2, 0.1);
+        let q = a.cross_point_snapped(&b, 10.0);
+        assert_eq!(q, a.cross_point(&b), "gross snap must be rejected");
     }
 
     #[test]

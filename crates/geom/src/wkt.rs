@@ -204,10 +204,17 @@ impl Parser<'_> {
         Ok(rings)
     }
 
-    /// `(x y, x y, ...)` — one ring.
+    /// `(x y, x y, ...)` — one ring. An empty ring `()` is tolerated (real
+    /// GIS exports produce them) and yields an empty contour, which the
+    /// polygon-set constructor then drops. Unclosed rings are accepted: the
+    /// closing edge is implicit in [`Contour`], so `(0 0, 1 0, 1 1)` and
+    /// `(0 0, 1 0, 1 1, 0 0)` parse to the same contour.
     fn ring(&mut self) -> Result<Contour, WktError> {
         self.expect(b'(')?;
         let mut pts = Vec::new();
+        if self.try_char(b')') {
+            return Ok(Contour::new(pts));
+        }
         loop {
             let x = self.number()?;
             let y = self.number()?;
@@ -265,6 +272,30 @@ mod tests {
         let pts = q.contours()[0].points();
         assert_eq!(pts[0].x, -1e-3);
         assert_eq!(pts[1].x, 250.0);
+    }
+
+    #[test]
+    fn degenerate_rings_parse_and_roundtrip() {
+        // Empty ring: tolerated, contributes no contour.
+        assert!(from_wkt("POLYGON (())").unwrap().is_empty());
+        let q = from_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), ())").unwrap();
+        assert_eq!(q.len(), 1);
+
+        // Two-vertex ring: parses, cannot bound area, dropped by the set.
+        let q = from_wkt("POLYGON ((0 0, 1 1))").unwrap();
+        assert!(q.is_empty());
+
+        // Unclosed ring == closed ring (closing edge is implicit).
+        let open = from_wkt("POLYGON ((0 0, 2 0, 2 1, 0 1))").unwrap();
+        let closed = from_wkt("POLYGON ((0 0, 2 0, 2 1, 0 1, 0 0))").unwrap();
+        assert_eq!(open, closed);
+        // Writing always closes; re-reading restores the same set.
+        assert_eq!(from_wkt(&to_wkt(&open)).unwrap(), open);
+
+        // Repeated first vertex inside the ring collapses to one.
+        let rep = from_wkt("POLYGON ((0 0, 0 0, 2 0, 2 1, 0 1, 0 0))").unwrap();
+        assert_eq!(rep, closed);
+        assert_eq!(from_wkt(&to_wkt(&rep)).unwrap(), rep);
     }
 
     #[test]

@@ -65,6 +65,42 @@
 //! assert!(matches!(err, Err(ClipError::NonFiniteInput { .. })));
 //! ```
 //!
+//! ## Dirty input
+//!
+//! Real-world GIS data arrives with duplicate vertices, spikes, and
+//! collinear runs. The engine's sanitizer (on by default via
+//! [`ClipOptions`](prelude::ClipOptions)`::sanitize`) repairs such input
+//! before the sweep and records the repair as a
+//! [`Degradation::InputRepaired`](prelude::Degradation). Lenient callers get
+//! the repaired answer; `strict()` callers get a typed rejection instead:
+//!
+//! ```
+//! use polyclip::prelude::*;
+//!
+//! // A square with a duplicated corner and a zero-width spike.
+//! let dirty = PolygonSet::from_contours(vec![Contour::from_raw(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(4.0, 0.0),
+//!     Point::new(4.0, 0.0),            // duplicate vertex
+//!     Point::new(5.0, 0.0),
+//!     Point::new(4.0, 0.0),            // ...and back: a spike
+//!     Point::new(4.0, 4.0),
+//!     Point::new(0.0, 4.0),
+//! ])]);
+//! let clip_p = PolygonSet::from_xy(&[(2.0, 2.0), (6.0, 2.0), (6.0, 6.0), (2.0, 6.0)]);
+//!
+//! let outcome = try_clip_with_stats(&dirty, &clip_p, BoolOp::Intersection,
+//!                                   &ClipOptions::default()).unwrap();
+//! assert!(outcome
+//!     .degradations
+//!     .iter()
+//!     .any(|d| matches!(d, Degradation::InputRepaired { .. })));
+//! // The lenient answer is the clipped repaired polygon...
+//! assert!((eo_area(&outcome.result) - 4.0).abs() < 1e-9);
+//! // ...but strict() refuses to pretend the input was clean.
+//! assert!(matches!(outcome.strict(), Err(ClipError::DirtyInput { .. })));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | re-export | crate | contents |
@@ -89,6 +125,7 @@ pub use polyclip_sweep as sweep;
 pub mod prelude {
     pub use polyclip_core::algo2::{
         clip_pair_slabs, clip_pair_slabs_backend, clip_pair_slabs_with, MergeStrategy,
+        PartitionBackend,
     };
     pub use polyclip_core::{
         clip, clip_with_stats, dissolve, eo_area, measure_op, overlay_difference,
@@ -96,11 +133,14 @@ pub mod prelude {
         OverlayResult, PhaseTimes, SlabAssignment,
     };
     pub use polyclip_core::{intersection_all, subtract_all, union_all, xor_all};
-    pub use polyclip_core::{trapezoids, triangulate, validate, Trapezoid};
+    pub use polyclip_core::{sanitize_set, SanitizeOptions, SanitizeReport};
+    pub use polyclip_core::{
+        trapezoids, triangulate, validate, Trapezoid, ValidationReport, Violation,
+    };
     pub use polyclip_core::{
         try_clip, try_clip_pair_slabs, try_clip_pair_slabs_backend, try_clip_pair_slabs_with,
         try_clip_with_stats, try_overlay_difference, try_overlay_intersection, try_overlay_union,
-        ClipError, ClipOutcome, Degradation, FaultPlan, InputRole,
+        ClipError, ClipOutcome, Degradation, FaultPlan, InputRole, RepairRung,
     };
     pub use polyclip_geom::{BBox, Contour, FillRule, Point, PolygonSet};
 }

@@ -120,10 +120,11 @@ mod tests {
     }
 
     fn on_boundary(c: &Contour, p: Point) -> bool {
+        use polyclip_geom::EPS_BOUNDARY;
         c.edges().any(|e| {
             polyclip_geom::predicates::point_on_segment(e.a, e.b, p)
-                || p.dist(&e.a) < 1e-9
-                || e.side_of(p).abs() < 1e-9 && e.bbox().contains(p)
+                || p.dist(&e.a) < EPS_BOUNDARY
+                || e.side_of(p).abs() < EPS_BOUNDARY && e.bbox().contains(p)
         })
     }
 

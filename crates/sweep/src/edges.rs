@@ -1,6 +1,6 @@
 //! Normalized sweep edges.
 
-use polyclip_geom::{Contour, Point, PolygonSet, Segment};
+use polyclip_geom::{Contour, Point, PolygonSet, Segment, EPS_EVENT_SNAP_REL};
 
 /// Which input polygon an edge came from. The paper's Lemma 3 parity test
 /// counts edges of *the other* polygon, so every edge carries its source.
@@ -47,7 +47,7 @@ impl InputEdge {
 /// scanbeams too thin for intersection events to be representable inside.
 #[inline]
 pub fn snap_tolerance(mag: f64) -> f64 {
-    16.0 * f64::EPSILON * mag.abs().max(f64::MIN_POSITIVE)
+    EPS_EVENT_SNAP_REL * mag.abs().max(f64::MIN_POSITIVE)
 }
 
 /// Greedy left-to-right snap clustering: every y within [`snap_tolerance`]

@@ -1,0 +1,111 @@
+//! Fuzz target: mutated WKT/GeoJSON through sanitize → clip → validate.
+//!
+//! From the raw byte stream we derive two polygon sets, serialize one of
+//! them to WKT or GeoJSON, corrupt the text with byte mutations, and try to
+//! parse it back — exercising the parsers' tolerance for unclosed rings and
+//! junk. Whatever parses (or the original, when the corruption broke the
+//! syntax) is clipped against the second set with the full robustness
+//! ladder armed. The oracle:
+//!
+//! * no entry point may panic;
+//! * typed errors (`ClipError`) are acceptable, silent corruption is not;
+//! * unless the ladder explicitly reported defeat
+//!   (`OutputRepaired { rung: Unrepaired, .. }`), the output must be
+//!   canonical — zero [`validate`] violations.
+
+use libfuzzer_sys::fuzz_target;
+use polyclip::geom::{geojson, wkt, Contour, Point, PolygonSet};
+use polyclip::prelude::*;
+
+/// Build a small polygon set from a byte cursor: up to 3 contours of up to
+/// 8 vertices, coordinates on a coarse integer-ish lattice so coincidences,
+/// collinear runs and duplicates are *likely* rather than measure-zero.
+fn decode_set(bytes: &mut impl Iterator<Item = u8>) -> PolygonSet {
+    let mut contours = Vec::new();
+    let n_contours = 1 + bytes.next().unwrap_or(0) as usize % 3;
+    for _ in 0..n_contours {
+        let n_pts = bytes.next().unwrap_or(0) as usize % 9;
+        let mut pts = Vec::with_capacity(n_pts);
+        for _ in 0..n_pts {
+            let x = bytes.next().unwrap_or(0) as i8 as f64 / 8.0;
+            let y = bytes.next().unwrap_or(0) as i8 as f64 / 8.0;
+            pts.push(Point::new(x, y));
+        }
+        contours.push(Contour::from_raw(pts));
+    }
+    let mut p = PolygonSet::new();
+    *p.contours_mut() = contours;
+    p
+}
+
+fuzz_target!(|data: &[u8]| {
+    let mut bytes = data.iter().copied();
+    let subject = decode_set(&mut bytes);
+    let clip_p = decode_set(&mut bytes);
+
+    // Serialize the subject, corrupt the text, and try to parse it back.
+    let flags = bytes.next().unwrap_or(0);
+    let mut text = if flags & 1 == 0 {
+        wkt::to_wkt(&subject)
+    } else {
+        geojson::to_geojson(&subject, flags & 2 != 0)
+    };
+    let n_mutations = (flags >> 2) as usize % 8;
+    {
+        let buf = unsafe { text.as_mut_vec() }; // corruption may break UTF-8 …
+        for _ in 0..n_mutations {
+            if buf.is_empty() {
+                break;
+            }
+            let pos = bytes.next().unwrap_or(0) as usize % buf.len();
+            buf[pos] = bytes.next().unwrap_or(b' ');
+        }
+    }
+    // … in which case the parsers never see it (same as a read error).
+    let reparsed = String::from_utf8(text.into_bytes())
+        .ok()
+        .and_then(|t| {
+            if flags & 1 == 0 {
+                wkt::from_wkt(&t).ok()
+            } else {
+                geojson::from_geojson(&t).ok()
+            }
+        })
+        .unwrap_or(subject);
+
+    let snap = [0.0, 1e-12, 1e-9, 1e-6][(flags >> 5) as usize % 4];
+    let opts = ClipOptions {
+        validate_output: true,
+        snap_cell: snap,
+        ..ClipOptions::sequential()
+    };
+    let op = [
+        BoolOp::Intersection,
+        BoolOp::Union,
+        BoolOp::Difference,
+        BoolOp::Xor,
+    ][(flags >> 3) as usize % 4];
+
+    match try_clip(&reparsed, &clip_p, op, &opts) {
+        Err(_) => {} // typed rejection is a valid outcome
+        Ok(outcome) => {
+            let ladder_defeated = outcome.degradations.iter().any(|d| {
+                matches!(
+                    d,
+                    Degradation::OutputRepaired {
+                        rung: RepairRung::Unrepaired,
+                        ..
+                    }
+                )
+            });
+            if !ladder_defeated {
+                let rep = validate(&outcome.result);
+                assert!(
+                    rep.violations.is_empty(),
+                    "non-canonical output without a ladder-defeat report: {:?}",
+                    &rep.violations[..rep.violations.len().min(3)]
+                );
+            }
+        }
+    }
+});

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `libfuzzer-sys` crate.
+//!
+//! The real crate links LLVM's in-process fuzzer; this container has no
+//! registry access, so this stub provides the same `fuzz_target!` macro
+//! backed by a deterministic xorshift mutation driver. It understands the
+//! subset of libFuzzer's command line our CI uses:
+//!
+//! * `-max_total_time=<secs>` — stop after roughly that many seconds;
+//! * `-runs=<n>` — stop after `n` executions;
+//! * `-seed=<n>` — RNG seed (default 1);
+//! * `-max_len=<n>` — maximum input length in bytes (default 4096);
+//! * bare file paths — replayed once each before (or instead of) the
+//!   random loop, matching libFuzzer's corpus/reproducer semantics.
+//!
+//! A panic in the target aborts the process with a nonzero exit code, so a
+//! CI job wrapping the binary fails exactly as it would with libFuzzer.
+//! Coverage feedback is *not* simulated: inputs are random/mutated blobs.
+//! That is deliberate — the stub's job is to keep the fuzz target building
+//! and smoke-running offline, not to replace coverage-guided fuzzing.
+
+/// Deterministic xorshift64* generator: tiny, seedable, dependency-free.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// One mutation step in the style of libFuzzer's default mutator: grow,
+/// shrink, flip, splice or overwrite a region of the buffer.
+pub fn mutate(data: &mut Vec<u8>, rng: &mut Rng, max_len: usize) {
+    match rng.below(6) {
+        0 => {
+            // Append random bytes.
+            let n = 1 + rng.below(16);
+            for _ in 0..n {
+                if data.len() >= max_len {
+                    break;
+                }
+                data.push(rng.next_u64() as u8);
+            }
+        }
+        1 => {
+            // Truncate.
+            if !data.is_empty() {
+                let n = data.len() - rng.below(data.len());
+                data.truncate(n);
+            }
+        }
+        2 => {
+            // Flip a bit.
+            if !data.is_empty() {
+                let i = rng.below(data.len());
+                let bit = rng.below(8);
+                data[i] ^= 1 << bit;
+            }
+        }
+        3 => {
+            // Overwrite a byte with an "interesting" value.
+            if !data.is_empty() {
+                const INTERESTING: [u8; 10] =
+                    [0, 1, 0x7f, 0x80, 0xff, b'(', b')', b',', b'-', b'.'];
+                let i = rng.below(data.len());
+                data[i] = INTERESTING[rng.below(INTERESTING.len())];
+            }
+        }
+        4 => {
+            // Duplicate a random slice (splice with itself).
+            if !data.is_empty() && data.len() < max_len {
+                let start = rng.below(data.len());
+                let len = (1 + rng.below(8)).min(data.len() - start);
+                let slice: Vec<u8> = data[start..start + len].to_vec();
+                let at = rng.below(data.len() + 1);
+                for (k, b) in slice.into_iter().enumerate() {
+                    if data.len() >= max_len {
+                        break;
+                    }
+                    data.insert(at + k, b);
+                }
+            }
+        }
+        _ => {
+            // Swap two bytes.
+            if data.len() >= 2 {
+                let i = rng.below(data.len());
+                let j = rng.below(data.len());
+                data.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Driver configuration parsed from libFuzzer-style arguments.
+pub struct Config {
+    pub max_total_time: Option<std::time::Duration>,
+    pub runs: Option<u64>,
+    pub seed: u64,
+    pub max_len: usize,
+    pub replay_files: Vec<String>,
+}
+
+impl Config {
+    pub fn from_args() -> Self {
+        let mut cfg = Config {
+            max_total_time: None,
+            runs: None,
+            seed: 1,
+            max_len: 4096,
+            replay_files: Vec::new(),
+        };
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("-max_total_time=") {
+                cfg.max_total_time = v.parse().ok().map(std::time::Duration::from_secs);
+            } else if let Some(v) = arg.strip_prefix("-runs=") {
+                cfg.runs = v.parse().ok();
+            } else if let Some(v) = arg.strip_prefix("-seed=") {
+                cfg.seed = v.parse().unwrap_or(1);
+            } else if let Some(v) = arg.strip_prefix("-max_len=") {
+                cfg.max_len = v.parse().unwrap_or(4096);
+            } else if !arg.starts_with('-') {
+                cfg.replay_files.push(arg);
+            }
+        }
+        // Neither a time budget nor a run count: default to a quick smoke
+        // pass rather than running forever.
+        if cfg.max_total_time.is_none() && cfg.runs.is_none() && cfg.replay_files.is_empty() {
+            cfg.runs = Some(10_000);
+        }
+        cfg
+    }
+}
+
+/// Run the fuzz body under the driver loop. Called by `fuzz_target!`.
+pub fn drive(body: fn(&[u8])) {
+    let cfg = Config::from_args();
+    let mut executed: u64 = 0;
+
+    for path in &cfg.replay_files {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                body(&bytes);
+                executed += 1;
+            }
+            Err(e) => eprintln!("skipping {path}: {e}"),
+        }
+    }
+    if !cfg.replay_files.is_empty() && cfg.max_total_time.is_none() && cfg.runs.is_none() {
+        eprintln!("replayed {executed} file(s)");
+        return;
+    }
+
+    let start = std::time::Instant::now();
+    let mut rng = Rng::new(cfg.seed);
+    let mut data: Vec<u8> = Vec::new();
+    loop {
+        if let Some(t) = cfg.max_total_time {
+            if start.elapsed() >= t {
+                break;
+            }
+        }
+        if let Some(r) = cfg.runs {
+            if executed >= r {
+                break;
+            }
+        }
+        // Periodically restart from scratch so mutations don't drift into
+        // one basin; otherwise mutate the previous input.
+        if data.is_empty() || rng.below(64) == 0 {
+            data.clear();
+            let n = rng.below(cfg.max_len.min(256));
+            for _ in 0..n {
+                data.push(rng.next_u64() as u8);
+            }
+        } else {
+            mutate(&mut data, &mut rng, cfg.max_len);
+        }
+        body(&data);
+        executed += 1;
+    }
+    eprintln!(
+        "done: {executed} runs in {:.1}s, no failures",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// The `libfuzzer-sys` entry-point macro: wraps the body in a `main` that
+/// feeds it replayed files and deterministically mutated inputs.
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:block) => {
+        fn fuzz_body($data: &[u8]) $body
+
+        fn main() {
+            $crate::drive(fuzz_body);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn mutate_respects_max_len() {
+        let mut rng = Rng::new(3);
+        let mut data = vec![1, 2, 3];
+        for _ in 0..10_000 {
+            mutate(&mut data, &mut rng, 64);
+            assert!(data.len() <= 64);
+        }
+    }
+}

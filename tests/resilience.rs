@@ -4,7 +4,9 @@
 //! ladder (retry → pristine sequential fallback) restores the bit-identical
 //! unfaulted answer.
 
-use polyclip::datagen::synthetic_pair;
+use polyclip::datagen::{
+    junk_pile, pinched_ring, sliver_fan, spiky_ring, synthetic_pair, torture_corpus,
+};
 use polyclip::prelude::*;
 use proptest::prelude::*;
 
@@ -47,6 +49,14 @@ fn adversarial_catalog() -> Vec<PolygonSet> {
         PolygonSet::from_xy(&[(0.0, 0.0), (f64::NAN, 1.0), (1.0, 1.0)]),
         PolygonSet::from_xy(&[(0.0, f64::INFINITY), (1.0, 0.0), (1.0, 1.0)]),
         PolygonSet::from_xy(&[(f64::NEG_INFINITY, 0.0), (1.0, 0.0), (1.0, 1.0)]),
+        // Degeneracy torture generators: spikes + duplicates + collinear
+        // midpoints, sub-tolerance slivers, a self-touching pinch, and the
+        // full junk pile (duplicate ring, zero-area chain, 2-vertex
+        // fragment, point ring).
+        spiky_ring(1, Point::new(0.5, 0.5), 1.0, 12),
+        sliver_fan(2, Point::new(0.0, 0.0), 1.5, 6),
+        pinched_ring(Point::new(1.0, 1.0), 1.0),
+        junk_pile(Point::new(-0.5, -0.5), 1.0),
     ]
 }
 
@@ -70,6 +80,38 @@ fn never_panics_on_adversarial_catalog() {
             let _ = overlay_intersection(&la, &lb, 2, SlabAssignment::Replicate, &seq());
             let _ = try_overlay_difference(&la, &lb, 2, &seq());
             let _ = try_overlay_union(&la, &lb, 2, &seq());
+        }
+    }
+}
+
+/// The torture corpus through both Algorithm-2 partition backends, with
+/// and without the robustness ladder: nothing may panic or error.
+#[test]
+fn never_panics_on_torture_corpus_across_backends() {
+    let armed = ClipOptions {
+        validate_output: true,
+        ..seq()
+    };
+    let disarmed = ClipOptions {
+        sanitize: false,
+        ..seq()
+    };
+    for case in torture_corpus(42) {
+        for backend in [PartitionBackend::FullScan, PartitionBackend::SlabIndex] {
+            for opts in [&armed, &disarmed] {
+                for op in ALL_OPS {
+                    let r = try_clip_pair_slabs_backend(
+                        &case.subject,
+                        &case.clip,
+                        op,
+                        3,
+                        opts,
+                        MergeStrategy::Sequential,
+                        backend,
+                    );
+                    assert!(r.is_ok(), "{}: {op:?} {backend:?} errored", case.name);
+                }
+            }
         }
     }
 }
