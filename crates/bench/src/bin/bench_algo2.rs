@@ -71,6 +71,20 @@ fn main() {
     ];
 
     let opts = ClipOptions::sequential();
+    // Armed-but-unbounded budget: the gate, meter and every checkpoint run,
+    // but nothing can trip. `budget_overhead` = armed wall / unarmed wall;
+    // the bounded-execution contract (DESIGN.md §4.8) keeps it under 1% on
+    // gis_multi at p = 8.
+    let budgeted_opts = ClipOptions {
+        budget: ExecBudget {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            max_intersections: Some(u64::MAX / 2),
+            max_output_vertices: Some(u64::MAX / 2),
+            allow_partial: true,
+            ..Default::default()
+        },
+        ..opts.clone()
+    };
     let msf = |d: std::time::Duration| Value::Num(d.as_secs_f64() * 1e3);
 
     let mut runs: Vec<Value> = Vec::new();
@@ -98,9 +112,22 @@ fn main() {
                         backend,
                     )
                 });
+                let (_, budgeted_wall) = time_best(reps, || {
+                    clip_pair_slabs_backend(
+                        a,
+                        b,
+                        BoolOp::Union,
+                        p,
+                        &budgeted_opts,
+                        MergeStrategy::Sequential,
+                        backend,
+                    )
+                });
+                let budget_overhead = budgeted_wall.as_secs_f64() / wall.as_secs_f64().max(1e-12);
                 println!(
                     "{backend_name:>10}  p={p}  slabs={}  sanitize={:>7.3}ms  \
-                     partition={:>9.3}ms  clip={:>9.3}ms  merge={:>7.3}ms  wall={:>9.3}ms",
+                     partition={:>9.3}ms  clip={:>9.3}ms  merge={:>7.3}ms  wall={:>9.3}ms  \
+                     budget_overhead={budget_overhead:>6.4}",
                     r.slabs,
                     r.times.sanitize.as_secs_f64() * 1e3,
                     r.times.partition_total().as_secs_f64() * 1e3,
@@ -121,6 +148,7 @@ fn main() {
                     ("critical_path_ms", msf(critical_path(&r.times))),
                     ("wall_ms", msf(wall)),
                     ("load_imbalance", Value::Num(r.times.load_imbalance())),
+                    ("budget_overhead", Value::Num(budget_overhead)),
                     ("out_contours", Value::Num(r.output.len() as f64)),
                 ]));
             }

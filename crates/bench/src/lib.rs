@@ -401,7 +401,9 @@ mod tests {
             per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
             per_slab_clip: vec![Duration::from_millis(10), Duration::from_millis(5)],
             merge: Duration::from_millis(3),
+            retry_total: Duration::ZERO,
             total: Duration::from_millis(23),
+            work: Default::default(),
         };
         assert_eq!(critical_path(&times), Duration::from_millis(17));
     }

@@ -29,13 +29,14 @@
 //! per-worker scratch buffer. [`PartitionBackend::FullScan`] keeps the
 //! original scan path for ablation; both produce bit-identical results.
 
+use crate::budget::{self, Gate, MeterSnapshot};
 use crate::classify::BoolOp;
-use crate::engine::{try_clip_refs_with_stats, try_clip_with_stats, ClipOptions};
+use crate::engine::{try_clip_refs_gated, try_clip_with_stats_gated, ClipOptions};
 use crate::resilience::{self, ClipError, ClipOutcome, Degradation, InputRole};
 use crate::slabindex::SlabIndex;
 use crate::stats::ClipStats;
 use polyclip_geom::{Contour, OrdF64, Point, PolygonSet};
-use polyclip_parprim::par_sort_dedup;
+use polyclip_parprim::par_sort_dedup_gated;
 use polyclip_seqclip::{band_clip, band_clip_contour_into};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -57,8 +58,18 @@ pub struct PhaseTimes {
     pub per_slab_clip: Vec<Duration>,
     /// Sequential merge time (Step 8).
     pub merge: Duration,
+    /// Wall clock consumed by failed slab attempts before a recovery
+    /// attempt succeeded (panicked attempts, watchdog-cancelled attempts).
+    /// Kept out of [`PhaseTimes::per_slab_clip`] so the Figure-11 load
+    /// profile and [`PhaseTimes::load_imbalance`] reflect only the work
+    /// each slab's *successful* clip did.
+    pub retry_total: Duration,
     /// End-to-end wall clock.
     pub total: Duration,
+    /// Work-meter totals for the run (intersections found, events
+    /// processed, output fragments gathered, peak scratch bytes) — the
+    /// counters [`crate::ExecBudget`] limits are enforced against.
+    pub work: MeterSnapshot,
 }
 
 impl PhaseTimes {
@@ -84,7 +95,10 @@ impl PhaseTimes {
     }
 
     /// Max/mean clip-time ratio: 1.0 is perfect balance (Figure 11). A
-    /// single slab (or none) is perfectly balanced by definition.
+    /// single slab (or none) is perfectly balanced by definition. Retry
+    /// time ([`PhaseTimes::retry_total`]) is excluded: a slab that
+    /// panicked or was watchdog-cancelled and then recovered would
+    /// otherwise report its failed attempt as load.
     pub fn load_imbalance(&self) -> f64 {
         if self.per_slab_clip.len() <= 1 {
             return 1.0;
@@ -166,28 +180,60 @@ struct SlabPartial {
     degradations: Vec<Degradation>,
     t_partition: Duration,
     t_clip: Duration,
+    /// Time burned by attempts that failed (panic or watchdog trip) before
+    /// this partial was produced; aggregated into
+    /// [`PhaseTimes::retry_total`], never into the per-slab load profile.
+    t_retry: Duration,
+}
+
+/// The gates a slab worker runs under.
+struct SlabGates<'a> {
+    /// First-attempt gate: the global gate's child carrying this slab's
+    /// watchdog deadline (or the global gate itself when no watchdog
+    /// applies). Shares the cancel token, meter and work limits.
+    attempt: &'a Gate,
+    /// The armed global gate — consulted after a slab-level trip to decide
+    /// whether the whole run is over (global trip → propagate) or only the
+    /// watchdog fired (global clean → re-ladder the slab).
+    global: &'a Gate,
+    /// Recovery gate for retry/pristine attempts: cancel-only. A slab whose
+    /// watchdog deadline fired must be retried without it to make progress,
+    /// and re-arming the work caps would double-charge rediscovered work —
+    /// but recovery must stay interruptible.
+    recovery: &'a Gate,
 }
 
 /// Run one slab through the recovery ladder.
 ///
-/// Attempt 0 runs the configured engine; if the worker panics, attempt 1
-/// retries the identical computation (transient faults); if that panics
-/// too, a final attempt re-runs the slab on the *pristine* configuration —
-/// sequential, default partition backend, fault plan stripped. The
-/// pristine attempt computes the same band on the same engine family, so a
-/// successful fallback is bit-identical to an unfaulted run. Only when all
-/// three attempts die does the slab surface [`ClipError::SlabPanic`].
-fn run_slab_ladder<F>(slab: usize, seq: &ClipOptions, body: F) -> Result<SlabPartial, ClipError>
+/// Attempt 0 runs the configured engine under the slab's watchdog gate; if
+/// the worker panics — or the watchdog deadline fires while the global gate
+/// is still clean — attempt 1 retries the identical computation on the
+/// cancel-only recovery gate (transient faults, one slow slab); if that
+/// dies too, a final attempt re-runs the slab on the *pristine*
+/// configuration — sequential, default partition backend, fault plan
+/// stripped. The pristine attempt computes the same band on the same engine
+/// family, so a successful fallback is bit-identical to an unfaulted run.
+/// Only when all three attempts die does the slab surface
+/// [`ClipError::SlabPanic`]. Cancellation and global budget trips always
+/// propagate immediately: retrying cannot help, and the caller asked to
+/// stop.
+fn run_slab_ladder<F>(
+    slab: usize,
+    seq: &ClipOptions,
+    gates: &SlabGates<'_>,
+    body: F,
+) -> Result<SlabPartial, ClipError>
 where
-    F: Fn(&ClipOptions) -> Result<(ClipOutcome, Duration, Duration), ClipError>,
+    F: Fn(&ClipOptions, &Gate) -> Result<(ClipOutcome, Duration, Duration), ClipError>,
 {
     let attempt_with =
         |opts: &ClipOptions,
+         gate: &Gate,
          attempt: u32|
          -> Result<Result<(ClipOutcome, Duration, Duration), ClipError>, String> {
             catch_unwind(AssertUnwindSafe(|| {
                 resilience::maybe_panic_slab(opts, slab, attempt);
-                body(opts)
+                body(opts, gate)
             }))
             .map_err(|p| resilience::panic_message(p.as_ref()))
         };
@@ -195,7 +241,8 @@ where
     let finish = |outcome: ClipOutcome,
                   t_partition: Duration,
                   t_clip: Duration,
-                  recovery: Option<Degradation>| {
+                  recovery: Option<Degradation>,
+                  t_retry: Duration| {
         let mut degradations = outcome.degradations;
         let mut stats = outcome.stats;
         if let Some(d) = recovery {
@@ -208,27 +255,67 @@ where
             degradations,
             t_partition,
             t_clip,
+            t_retry,
         }
     };
 
+    // Attempt 0: configured engine, watchdog gate.
+    let mut t_retry = Duration::ZERO;
     let mut last_panic = String::new();
-    for attempt in 0..2u32 {
-        match attempt_with(seq, attempt) {
-            Ok(Ok((outcome, t_partition, t_clip))) => {
-                let recovery = (attempt > 0).then_some(Degradation::SlabRetry { slab });
-                return Ok(finish(outcome, t_partition, t_clip, recovery));
+    let t0 = Instant::now();
+    match attempt_with(seq, gates.attempt, 0) {
+        Ok(Ok((outcome, t_partition, t_clip))) => {
+            return Ok(finish(outcome, t_partition, t_clip, None, t_retry));
+        }
+        Ok(Err(e)) => {
+            // Geometry errors are deterministic, cancellation is final; a
+            // budget trip is re-ladderable only when it was this slab's
+            // watchdog — a tripped global gate ends the whole run.
+            if !budget::is_budget_trip(&e) {
+                return Err(e);
             }
-            // A typed error is deterministic — retrying cannot help.
-            Ok(Err(e)) => return Err(e),
-            Err(msg) => last_panic = msg,
+            if let Some(r) = gates.global.checkpoint() {
+                return Err(budget::trip_error(r, gates.global));
+            }
+            t_retry += t0.elapsed();
+        }
+        Err(msg) => {
+            last_panic = msg;
+            t_retry += t0.elapsed();
         }
     }
-    match attempt_with(&resilience::pristine(seq), 2) {
+
+    // Attempt 1: identical retry on the cancel-only recovery gate.
+    let t1 = Instant::now();
+    match attempt_with(seq, gates.recovery, 1) {
+        Ok(Ok((outcome, t_partition, t_clip))) => {
+            return Ok(finish(
+                outcome,
+                t_partition,
+                t_clip,
+                Some(Degradation::SlabRetry { slab }),
+                t_retry,
+            ));
+        }
+        // Deterministic under the recovery gate (no deadline or caps left
+        // to trip): propagate, including cancellation.
+        Ok(Err(e)) => return Err(e),
+        Err(msg) => {
+            if !msg.is_empty() {
+                last_panic = msg;
+            }
+            t_retry += t1.elapsed();
+        }
+    }
+
+    // Attempt 2: pristine sequential fallback, still cancellable.
+    match attempt_with(&resilience::pristine(seq), gates.recovery, 2) {
         Ok(Ok((outcome, t_partition, t_clip))) => Ok(finish(
             outcome,
             t_partition,
             t_clip,
             Some(Degradation::SlabFallback { slab }),
+            t_retry,
         )),
         Ok(Err(e)) => Err(e),
         Err(msg) => Err(ClipError::SlabPanic {
@@ -247,8 +334,9 @@ fn run_slab(
     clip_p: &PolygonSet,
     op: BoolOp,
     seq: &ClipOptions,
+    gates: &SlabGates<'_>,
 ) -> Result<SlabPartial, ClipError> {
-    run_slab_ladder(slab, seq, |opts| {
+    run_slab_ladder(slab, seq, gates, |opts, gate| {
         let t0 = Instant::now();
         let (s_band, c_band) = match band {
             Some((lo, hi)) => (band_clip(subject, lo, hi), band_clip(clip_p, lo, hi)),
@@ -256,7 +344,7 @@ fn run_slab(
         };
         let t_partition = t0.elapsed();
         let t1 = Instant::now();
-        try_clip_with_stats(&s_band, &c_band, op, opts)
+        try_clip_with_stats_gated(&s_band, &c_band, op, opts, gate)
             .map(|outcome| (outcome, t_partition, t1.elapsed()))
     })
 }
@@ -275,13 +363,14 @@ fn run_slab_indexed(
     index: &SlabIndex<'_>,
     op: BoolOp,
     seq: &ClipOptions,
+    gates: &SlabGates<'_>,
 ) -> Result<SlabPartial, ClipError> {
     // Per-entry dispositions for the second pass. `PolygonSet::push` (the
     // full-scan path) silently drops invalid (< 3 point) contours, so the
     // same filter applies here to keep the instances identical.
     const SKIP: u32 = u32::MAX;
     const BORROW: u32 = u32::MAX - 1;
-    run_slab_ladder(slab, seq, |opts| {
+    run_slab_ladder(slab, seq, gates, |opts, gate| {
         let (lo, hi) = band;
         let entries = index.slab(slab);
         let t0 = Instant::now();
@@ -318,7 +407,7 @@ fn run_slab_indexed(
         }
         let t_partition = t0.elapsed();
         let t1 = Instant::now();
-        try_clip_refs_with_stats(&subject_refs, &clip_refs, op, opts)
+        try_clip_refs_gated(&subject_refs, &clip_refs, op, opts, gate)
             .map(|outcome| (outcome, t_partition, t1.elapsed()))
     })
 }
@@ -436,6 +525,13 @@ pub fn try_clip_pair_slabs_backend(
     backend: PartitionBackend,
 ) -> Result<Algo2Result, ClipError> {
     let t_start = Instant::now();
+    // Arm the budget exactly once, at this public boundary: the relative
+    // deadline becomes absolute here, and every slab worker below shares
+    // the gate (via per-slab watchdog children). The recovery gate keeps
+    // only the cancel token — see [`SlabGates::recovery`].
+    let gate = opts.budget.arm();
+    let recovery_gate = opts.budget.cancel_only().arm();
+    budget::check(&gate)?;
     // Non-finite coordinates would poison the event ordering below before
     // any slab worker (and its input gate) ever runs; reject them here.
     for (set, role) in [(subject, InputRole::Subject), (clip_p, InputRole::Clip)] {
@@ -485,31 +581,46 @@ pub fn try_clip_pair_slabs_backend(
     let (subject, clip_p) = (&*subject_gate, &*clip_gate);
     let t_sanitize = t_san.elapsed();
 
+    // Slab workers receive the armed gate explicitly; the budget carried in
+    // their options is reduced to the cancel token so nothing downstream
+    // can re-arm the deadline.
     let seq = ClipOptions {
         parallel: false,
         sanitize: false,
         validate_output: false,
-        ..*opts
+        budget: opts.budget.cancel_only(),
+        ..opts.clone()
     };
 
     // Steps 1–3: event schedule and bounding rectangle. Above the parprim
     // cutoff the sort-and-dedup runs on the rayon pool (parallel merge sort
     // + dedup-by-pack); below it, the classic sequential idiom.
-    let ys: Vec<OrdF64> = par_sort_dedup(
+    let ys: Vec<OrdF64> = par_sort_dedup_gated(
         subject
             .contours()
             .iter()
             .chain(clip_p.contours())
             .flat_map(|c| c.points().iter().map(|p| OrdF64::new(p.y)))
             .collect(),
+        Some(&gate),
     );
+    budget::check(&gate)?;
 
     if ys.len() < 2 || n_slabs <= 1 {
         // Degenerate instance or a single slab: one unbanded worker, still
-        // under the recovery ladder (slab index 0).
-        let partial = run_slab(0, None, subject, clip_p, op, &seq)?;
+        // under the recovery ladder (slab index 0). No watchdog — the slab
+        // IS the run, so its deadline is the global one.
+        let gates = SlabGates {
+            attempt: &gate,
+            global: &gate,
+            recovery: &recovery_gate,
+        };
+        let partial = run_slab(0, None, subject, clip_p, op, &seq, &gates)?;
+        let t_retry = partial.t_retry;
         let mut stats = partial.stats;
         stats.input_repairs += pre_repairs;
+        stats.completed_slabs = 1;
+        stats.total_slabs = 1;
         let mut degradations = pre_degradations;
         degradations.extend(partial.degradations);
         let mut outcome = ClipOutcome {
@@ -526,7 +637,9 @@ pub fn try_clip_pair_slabs_backend(
             per_slab_partition: vec![Duration::ZERO],
             per_slab_clip: vec![partial.t_clip],
             merge: Duration::ZERO,
+            retry_total: t_retry,
             total: t_start.elapsed(),
+            work: gate.meter().snapshot(),
         };
         return Ok(Algo2Result {
             output: outcome.result,
@@ -554,32 +667,100 @@ pub fn try_clip_pair_slabs_backend(
         Duration::ZERO
     };
 
+    // The watchdog: derive each slab's deadline from the global allowance
+    // and its estimated load share. A slab gets twice its fair share of the
+    // remaining time (floored at the uniform 1/slabs share so tiny buckets
+    // are not starved, capped at the global deadline) — generous enough
+    // that balanced runs never trip it, tight enough that one runaway slab
+    // is cancelled and re-laddered while its siblings finish.
+    let entry_counts: Option<Vec<usize>> = index
+        .as_ref()
+        .map(|ix| (0..slabs).map(|i| ix.slab(i).len()).collect());
+    let now = Instant::now();
+    let slab_deadline = |i: usize| -> Option<Instant> {
+        let d = gate.deadline()?;
+        let remaining = d.saturating_duration_since(now);
+        let uniform = 1.0 / slabs as f64;
+        let share = match &entry_counts {
+            Some(counts) => {
+                let total: usize = counts.iter().sum();
+                if total == 0 {
+                    uniform
+                } else {
+                    counts[i] as f64 / total as f64
+                }
+            }
+            None => uniform,
+        };
+        let frac = (2.0 * share.max(uniform)).min(1.0);
+        Some(now + remaining.mul_f64(frac))
+    };
+
     // Steps 4–6 per slab, in parallel, each under the recovery ladder.
     let partials: Vec<Result<SlabPartial, ClipError>> = (0..slabs)
         .into_par_iter()
         .map(|i| {
             let band = (boundaries[i], boundaries[i + 1]);
+            let watchdog = gate.child_with_deadline(slab_deadline(i));
+            let gates = SlabGates {
+                attempt: &watchdog,
+                global: &gate,
+                recovery: &recovery_gate,
+            };
             match &index {
-                Some(ix) => run_slab_indexed(i, band, ix, op, &seq),
-                None => run_slab(i, Some(band), subject, clip_p, op, &seq),
+                Some(ix) => run_slab_indexed(i, band, ix, op, &seq, &gates),
+                None => run_slab(i, Some(band), subject, clip_p, op, &seq, &gates),
             }
         })
         .collect();
     let mut parts: Vec<PolygonSet> = Vec::with_capacity(slabs);
     let mut per_slab_partition: Vec<Duration> = Vec::with_capacity(slabs);
     let mut per_slab_clip: Vec<Duration> = Vec::with_capacity(slabs);
+    let mut retry_total = Duration::ZERO;
     let mut stats = ClipStats {
         input_repairs: pre_repairs,
         ..ClipStats::default()
     };
     let mut degradations: Vec<Degradation> = pre_degradations;
+    // Partial-result collection: with `allow_partial`, slabs lost to a
+    // deadline/work-budget trip are skipped and the survivors merged;
+    // cancellation and geometry errors always end the run, as does a blown
+    // budget in strict (default) mode or a run with zero finished slabs.
+    let mut first_trip: Option<ClipError> = None;
+    let mut lost_slabs = 0usize;
     for partial in partials {
-        let p = partial?;
-        parts.push(p.output);
-        per_slab_partition.push(p.t_partition);
-        per_slab_clip.push(p.t_clip);
-        stats.absorb(&p.stats);
-        degradations.extend(p.degradations);
+        match partial {
+            Ok(p) => {
+                parts.push(p.output);
+                per_slab_partition.push(p.t_partition);
+                per_slab_clip.push(p.t_clip);
+                retry_total += p.t_retry;
+                stats.absorb(&p.stats);
+                degradations.extend(p.degradations);
+            }
+            Err(e) => {
+                if !opts.budget.allow_partial || !budget::is_budget_trip(&e) {
+                    return Err(e);
+                }
+                lost_slabs += 1;
+                if first_trip.is_none() {
+                    first_trip = Some(e);
+                }
+            }
+        }
+    }
+    let completed_slabs = slabs - lost_slabs;
+    if completed_slabs == 0 {
+        // Nothing to salvage: surface the first trip.
+        return Err(first_trip.expect("no slabs and no error is impossible"));
+    }
+    stats.completed_slabs = completed_slabs;
+    stats.total_slabs = slabs;
+    if lost_slabs > 0 {
+        degradations.push(Degradation::PartialResult {
+            completed_slabs,
+            total_slabs: slabs,
+        });
     }
 
     // Step 8: merge partial outputs at the interior slab boundaries.
@@ -612,7 +793,9 @@ pub fn try_clip_pair_slabs_backend(
             per_slab_partition,
             per_slab_clip,
             merge,
+            retry_total,
             total: t_start.elapsed(),
+            work: gate.meter().snapshot(),
         },
         slabs,
         stats,
@@ -996,7 +1179,7 @@ mod tests {
             let ys: Vec<OrdF64> = (0..distinct * reps)
                 .map(|i| OrdF64::new((i % distinct) as f64))
                 .collect();
-            let ys = par_sort_dedup(ys);
+            let ys = par_sort_dedup_gated(ys, None);
             let b = slab_boundaries(&ys, requested);
             for w in b.windows(2) {
                 assert!(w[0] < w[1], "distinct={distinct} requested={requested}");
@@ -1035,7 +1218,9 @@ mod tests {
             per_slab_partition: vec![Duration::from_millis(1), Duration::from_millis(2)],
             per_slab_clip: vec![Duration::from_millis(5), Duration::from_millis(7)],
             merge: Duration::from_millis(11),
+            retry_total: Duration::ZERO,
             total: Duration::from_millis(29),
+            work: MeterSnapshot::default(),
         };
         assert_eq!(t.partition_total(), Duration::from_millis(6));
         assert_eq!(t.clip_total(), Duration::from_millis(12));

@@ -1,0 +1,197 @@
+//! Bounded execution: deadlines, cooperative cancellation, and work budgets.
+//!
+//! The paper's output-sensitive bound promises work proportional to the `k`
+//! intersections actually present — but an adversarial (or merely ugly)
+//! input can drive `k` toward `n²`, and a clipping service cannot let one
+//! request pin every core until it finishes or OOMs. [`ExecBudget`], carried
+//! by [`ClipOptions::budget`](crate::ClipOptions::budget), bounds a clip
+//! four ways:
+//!
+//! * **deadline** — a wall-clock allowance, converted to an absolute
+//!   [`Instant`] exactly once at the public API boundary (nested internal
+//!   calls share the armed gate, so the clock can never be reset);
+//! * **cancellation** — a cloneable [`CancelToken`] another thread can fire;
+//!   the pipeline observes it at its next checkpoint;
+//! * **work limits** — `max_intersections` / `max_output_vertices`, enforced
+//!   against the lock-free [`WorkMeter`] *before* the corresponding `O(k)`
+//!   allocation is made (count-then-report lets us refuse the report phase);
+//! * **partial results** — with `allow_partial`, Algorithm 2 returns the
+//!   union of the slabs that finished before the budget blew, marked by
+//!   [`Degradation::PartialResult`](crate::Degradation::PartialResult) and
+//!   by `completed_slabs < total_slabs` in [`ClipStats`](crate::ClipStats);
+//!   strict mode rejects as usual.
+//!
+//! Checkpoints are deliberately coarse — per scanbeam, per merge block, per
+//! segment-tree batch, per slab — so the unarmed/unlimited path stays within
+//! noise (<1 % on the `gis_multi` benchmark; see `bench_algo2`'s
+//! `budget_overhead` column). A blown budget surfaces as
+//! [`ClipError::DeadlineExceeded`], [`ClipError::BudgetExceeded`], or
+//! [`ClipError::Cancelled`]; no partially-built geometry ever escapes an
+//! API boundary.
+//!
+//! Recovery paths (the output repair ladder, the slab retry→pristine ladder)
+//! deliberately run *budget-exempt but still cancellable*: re-arming a
+//! deadline for a retry would double the latency allowance, and a slab
+//! whose watchdog deadline fired must be retried without it to make
+//! progress. N-ary ops ([`union_all`](crate::union_all) etc.) arm the
+//! budget per binary clip and additionally short-circuit their reduction
+//! when the cancel token fires.
+
+use crate::resilience::ClipError;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use polyclip_parprim::{CancelToken, Gate, MeterSnapshot, TripReason, WorkMeter};
+
+/// Execution budget for one clipping operation. The default is unlimited:
+/// no deadline, no work caps, a cancel token nobody fires — and in that
+/// state the pipeline's output is bit-identical to a build without the
+/// budget machinery (enforced by proptest).
+#[derive(Clone, Debug, Default)]
+pub struct ExecBudget {
+    /// Wall-clock allowance for the whole operation. Converted to an
+    /// absolute deadline when the public entry point arms the budget.
+    pub deadline: Option<Duration>,
+    /// Cap on intersection pairs discovered (the output-sensitive `k`,
+    /// counted across refinement rounds and residual re-discoveries).
+    pub max_intersections: Option<u64>,
+    /// Cap on output fragments gathered before stitching (each contributes
+    /// at most two output vertices).
+    pub max_output_vertices: Option<u64>,
+    /// Cooperative cancellation token; clone it and call
+    /// [`CancelToken::cancel`] from any thread.
+    pub cancel: CancelToken,
+    /// Let Algorithm 2 return the union of completed slabs when the budget
+    /// blows mid-run (marked [`Degradation::PartialResult`]
+    /// (crate::Degradation::PartialResult), rejected by strict mode)
+    /// instead of discarding all finished work. Cancellation always
+    /// discards: the caller asked to stop, not to salvage.
+    pub allow_partial: bool,
+}
+
+impl ExecBudget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Budget with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        ExecBudget {
+            deadline: Some(deadline),
+            ..Default::default()
+        }
+    }
+
+    /// True when no deadline or work cap is configured (the token may still
+    /// be cancelled — that is always honoured).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_intersections.is_none()
+            && self.max_output_vertices.is_none()
+    }
+
+    /// Convert the budget into an armed [`Gate`] with a fresh meter.
+    /// Called exactly once per public entry point: the relative deadline
+    /// becomes absolute *here*, so internal re-entries (slab workers,
+    /// repair rungs) that receive the gate by reference can never reset
+    /// the clock.
+    pub(crate) fn arm(&self) -> Gate {
+        Gate::new(
+            self.cancel.clone(),
+            self.deadline.map(|d| Instant::now() + d),
+            self.max_intersections,
+            self.max_output_vertices,
+            Arc::new(WorkMeter::new()),
+        )
+    }
+
+    /// The budget handed to recovery re-derivations (output repair ladder,
+    /// slab retry→pristine ladder): keeps the cancel token — recovery must
+    /// stay interruptible — but drops the deadline and work caps, which the
+    /// failing attempt already consumed. Re-arming them would either double
+    /// the allowance or make recovery impossible.
+    pub(crate) fn cancel_only(&self) -> ExecBudget {
+        ExecBudget {
+            cancel: self.cancel.clone(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Map a gate trip to its typed error, capturing the meter for context.
+pub(crate) fn trip_error(reason: TripReason, gate: &Gate) -> ClipError {
+    match reason {
+        TripReason::Cancelled => ClipError::Cancelled,
+        TripReason::DeadlineExceeded => ClipError::DeadlineExceeded,
+        TripReason::BudgetExceeded => ClipError::BudgetExceeded {
+            work: gate.meter().snapshot(),
+        },
+    }
+}
+
+/// Run a full gate checkpoint, converting a trip into its typed error.
+pub(crate) fn check(gate: &Gate) -> Result<(), ClipError> {
+    match gate.checkpoint() {
+        Some(reason) => Err(trip_error(reason, gate)),
+        None => Ok(()),
+    }
+}
+
+/// Is this error a deadline/work-budget trip (as opposed to cancellation or
+/// a geometry error)? Budget trips are the only errors eligible for the
+/// partial-result path and for the slab watchdog's retry.
+pub(crate) fn is_budget_trip(e: &ClipError) -> bool {
+    matches!(
+        e,
+        ClipError::DeadlineExceeded | ClipError::BudgetExceeded { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = ExecBudget::default();
+        assert!(b.is_unlimited());
+        assert!(!b.cancel.is_cancelled());
+        let gate = b.arm();
+        assert_eq!(gate.checkpoint(), None);
+    }
+
+    #[test]
+    fn arm_converts_duration_to_absolute_deadline() {
+        let b = ExecBudget::with_deadline(Duration::ZERO);
+        assert!(!b.is_unlimited());
+        let gate = b.arm();
+        assert_eq!(gate.checkpoint(), Some(TripReason::DeadlineExceeded));
+        assert!(matches!(check(&gate), Err(ClipError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn cancel_only_keeps_token_drops_limits() {
+        let b = ExecBudget {
+            deadline: Some(Duration::ZERO),
+            max_intersections: Some(1),
+            max_output_vertices: Some(1),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let r = b.cancel_only();
+        assert!(r.is_unlimited());
+        assert!(!r.allow_partial);
+        b.cancel.cancel();
+        assert!(r.cancel.is_cancelled(), "token is shared");
+    }
+
+    #[test]
+    fn budget_trip_classification() {
+        assert!(is_budget_trip(&ClipError::DeadlineExceeded));
+        assert!(is_budget_trip(&ClipError::BudgetExceeded {
+            work: MeterSnapshot::default()
+        }));
+        assert!(!is_budget_trip(&ClipError::Cancelled));
+    }
+}

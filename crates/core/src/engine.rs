@@ -20,6 +20,7 @@
 //! used by the paper's Algorithm 2 (same algorithm family, same
 //! asymptotics).
 
+use crate::budget::{self, ExecBudget, Gate};
 use crate::classify::{classify_beam, BeamOutput, BoolOp};
 use crate::horizontal::horizontal_edges;
 use crate::resilience::{
@@ -30,16 +31,16 @@ use crate::stats::ClipStats;
 use crate::stitch::stitch_counted;
 use crate::validate::{is_degenerate, sanitize_counted};
 use polyclip_geom::{Contour, FillRule, Point, PolygonSet};
-use polyclip_sweep::cross::{discover_residual_crossings, CrossEvent};
+use polyclip_sweep::cross::{discover_residual_crossings_gated, CrossEvent};
 use polyclip_sweep::{
-    collect_edges, collect_edges_refs, discover_intersections, event_ys, BeamSet, ForcedSplits,
-    InputEdge, PartitionBackend,
+    collect_edges, collect_edges_refs, discover_intersections_gated, event_ys, BeamSet,
+    ForcedSplits, InputEdge, PartitionBackend,
 };
 use rayon::prelude::*;
 use std::borrow::Cow;
 
 /// Configuration for the scanbeam engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClipOptions {
     /// Fill rule interpreting the inputs (the paper uses even-odd parity).
     pub fill_rule: FillRule,
@@ -80,6 +81,11 @@ pub struct ClipOptions {
     /// Deterministic fault plan for resilience testing. Inert unless the
     /// `fault-injection` cargo feature is enabled.
     pub faults: FaultPlan,
+    /// Execution budget: wall-clock deadline, cooperative cancellation,
+    /// and work caps (see [`crate::budget`]). The default is unlimited,
+    /// and an unlimited budget produces bit-identical output to a build
+    /// without the budget machinery.
+    pub budget: ExecBudget,
 }
 
 impl Default for ClipOptions {
@@ -93,6 +99,7 @@ impl Default for ClipOptions {
             sanitize: true,
             validate_output: false,
             faults: FaultPlan::default(),
+            budget: ExecBudget::default(),
         }
     }
 }
@@ -258,11 +265,13 @@ pub(crate) fn prepare(
     clip: &PolygonSet,
     opts: &ClipOptions,
     report: &mut PrepReport,
+    gate: &Gate,
 ) -> Result<Option<Prepared>, ClipError> {
     let subject = gate_input(subject, InputRole::Subject, opts, report)?;
     let clip = gate_input(clip, InputRole::Clip, opts, report)?;
+    budget::check(gate)?;
     let edges = collect_edges(&subject, &clip);
-    prepare_edges(edges, opts, report)
+    prepare_edges(edges, opts, report, gate)
 }
 
 /// [`prepare`] over borrowed contour slices — identical non-finite and
@@ -275,11 +284,13 @@ pub(crate) fn prepare_refs(
     clip: &[&Contour],
     opts: &ClipOptions,
     report: &mut PrepReport,
+    gate: &Gate,
 ) -> Result<Option<Prepared>, ClipError> {
     let subject = gate_refs(subject, InputRole::Subject, report)?;
     let clip = gate_refs(clip, InputRole::Clip, report)?;
+    budget::check(gate)?;
     let edges = collect_edges_refs(&subject, &clip);
-    prepare_edges(edges, opts, report)
+    prepare_edges(edges, opts, report, gate)
 }
 
 /// The shared back half of preparation, from normalized sweep edges onward.
@@ -287,6 +298,7 @@ fn prepare_edges(
     edges: Vec<InputEdge>,
     opts: &ClipOptions,
     report: &mut PrepReport,
+    gate: &Gate,
 ) -> Result<Option<Prepared>, ClipError> {
     if edges.is_empty() {
         return Ok(None);
@@ -296,15 +308,18 @@ fn prepare_edges(
         return Ok(None);
     }
     let empty_forced = ForcedSplits::empty(edges.len());
-    let beams_a = BeamSet::build(
+    let beams_a = BeamSet::build_gated(
         &edges,
         ys_a.clone(),
         &empty_forced,
         opts.backend,
         opts.parallel,
+        Some(gate),
     );
-    let crossings = discover_intersections(&beams_a, &edges, opts.parallel);
+    budget::check(gate)?;
+    let crossings = discover_intersections_gated(&beams_a, &edges, opts.parallel, Some(gate));
     drop(beams_a);
+    budget::check(gate)?;
 
     // Turn crossings into forced splits (both edges share the intersection
     // vertex exactly) and extra events.
@@ -349,15 +364,26 @@ fn prepare_edges(
     // path runs on the very first iteration.
     let mut refine = if forced_exhaust { MAX_REFINE } else { 0 };
     loop {
+        budget::check(gate)?;
         let forced = ForcedSplits::build(edges.len(), triples.clone());
         let ys_b = event_ys(&edges, &extra, opts.parallel);
-        beams = BeamSet::build(&edges, ys_b, &forced, opts.backend, opts.parallel);
+        beams = BeamSet::build_gated(
+            &edges,
+            ys_b,
+            &forced,
+            opts.backend,
+            opts.parallel,
+            Some(gate),
+        );
+        budget::check(gate)?;
         refine += 1;
         if refine > MAX_REFINE {
             // Bound hit: count what is left so the degradation report is
             // concrete. A genuine (unfaulted) run only lands here after
             // MAX_REFINE rounds that each made progress.
-            let leftover = discover_residual_crossings(&beams, opts.parallel).len();
+            let leftover =
+                discover_residual_crossings_gated(&beams, opts.parallel, Some(gate)).len();
+            budget::check(gate)?;
             if leftover > 0 || forced_exhaust {
                 report.degradations.push(Degradation::RefinementExhausted {
                     rounds: MAX_REFINE,
@@ -366,7 +392,8 @@ fn prepare_edges(
             }
             break;
         }
-        let mut residual = discover_residual_crossings(&beams, opts.parallel);
+        let mut residual = discover_residual_crossings_gated(&beams, opts.parallel, Some(gate));
+        budget::check(gate)?;
         if resilience::fault_residual_storm(opts) && refine == 1 {
             // Synthetic crossing pinned to an edge endpoint: never strictly
             // interior to the edge, so it cannot force a split — this
@@ -415,10 +442,20 @@ fn prepare_edges(
     Ok(Some(Prepared { edges, beams, k }))
 }
 
-/// Classify every beam (Step 3), in parallel when configured.
-fn classify_all(p: &Prepared, op: BoolOp, opts: &ClipOptions) -> Vec<BeamOutput> {
+/// Classify every beam (Step 3), in parallel when configured. Polls the
+/// gate per scanbeam; on a trip the remaining beams yield empty outputs and
+/// the typed error is returned instead of the truncated classification.
+fn classify_all(
+    p: &Prepared,
+    op: BoolOp,
+    opts: &ClipOptions,
+    gate: &Gate,
+) -> Result<Vec<BeamOutput>, ClipError> {
     let beams = &p.beams;
     let run = |i: usize| {
+        if gate.is_tripped() {
+            return BeamOutput::default();
+        }
         classify_beam(
             beams.beam(i),
             beams.y_bot(i),
@@ -427,11 +464,13 @@ fn classify_all(p: &Prepared, op: BoolOp, opts: &ClipOptions) -> Vec<BeamOutput>
             opts.fill_rule,
         )
     };
-    if opts.parallel {
+    let outputs = if opts.parallel {
         (0..beams.n_beams()).into_par_iter().map(run).collect()
     } else {
         (0..beams.n_beams()).map(run).collect()
-    }
+    };
+    budget::check(gate)?;
+    Ok(outputs)
 }
 
 /// Perform a boolean operation, returning the result, its statistics, and
@@ -449,9 +488,27 @@ pub fn try_clip_with_stats(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> Result<ClipOutcome, ClipError> {
+    // Arm the budget exactly once at the public boundary: the relative
+    // deadline becomes absolute here, and every nested phase below shares
+    // this gate by reference.
+    let gate = opts.budget.arm();
+    budget::check(&gate)?;
+    try_clip_with_stats_gated(subject, clip, op, opts, &gate)
+}
+
+/// [`try_clip_with_stats`] against an already-armed gate — the re-entry
+/// point for drivers (slab workers, overlay workers) that arm one budget
+/// for a whole multi-clip operation and share it across engine calls.
+pub(crate) fn try_clip_with_stats_gated(
+    subject: &PolygonSet,
+    clip: &PolygonSet,
+    op: BoolOp,
+    opts: &ClipOptions,
+    gate: &Gate,
+) -> Result<ClipOutcome, ClipError> {
     let mut report = PrepReport::default();
-    let prepared = prepare(subject, clip, opts, &mut report)?;
-    let mut outcome = clip_prepared(prepared, report, op, opts);
+    let prepared = prepare(subject, clip, opts, &mut report, gate)?;
+    let mut outcome = clip_prepared(prepared, report, op, opts, gate)?;
     if opts.validate_output {
         repair_output(subject, clip, op, opts, &mut outcome);
     }
@@ -476,11 +533,14 @@ pub(crate) fn repair_output(
         return;
     }
     // Internal re-derivations must not sanitize (the inputs were already
-    // gated) and must not re-validate (no recursion).
+    // gated), must not re-validate (no recursion), and run budget-exempt
+    // but cancellable: the failing attempt already consumed the allowance,
+    // and a repair that re-armed the deadline would double it.
     let internal = ClipOptions {
         sanitize: false,
         validate_output: false,
-        ..*opts
+        budget: opts.budget.cancel_only(),
+        ..opts.clone()
     };
 
     let mut rung = RepairRung::Unrepaired;
@@ -510,7 +570,7 @@ pub(crate) fn repair_output(
         };
         let snapped = ClipOptions {
             snap_cell: cell,
-            ..internal
+            ..internal.clone()
         };
         if let Ok(o) = try_clip_with_stats(subject, clip, op, &snapped) {
             if crate::validate::validate(&o.result).is_canonical() {
@@ -551,9 +611,23 @@ pub fn try_clip_refs_with_stats(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> Result<ClipOutcome, ClipError> {
+    let gate = opts.budget.arm();
+    budget::check(&gate)?;
+    try_clip_refs_gated(subject, clip, op, opts, &gate)
+}
+
+/// [`try_clip_refs_with_stats`] against an already-armed gate (slab-worker
+/// re-entry; see [`try_clip_with_stats_gated`]).
+pub(crate) fn try_clip_refs_gated(
+    subject: &[&Contour],
+    clip: &[&Contour],
+    op: BoolOp,
+    opts: &ClipOptions,
+    gate: &Gate,
+) -> Result<ClipOutcome, ClipError> {
     let mut report = PrepReport::default();
-    let prepared = prepare_refs(subject, clip, opts, &mut report)?;
-    Ok(clip_prepared(prepared, report, op, opts))
+    let prepared = prepare_refs(subject, clip, opts, &mut report, gate)?;
+    clip_prepared(prepared, report, op, opts, gate)
 }
 
 /// Classification + merge + stitching: the shared tail of the two fallible
@@ -563,15 +637,16 @@ fn clip_prepared(
     mut report: PrepReport,
     op: BoolOp,
     opts: &ClipOptions,
-) -> ClipOutcome {
+    gate: &Gate,
+) -> Result<ClipOutcome, ClipError> {
     let Some(p) = prepared else {
-        return ClipOutcome {
+        return Ok(ClipOutcome {
             result: PolygonSet::new(),
             stats: ClipStats::default(),
             degradations: report.degradations,
-        };
+        });
     };
-    let outputs = classify_all(&p, op, opts);
+    let outputs = classify_all(&p, op, opts, gate)?;
 
     // Gather boundary fragments: verticals from the beams, horizontals from
     // the scanline symmetric differences (Step 4's merge of partial
@@ -611,6 +686,12 @@ fn clip_prepared(
     // zero-width spans at vertices).
     all_edges.retain(|(a, b)| a != b);
 
+    // Every fragment contributes at most two output vertices: meter the
+    // gathered count against `max_output_vertices` *before* paying for the
+    // stitch.
+    gate.meter().add_vertices(all_edges.len() as u64);
+    budget::check(gate)?;
+
     let (contours, dropped) = stitch_counted(all_edges, !opts.keep_virtual);
     if dropped > 0 {
         report
@@ -633,12 +714,14 @@ fn clip_prepared(
         slab_retries: 0,
         input_repairs: report.input_repairs,
         output_repairs: 0,
+        completed_slabs: 0,
+        total_slabs: 0,
     };
-    ClipOutcome {
+    Ok(ClipOutcome {
         result: out,
         stats,
         degradations: report.degradations,
-    }
+    })
 }
 
 /// Fallible boolean operation: like [`clip`], but returns the
@@ -694,10 +777,13 @@ pub fn measure_op(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> f64 {
-    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut PrepReport::default()) else {
+    let gate = Gate::unlimited();
+    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut PrepReport::default(), &gate) else {
         return 0.0;
     };
-    let outputs = classify_all(&p, op, opts);
+    let Ok(outputs) = classify_all(&p, op, opts, &gate) else {
+        return 0.0;
+    };
     outputs.iter().map(|o| o.area).sum()
 }
 

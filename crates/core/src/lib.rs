@@ -26,6 +26,8 @@
 //! * [`sanitize`] — the degeneracy-hardened front door: counted repair of
 //!   dirty input (duplicate/collinear/spike vertices, zero-area contours)
 //!   before it reaches the sweep;
+//! * [`budget`] — bounded execution: deadlines, cooperative cancellation,
+//!   and work/memory budgets enforced at coarse pipeline checkpoints;
 //! * [`stats`] — the n / k / k' instrumentation demonstrating output
 //!   sensitivity.
 //!
@@ -43,6 +45,7 @@
 //! ```
 
 pub mod algo2;
+pub mod budget;
 pub mod classify;
 pub mod engine;
 pub mod horizontal;
@@ -61,6 +64,7 @@ pub use algo2::{
     clip_pair_slabs, clip_pair_slabs_backend, clip_pair_slabs_with, try_clip_pair_slabs,
     try_clip_pair_slabs_backend, try_clip_pair_slabs_with, Algo2Result, MergeStrategy, PhaseTimes,
 };
+pub use budget::{CancelToken, ExecBudget, MeterSnapshot, WorkMeter};
 pub use classify::BoolOp;
 pub use engine::{
     clip, clip_with_stats, dissolve, eo_area, measure_op, try_clip, try_clip_refs_with_stats,

@@ -6,6 +6,13 @@
 //! with the union fold arranged as a **parallel reduction tree** (the same
 //! shape as the paper's Figure 6 merge): `O(log n)` tree depth, each level's
 //! merges running concurrently on rayon.
+//!
+//! **Budget semantics.** These folds are lenient wrappers over [`clip`],
+//! which arms [`ClipOptions::budget`] per *binary* operation — a deadline
+//! bounds each clip in the chain, not the whole fold. The cancel token,
+//! however, is shared across the chain: every fold polls it between nodes
+//! and short-circuits to an empty result once it fires, so a long reduction
+//! stops within one binary clip of cancellation.
 
 use crate::classify::BoolOp;
 use crate::engine::{clip, dissolve, ClipOptions};
@@ -18,6 +25,9 @@ use polyclip_geom::PolygonSet;
 /// but the tree shape exposes parallelism and keeps intermediate results
 /// small when inputs are spatially separated.
 pub fn union_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
+    if opts.budget.cancel.is_cancelled() {
+        return PolygonSet::new();
+    }
     match polys.len() {
         0 => PolygonSet::new(),
         1 => dissolve(&polys[0], opts),
@@ -50,8 +60,8 @@ pub fn intersection_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet 
     };
     let mut acc = dissolve(first, opts);
     for p in iter {
-        if acc.is_empty() {
-            return acc;
+        if acc.is_empty() || opts.budget.cancel.is_cancelled() {
+            return PolygonSet::new();
         }
         acc = clip(&acc, p, BoolOp::Intersection, opts);
     }
@@ -61,6 +71,9 @@ pub fn intersection_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet 
 /// Symmetric difference of many polygon sets (region covered by an odd
 /// number of inputs). Associative, folded as a tree like [`union_all`].
 pub fn xor_all(polys: &[PolygonSet], opts: &ClipOptions) -> PolygonSet {
+    if opts.budget.cancel.is_cancelled() {
+        return PolygonSet::new();
+    }
     match polys.len() {
         0 => PolygonSet::new(),
         1 => dissolve(&polys[0], opts),
@@ -85,6 +98,9 @@ pub fn subtract_all(base: &PolygonSet, holes: &[PolygonSet], opts: &ClipOptions)
         return dissolve(base, opts);
     }
     let mask = union_all(holes, opts);
+    if opts.budget.cancel.is_cancelled() {
+        return PolygonSet::new();
+    }
     clip(base, &mask, BoolOp::Difference, opts)
 }
 

@@ -20,11 +20,12 @@
 //!   redundant work the replication scheme performs.
 
 use crate::algo2::{slab_boundaries, try_clip_pair_slabs, Algo2Result};
+use crate::budget::{self, Gate};
 use crate::classify::BoolOp;
-use crate::engine::{clip, try_clip_with_stats, ClipOptions};
+use crate::engine::{clip, try_clip_with_stats_gated, ClipOptions};
 use crate::resilience::{self, ClipError, Degradation, InputRole};
 use polyclip_geom::{BBox, OrdF64, PolygonSet};
-use polyclip_parprim::par_sort_dedup;
+use polyclip_parprim::par_sort_dedup_gated;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -148,23 +149,29 @@ fn gate_layer(layer: &Layer, role: InputRole) -> Result<(), ClipError> {
 /// fallback strips the fault plan, which is what makes a recovered slab
 /// bit-identical to an unfaulted run) and returns the slab's outputs plus
 /// any engine degradations it observed.
+/// The first attempt runs under the overlay's armed global gate; recovery
+/// attempts (retry, pristine) run on the cancel-only `recovery` gate —
+/// budget-exempt but interruptible, like Algorithm 2's ladder. Budget trips
+/// and cancellation are typed errors and propagate immediately.
 fn run_overlay_slab<T>(
     slab: usize,
     seq: &ClipOptions,
-    work: impl Fn(&ClipOptions) -> Result<(T, Vec<Degradation>), ClipError>,
+    gate: &Gate,
+    recovery: &Gate,
+    work: impl Fn(&ClipOptions, &Gate) -> Result<(T, Vec<Degradation>), ClipError>,
 ) -> Result<(T, Vec<Degradation>, Duration), ClipError> {
-    let attempt_with = |opts: &ClipOptions, attempt: u32| {
+    let attempt_with = |opts: &ClipOptions, g: &Gate, attempt: u32| {
         catch_unwind(AssertUnwindSafe(|| {
             resilience::maybe_panic_slab(opts, slab, attempt);
             let t0 = Instant::now();
-            work(opts).map(|(outs, degradations)| (outs, degradations, t0.elapsed()))
+            work(opts, g).map(|(outs, degradations)| (outs, degradations, t0.elapsed()))
         }))
         .map_err(|p| resilience::panic_message(p.as_ref()))
     };
 
     let mut last_panic = String::new();
-    for attempt in 0..2u32 {
-        match attempt_with(seq, attempt) {
+    for (attempt, g) in [(0u32, gate), (1u32, recovery)] {
+        match attempt_with(seq, g, attempt) {
             Ok(Ok((outs, mut degradations, took))) => {
                 if attempt > 0 {
                     degradations.push(Degradation::SlabRetry { slab });
@@ -175,7 +182,7 @@ fn run_overlay_slab<T>(
             Err(msg) => last_panic = msg,
         }
     }
-    match attempt_with(&resilience::pristine(seq), 2) {
+    match attempt_with(&resilience::pristine(seq), recovery, 2) {
         Ok(Ok((outs, mut degradations, took))) => {
             degradations.push(Degradation::SlabFallback { slab });
             Ok((outs, degradations, took))
@@ -214,13 +221,19 @@ pub fn try_overlay_intersection(
     opts: &ClipOptions,
 ) -> Result<OverlayResult, ClipError> {
     let t_start = Instant::now();
+    // One armed gate for the whole overlay: every pair task on every slab
+    // shares it, so the deadline spans the operation, not a single clip.
+    let gate = opts.budget.arm();
+    let recovery_gate = opts.budget.cancel_only().arm();
+    budget::check(&gate)?;
     gate_layer(a, InputRole::Subject)?;
     gate_layer(b, InputRole::Clip)?;
     let seq = ClipOptions {
         parallel: false,
         sanitize: false,
         validate_output: false,
-        ..*opts
+        budget: opts.budget.cancel_only(),
+        ..opts.clone()
     };
 
     let t_part = Instant::now();
@@ -230,13 +243,15 @@ pub fn try_overlay_intersection(
 
     // Slab boundaries from the MBR event y's (the paper's event list),
     // sorted and deduplicated in parallel above the parprim cutoff.
-    let ys: Vec<OrdF64> = par_sort_dedup(
+    let ys: Vec<OrdF64> = par_sort_dedup_gated(
         boxes_a
             .iter()
             .chain(&boxes_b)
             .flat_map(|bb| [OrdF64::new(bb.ymin), OrdF64::new(bb.ymax)])
             .collect(),
+        Some(&gate),
     );
+    budget::check(&gate)?;
     let n_slabs = n_slabs.max(1);
     let boundaries = if ys.len() >= 2 {
         slab_boundaries(&ys, n_slabs)
@@ -274,15 +289,18 @@ pub fn try_overlay_intersection(
         .par_iter()
         .enumerate()
         .map(|(slab, list)| {
-            run_overlay_slab(slab, &seq, |engine_opts| {
+            run_overlay_slab(slab, &seq, &gate, &recovery_gate, |engine_opts, g| {
                 let mut degradations = Vec::new();
                 let mut outs: Vec<((u32, u32), PolygonSet)> = Vec::with_capacity(list.len());
                 for &(i, j) in list {
-                    let outcome = try_clip_with_stats(
+                    // Coarse per-pair checkpoint between engine calls.
+                    budget::check(g)?;
+                    let outcome = try_clip_with_stats_gated(
                         &a.features[i as usize],
                         &b.features[j as usize],
                         BoolOp::Intersection,
                         engine_opts,
+                        g,
                     )?;
                     degradations.extend(outcome.degradations);
                     if !outcome.result.is_empty() {
@@ -347,9 +365,11 @@ pub fn try_overlay_union(
     if ma.is_empty() && mb.is_empty() {
         return Ok(Algo2Result::default());
     }
+    // The budget (deadline and all) rides along untouched: Algorithm 2
+    // arms it at its own entry, which is the public boundary here.
     let opts = ClipOptions {
         fill_rule: polyclip_geom::FillRule::NonZero,
-        ..*opts
+        ..opts.clone()
     };
     try_clip_pair_slabs(&ma, &mb, BoolOp::Union, n_slabs, &opts)
 }
@@ -371,11 +391,15 @@ pub fn overlay_intersection_grid(
     opts: &ClipOptions,
 ) -> OverlayResult {
     let t_start = Instant::now();
+    // Per-cell clips are lenient `clip` calls that each arm their own
+    // budget, so re-arming a deadline per pair would be wrong: keep only
+    // the cancel token for this ablation baseline.
     let seq = ClipOptions {
         parallel: false,
         sanitize: false,
         validate_output: false,
-        ..*opts
+        budget: opts.budget.cancel_only(),
+        ..opts.clone()
     };
     let t_part = Instant::now();
     let boxes_a: Vec<BBox> = a.features.iter().map(|f| f.bbox()).collect();
@@ -456,13 +480,17 @@ pub fn try_overlay_difference(
     opts: &ClipOptions,
 ) -> Result<OverlayResult, ClipError> {
     let t_start = Instant::now();
+    let gate = opts.budget.arm();
+    let recovery_gate = opts.budget.cancel_only().arm();
+    budget::check(&gate)?;
     gate_layer(a, InputRole::Subject)?;
     gate_layer(b, InputRole::Clip)?;
     let seq = ClipOptions {
         parallel: false,
         sanitize: false,
         validate_output: false,
-        ..*opts
+        budget: opts.budget.cancel_only(),
+        ..opts.clone()
     };
     let t_part = Instant::now();
     let boxes_a: Vec<BBox> = a.features.iter().map(|f| f.bbox()).collect();
@@ -476,13 +504,15 @@ pub fn try_overlay_difference(
     }
 
     // One task per a-feature, owned by the slab containing its MBR bottom.
-    let ys: Vec<OrdF64> = par_sort_dedup(
+    let ys: Vec<OrdF64> = par_sort_dedup_gated(
         boxes_a
             .iter()
             .filter(|bb| !bb.is_empty())
             .map(|bb| OrdF64::new(bb.ymin))
             .collect(),
+        Some(&gate),
     );
+    budget::check(&gate)?;
     let boundaries = if ys.len() >= 2 {
         slab_boundaries(&ys, n_slabs.max(1))
     } else {
@@ -502,10 +532,11 @@ pub fn try_overlay_difference(
         .par_iter()
         .enumerate()
         .map(|(slab, list)| {
-            run_overlay_slab(slab, &seq, |engine_opts| {
+            run_overlay_slab(slab, &seq, &gate, &recovery_gate, |engine_opts, g| {
                 let mut degradations = Vec::new();
                 let mut outs: Vec<PolygonSet> = Vec::with_capacity(list.len());
                 for &i in list {
+                    budget::check(g)?;
                     let fa = &a.features[i as usize];
                     if partners[i as usize].is_empty() {
                         outs.push(fa.clone());
@@ -520,9 +551,9 @@ pub fn try_overlay_difference(
                         fill_rule: polyclip_geom::FillRule::NonZero,
                         sanitize: false,
                         validate_output: false,
-                        ..*engine_opts
+                        ..engine_opts.clone()
                     };
-                    let outcome = try_clip_with_stats(fa, &mask, BoolOp::Difference, &nz)?;
+                    let outcome = try_clip_with_stats_gated(fa, &mask, BoolOp::Difference, &nz, g)?;
                     degradations.extend(outcome.degradations);
                     if !outcome.result.is_empty() {
                         outs.push(outcome.result);

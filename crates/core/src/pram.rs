@@ -80,7 +80,8 @@ pub fn pram_cost(
     opts: &ClipOptions,
 ) -> PramCostModel {
     let mut report = Default::default();
-    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut report) else {
+    let gate = crate::budget::Gate::unlimited();
+    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut report, &gate) else {
         return PramCostModel::default();
     };
     let n = p.edges.len();
@@ -167,6 +168,8 @@ pub fn pram_cost(
         slab_retries: 0,
         input_repairs: 0,
         output_repairs: 0,
+        completed_slabs: 0,
+        total_slabs: 0,
     };
     PramCostModel { phases, stats }
 }

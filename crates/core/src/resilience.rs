@@ -105,6 +105,19 @@ pub enum ClipError {
         /// Number of violations found by [`crate::validate::validate`].
         violations: usize,
     },
+    /// The wall-clock deadline in [`ExecBudget`](crate::ExecBudget) passed
+    /// before the operation finished. The work done so far is discarded
+    /// (unless Algorithm 2 salvaged completed slabs under
+    /// `allow_partial`).
+    DeadlineExceeded,
+    /// A work limit (`max_intersections` / `max_output_vertices`) in
+    /// [`ExecBudget`](crate::ExecBudget) was exceeded.
+    BudgetExceeded {
+        /// The work meter at the time the budget blew.
+        work: polyclip_parprim::MeterSnapshot,
+    },
+    /// The [`CancelToken`](crate::CancelToken) was fired mid-operation.
+    Cancelled,
 }
 
 impl fmt::Display for ClipError {
@@ -142,6 +155,16 @@ impl fmt::Display for ClipError {
             ClipError::InvalidOutput { violations } => {
                 write!(f, "output failed validation with {violations} violations")
             }
+            ClipError::DeadlineExceeded => {
+                write!(f, "execution deadline exceeded before the clip finished")
+            }
+            ClipError::BudgetExceeded { work } => write!(
+                f,
+                "work budget exceeded ({} intersections, {} events, {} vertices, \
+                 {} peak scratch bytes)",
+                work.intersections, work.events, work.vertices, work.peak_scratch_bytes
+            ),
+            ClipError::Cancelled => write!(f, "operation cancelled by caller"),
         }
     }
 }
@@ -221,6 +244,18 @@ pub enum Degradation {
         /// Violations found in the original output.
         violations: usize,
     },
+    /// The execution budget blew mid-run and, because
+    /// [`ExecBudget::allow_partial`](crate::ExecBudget::allow_partial) was
+    /// set, Algorithm 2 returned the union of the slabs that finished
+    /// instead of discarding all completed work. Lossy by definition: the
+    /// result covers only the completed slabs' bands. Also marked by
+    /// `completed_slabs < total_slabs` in [`ClipStats`](crate::ClipStats).
+    PartialResult {
+        /// Slabs whose results are included.
+        completed_slabs: usize,
+        /// Total slabs the run was partitioned into.
+        total_slabs: usize,
+    },
 }
 
 /// A rung of the output self-repair ladder, cheapest first. Recorded in
@@ -264,6 +299,7 @@ impl Degradation {
             Degradation::RefinementExhausted { .. } => 6,
             Degradation::DroppedFragments { .. } => 7,
             Degradation::OutputRepaired { .. } => 8,
+            Degradation::PartialResult { .. } => 9,
         }
     }
 
@@ -301,6 +337,9 @@ impl Degradation {
             Degradation::OutputRepaired { violations, .. } => {
                 Some(ClipError::InvalidOutput { violations })
             }
+            Degradation::PartialResult { .. } => Some(ClipError::BudgetExceeded {
+                work: polyclip_parprim::MeterSnapshot::default(),
+            }),
             _ => None,
         }
     }
@@ -350,6 +389,14 @@ impl fmt::Display for Degradation {
                     "output had {violations} validation violations, repaired via {rung}"
                 )
             }
+            Degradation::PartialResult {
+                completed_slabs,
+                total_slabs,
+            } => write!(
+                f,
+                "budget blew mid-run: partial result covering {completed_slabs} of \
+                 {total_slabs} slabs"
+            ),
         }
     }
 }
@@ -480,7 +527,11 @@ pub(crate) fn pristine(opts: &crate::ClipOptions) -> crate::ClipOptions {
         parallel: false,
         backend: polyclip_sweep::PartitionBackend::DirectScan,
         faults: FaultPlan::default(),
-        ..*opts
+        // Recovery stays cancellable but budget-exempt: the failing attempt
+        // already consumed the deadline/work allowance, and the fallback is
+        // the last chance to produce an answer at all.
+        budget: opts.budget.cancel_only(),
+        ..opts.clone()
     }
 }
 
@@ -523,6 +574,10 @@ mod tests {
             Degradation::OutputRepaired {
                 rung: RepairRung::Redissolve,
                 violations: 1,
+            },
+            Degradation::PartialResult {
+                completed_slabs: 3,
+                total_slabs: 8,
             },
         ];
         for w in ladder.windows(2) {

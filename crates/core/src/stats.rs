@@ -42,6 +42,13 @@ pub struct ClipStats {
     /// Output self-repair ladder invocations (0 unless
     /// `validate_output` found violations).
     pub output_repairs: usize,
+    /// Slabs whose clip finished within budget (Algorithm 2 / overlay
+    /// runs; equals `total_slabs` unless the run returned a
+    /// [`Degradation::PartialResult`](crate::Degradation::PartialResult)).
+    pub completed_slabs: usize,
+    /// Slabs the run was partitioned into (0 for single-slab engine runs;
+    /// the slab driver sets both fields after merging).
+    pub total_slabs: usize,
 }
 
 impl ClipStats {
@@ -73,6 +80,8 @@ impl ClipStats {
         self.slab_retries += other.slab_retries;
         self.input_repairs += other.input_repairs;
         self.output_repairs += other.output_repairs;
+        self.completed_slabs += other.completed_slabs;
+        self.total_slabs += other.total_slabs;
     }
 }
 

@@ -67,7 +67,8 @@ pub fn trapezoids(
     op: BoolOp,
     opts: &ClipOptions,
 ) -> Vec<Trapezoid> {
-    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut Default::default()) else {
+    let gate = crate::budget::Gate::unlimited();
+    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut Default::default(), &gate) else {
         return Vec::new();
     };
     let beams = &p.beams;

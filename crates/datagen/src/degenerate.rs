@@ -120,30 +120,56 @@ pub fn coincident_edge_pair(origin: Point, side: f64) -> (PolygonSet, PolygonSet
     (a, b)
 }
 
-/// A polygon set with every class of junk ring at once: a sound ring, an
-/// exact duplicate of it, a zero-area collinear chain, a two-vertex
-/// fragment, and a ring that is all one repeated point.
-pub fn junk_pile(origin: Point, side: f64) -> PolygonSet {
-    let o = origin;
-    let sound = Contour::from_raw(vec![
-        o,
-        Point::new(o.x + side, o.y),
-        Point::new(o.x + side, o.y + side),
-        Point::new(o.x, o.y + side),
-    ]);
-    let duplicate = sound.clone();
-    let collinear = Contour::from_raw(vec![
-        Point::new(o.x, o.y - side),
-        Point::new(o.x + side, o.y - side),
-        Point::new(o.x + 2.0 * side, o.y - side),
-        Point::new(o.x + side, o.y - side),
-    ]);
-    let fragment = Contour::from_raw(vec![o, Point::new(o.x + side, o.y + side)]);
-    let point_ring = Contour::from_raw(vec![o, o, o, o]);
-    // `from_contours` would drop the 2-vertex fragment at the door; inject
-    // it directly so downstream sanitization is what has to cope.
+/// A polygon set of `n` junk rings cycling through five junk classes: a
+/// sound ring, an exact duplicate of it, a zero-area collinear chain, a
+/// two-vertex fragment, and a ring that is all one repeated point.
+///
+/// Growth: each group of five rings drifts its anchor by a seeded jitter
+/// of up to `side / 4`, so the sound rings of successive groups overlap
+/// their neighbours — clipping a pile of `n` rings against a polygon that
+/// covers it produces Θ(n) crossings (each sound ring contributes a
+/// bounded number of edges, every one of which crosses the partner and
+/// the adjacent group). This is the deterministic k-dial the budget tests
+/// use. `n = 5` with any seed reproduces the classic single pile exactly
+/// (jitter only applies from the second group on).
+pub fn junk_pile(seed: u64, origin: Point, side: f64, n: usize) -> PolygonSet {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rings = Vec::with_capacity(n);
+    let mut o = origin;
+    for i in 0..n {
+        if i > 0 && i % 5 == 0 {
+            // New group: drift the anchor so its sound rings overlap the
+            // previous group's instead of stacking exactly.
+            o = Point::new(
+                o.x + side * 0.25 * rng.gen::<f64>(),
+                o.y + side * 0.25 * rng.gen::<f64>(),
+            );
+        }
+        let sound = || {
+            Contour::from_raw(vec![
+                o,
+                Point::new(o.x + side, o.y),
+                Point::new(o.x + side, o.y + side),
+                Point::new(o.x, o.y + side),
+            ])
+        };
+        rings.push(match i % 5 {
+            0 | 1 => sound(), // class 1 is an exact duplicate of class 0
+            2 => Contour::from_raw(vec![
+                Point::new(o.x, o.y - side),
+                Point::new(o.x + side, o.y - side),
+                Point::new(o.x + 2.0 * side, o.y - side),
+                Point::new(o.x + side, o.y - side),
+            ]),
+            3 => Contour::from_raw(vec![o, Point::new(o.x + side, o.y + side)]),
+            _ => Contour::from_raw(vec![o, o, o, o]),
+        });
+    }
+    // `from_contours` would drop the 2-vertex fragments at the door; inject
+    // them directly so downstream sanitization is what has to cope.
     let mut p = PolygonSet::new();
-    *p.contours_mut() = vec![sound, duplicate, collinear, fragment, point_ring];
+    *p.contours_mut() = rings;
     p
 }
 
@@ -151,6 +177,14 @@ pub fn junk_pile(origin: Point, side: f64) -> PolygonSet {
 /// `gap` of each other — adjacent strips nearly (or exactly, when
 /// `gap == 0`) share boundaries, generating dense clusters of
 /// intersections and collinear overlaps when clipped against anything.
+///
+/// Growth: `n` strips stack `n + 1` horizontal boundaries into the same
+/// height `h`, so any clip contour crossing the stack vertically cuts
+/// Θ(n) strip edges — k scales linearly in `n` for a fixed partner, and
+/// Θ(n·m) when clipped against an m-edge polygon that spans the stack.
+/// With nonzero `gap` the jittered seams also cross *each other*, adding
+/// a dense Θ(n) cluster of near-coincident intersections. This is the
+/// seeded size dial the budget tests use to drive k up deterministically.
 pub fn shingled_strips(seed: u64, origin: Point, w: f64, h: f64, n: usize, gap: f64) -> PolygonSet {
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -213,7 +247,7 @@ pub fn torture_corpus(seed: u64) -> Vec<TortureCase> {
         },
         TortureCase {
             name: "junk_pile vs blob",
-            subject: junk_pile(Point::new(-0.5, -0.2), 1.0),
+            subject: junk_pile(seed, Point::new(-0.5, -0.2), 1.0, 5),
             clip: blob,
         },
         TortureCase {
@@ -285,11 +319,26 @@ mod tests {
 
     #[test]
     fn junk_pile_has_every_junk_class() {
-        let j = junk_pile(pt(0.0, 0.0), 1.0);
+        let j = junk_pile(0, pt(0.0, 0.0), 1.0, 5);
         assert_eq!(j.len(), 5);
         let lens: Vec<usize> = j.contours().iter().map(|c| c.len()).collect();
         assert!(lens.contains(&2)); // fragment
         assert!(j.contours().iter().any(|c| c.signed_area() == 0.0));
+        // The seed is inert for a single group: any seed gives the classic pile.
+        assert_eq!(j, junk_pile(99, pt(0.0, 0.0), 1.0, 5));
+    }
+
+    #[test]
+    fn junk_pile_scales_deterministically() {
+        let big = junk_pile(41, pt(0.0, 0.0), 1.0, 23);
+        assert_eq!(big.len(), 23);
+        assert_eq!(big, junk_pile(41, pt(0.0, 0.0), 1.0, 23));
+        // Later groups drift: their sound rings are offset from group 0's.
+        let first = big.contours()[0].clone();
+        assert!(big.contours()[5] != first);
+        // Every class recurs: 23 rings hold at least 4 two-vertex fragments.
+        let frags = big.contours().iter().filter(|c| c.len() == 2).count();
+        assert_eq!(frags, 4);
     }
 
     #[test]

@@ -186,6 +186,22 @@ pub fn par_report_inversions<T>(xs: &[T]) -> Vec<(usize, usize)>
 where
     T: Ord + Copy + Send + Sync + Default,
 {
+    par_report_inversions_gated(xs, None)
+}
+
+/// [`par_report_inversions`] under a cooperative [`Gate`]: polls once per
+/// block while building the sorted snapshots, checkpoints between the count
+/// and fill phases, and — crucially — asks the gate whether crediting the
+/// counted total would blow `max_intersections` *before* allocating and
+/// filling the `O(k)` output. A tripped gate yields an empty (or truncated)
+/// vector; callers must check the gate before trusting the result.
+pub fn par_report_inversions_gated<T>(
+    xs: &[T],
+    gate: Option<&crate::interrupt::Gate>,
+) -> Vec<(usize, usize)>
+where
+    T: Ord + Copy + Send + Sync + Default,
+{
     let n = xs.len();
     if n <= SEQ_CUTOFF {
         return report_inversions(xs);
@@ -204,6 +220,12 @@ where
         .par_chunks(block)
         .enumerate()
         .map(|(bi, c)| {
+            // Per-block poll: a tripped gate degrades remaining blocks to
+            // empty snapshots (counts below become garbage, discarded by the
+            // caller's gate check).
+            if gate.is_some_and(|g| g.is_tripped()) {
+                return Vec::new();
+            }
             let mut v: Vec<(T, usize)> = c
                 .iter()
                 .enumerate()
@@ -213,6 +235,11 @@ where
             v
         })
         .collect();
+    if let Some(g) = gate {
+        if g.checkpoint().is_some() {
+            return Vec::new();
+        }
+    }
 
     // Phase 1: per-position counts.
     let counts: Vec<usize> = (0..n)
@@ -232,6 +259,16 @@ where
         .collect();
 
     let (offsets, total) = scatter_offsets(&counts);
+    if let Some(g) = gate {
+        // The count phase just told us k exactly; refuse the O(k) allocation
+        // and fill if it would blow the intersection budget, and bail if the
+        // deadline passed or cancellation arrived while counting.
+        if g.intersections_would_exceed(total as u64) || g.checkpoint().is_some() {
+            return Vec::new();
+        }
+        g.meter()
+            .record_scratch_bytes((total * std::mem::size_of::<(usize, usize)>()) as u64);
+    }
 
     // Phase 2: fill. Each position writes its own disjoint range.
     let mut out = vec![(0usize, 0usize); total];
@@ -246,7 +283,7 @@ where
     }
     let _ = offsets;
     slices.into_par_iter().enumerate().for_each(|(j, dst)| {
-        if dst.is_empty() {
+        if dst.is_empty() || gate.is_some_and(|g| g.is_tripped()) {
             return;
         }
         let x = xs[j];

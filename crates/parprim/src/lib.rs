@@ -15,23 +15,31 @@
 //! * [`inversions`] — inversion counting and **inversion-pair reporting**
 //!   (the paper's Lemma 4: an extended merge sort whose merge step counts and
 //!   then reports cross-inversions, which identify intersecting edge pairs
-//!   within a scanbeam).
+//!   within a scanbeam);
+//! * [`interrupt`] — cooperative cancellation tokens, work meters, and the
+//!   execution [`Gate`] checked at coarse checkpoints so the whole pipeline
+//!   can run under deadlines and work budgets.
 
+pub mod interrupt;
 pub mod inversions;
 pub mod pack;
 pub mod scan;
 pub mod segscan;
 pub mod sort;
 
+pub use interrupt::{CancelToken, Gate, MeterSnapshot, TripReason, WorkMeter};
 pub use inversions::{
-    count_inversions, par_count_inversions, par_report_inversions, report_inversions,
+    count_inversions, par_count_inversions, par_report_inversions, par_report_inversions_gated,
+    report_inversions,
 };
 pub use pack::{
     pack, par_count_then_fill, par_dedup_adjacent, par_pack, par_pack_indexed, scatter_offsets,
 };
 pub use scan::{exclusive_scan, inclusive_scan, par_exclusive_scan, par_inclusive_scan};
 pub use segscan::{flags_from_offsets, par_seg_inclusive_scan, seg_inclusive_scan};
-pub use sort::{par_merge, par_merge_sort, par_sort_dedup};
+pub use sort::{
+    par_merge, par_merge_sort, par_merge_sort_gated, par_sort_dedup, par_sort_dedup_gated,
+};
 
 /// Default sequential cutoff below which parallel routines fall back to their
 /// sequential counterparts. Chosen so that rayon task overhead stays well

@@ -6,6 +6,7 @@
 //! O(n log n) work and O(log³ n) span — polylogarithmic depth, exactly the
 //! regime the paper's Lemmas exploit.
 
+use crate::interrupt::Gate;
 use crate::SEQ_CUTOFF;
 
 /// Sort a slice in parallel by a key-extraction comparison.
@@ -17,22 +18,43 @@ where
     T: Copy + Send + Sync + Default,
     F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
 {
+    par_merge_sort_gated(xs, cmp, None);
+}
+
+/// [`par_merge_sort`] with a cooperative interruption [`Gate`]: the fork-join
+/// recursion polls the gate once per merge block (each node above
+/// [`SEQ_CUTOFF`]) and abandons the remaining work when it trips. The slice
+/// is then left in an *unspecified permutation* of its input — callers must
+/// check the gate after the call and discard the data when tripped.
+pub fn par_merge_sort_gated<T, F>(xs: &mut [T], cmp: F, gate: Option<&Gate>)
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
     let n = xs.len();
     if n <= SEQ_CUTOFF {
         xs.sort_by(cmp);
         return;
     }
     let mut buf = vec![T::default(); n];
-    sort_into(xs, &mut buf, cmp, false);
+    sort_into(xs, &mut buf, cmp, false, gate);
 }
 
 /// Recursive sort: if `into_buf`, the sorted output lands in `buf`,
 /// otherwise in `xs`. Both slices have equal length.
-fn sort_into<T, F>(xs: &mut [T], buf: &mut [T], cmp: F, into_buf: bool)
+fn sort_into<T, F>(xs: &mut [T], buf: &mut [T], cmp: F, into_buf: bool, gate: Option<&Gate>)
 where
     T: Copy + Send + Sync,
     F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
 {
+    // Per-merge-block interruption point: one poll per recursion node, far
+    // above the sequential base-case granularity.
+    if gate.is_some_and(|g| g.is_tripped()) {
+        if into_buf {
+            buf.copy_from_slice(xs);
+        }
+        return;
+    }
     let n = xs.len();
     if n <= SEQ_CUTOFF {
         xs.sort_by(cmp);
@@ -46,8 +68,8 @@ where
     let (bl, br) = buf.split_at_mut(mid);
     // Sort halves into the *opposite* location, then merge back.
     rayon::join(
-        || sort_into(xl, bl, cmp, !into_buf),
-        || sort_into(xr, br, cmp, !into_buf),
+        || sort_into(xl, bl, cmp, !into_buf, gate),
+        || sort_into(xr, br, cmp, !into_buf, gate),
     );
     if into_buf {
         // Halves are in xs; merge xs -> buf.
@@ -63,7 +85,17 @@ where
 /// idiom; above it, [`par_merge_sort`] plus dedup-by-pack
 /// ([`crate::pack::par_dedup_adjacent`]). `Ord` keys are totally ordered, so
 /// both routes produce the identical vector.
-pub fn par_sort_dedup<T>(mut xs: Vec<T>) -> Vec<T>
+pub fn par_sort_dedup<T>(xs: Vec<T>) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default + Ord,
+{
+    par_sort_dedup_gated(xs, None)
+}
+
+/// [`par_sort_dedup`] under a [`Gate`]: bails between the sort and dedup
+/// passes (and per merge block inside the sort) when the gate trips. The
+/// returned vector is then unspecified — callers must check the gate.
+pub fn par_sort_dedup_gated<T>(mut xs: Vec<T>, gate: Option<&Gate>) -> Vec<T>
 where
     T: Copy + Send + Sync + Default + Ord,
 {
@@ -72,7 +104,10 @@ where
         xs.dedup();
         return xs;
     }
-    par_merge_sort(&mut xs, |a, b| a.cmp(b));
+    par_merge_sort_gated(&mut xs, |a, b| a.cmp(b), gate);
+    if gate.is_some_and(|g| g.is_tripped()) {
+        return xs;
+    }
     crate::pack::par_dedup_adjacent(&xs)
 }
 

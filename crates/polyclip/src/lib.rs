@@ -142,6 +142,7 @@ pub mod prelude {
         try_clip_with_stats, try_overlay_difference, try_overlay_intersection, try_overlay_union,
         ClipError, ClipOutcome, Degradation, FaultPlan, InputRole, RepairRung,
     };
+    pub use polyclip_core::{CancelToken, ExecBudget, MeterSnapshot, WorkMeter};
     pub use polyclip_geom::{BBox, Contour, FillRule, Point, PolygonSet};
 }
 

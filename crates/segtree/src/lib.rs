@@ -184,12 +184,38 @@ impl SegmentTree {
     /// exactly `k'` slots by prefix sum, phase 3 reports in parallel into
     /// disjoint ranges — the output-sensitive processor allocation of §III-E.
     pub fn par_stab_all(&self) -> (Vec<usize>, Vec<u32>) {
+        self.par_stab_all_gated(None)
+    }
+
+    /// [`par_stab_all`](Self::par_stab_all) under a cooperative
+    /// [`Gate`](polyclip_parprim::Gate): the count and report batches poll
+    /// the gate per query, a checkpoint sits between the two phases (before
+    /// the `O(k')` allocation), and the allocation is metered as scratch.
+    /// When the gate trips the result is truncated/empty — callers must
+    /// check the gate before using it.
+    pub fn par_stab_all_gated(
+        &self,
+        gate: Option<&polyclip_parprim::Gate>,
+    ) -> (Vec<usize>, Vec<u32>) {
         let counts: Vec<usize> = (0..self.n_leaves)
             .into_par_iter()
-            .map(|i| self.stab_count(i))
+            .map(|i| {
+                // Per-batch poll: remaining queries degrade to zero counts.
+                if gate.is_some_and(|g| g.is_tripped()) {
+                    return 0;
+                }
+                self.stab_count(i)
+            })
             .collect();
         let (mut offsets, total) = scatter_offsets(&counts);
         offsets.push(total);
+        if let Some(g) = gate {
+            if g.checkpoint().is_some() {
+                return (offsets, Vec::new());
+            }
+            g.meter()
+                .record_scratch_bytes((total * std::mem::size_of::<u32>()) as u64);
+        }
         let mut items = vec![0u32; total];
         let mut slices: Vec<&mut [u32]> = Vec::with_capacity(self.n_leaves);
         {
@@ -200,10 +226,12 @@ impl SegmentTree {
                 rest = tail;
             }
         }
-        slices
-            .into_par_iter()
-            .enumerate()
-            .for_each(|(i, dst)| self.stab_fill(i, dst));
+        slices.into_par_iter().enumerate().for_each(|(i, dst)| {
+            if gate.is_some_and(|g| g.is_tripped()) {
+                return;
+            }
+            self.stab_fill(i, dst);
+        });
         (offsets, items)
     }
 }

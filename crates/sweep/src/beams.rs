@@ -18,6 +18,7 @@
 use crate::edges::{InputEdge, Source};
 use crate::events::event_index;
 use polyclip_geom::OrdF64;
+use polyclip_parprim::Gate;
 use polyclip_segtree::SegmentTree;
 use rayon::prelude::*;
 
@@ -152,19 +153,40 @@ impl BeamSet {
         backend: PartitionBackend,
         parallel: bool,
     ) -> Self {
+        Self::build_gated(edges, ys, forced, backend, parallel, None)
+    }
+
+    /// [`build`](Self::build) under a cooperative [`Gate`]: the splitter
+    /// fill polls per input edge, the segment-tree path uses the gated
+    /// count-then-report queries, and the final sort is skipped once the
+    /// gate trips. Sub-edge incidences (the paper's `k'` scale) are credited
+    /// to the gate's work meter. A tripped gate leaves the `BeamSet`
+    /// truncated — callers must check the gate before using it.
+    pub fn build_gated(
+        edges: &[InputEdge],
+        ys: Vec<f64>,
+        forced: &ForcedSplits,
+        backend: PartitionBackend,
+        parallel: bool,
+        gate: Option<&Gate>,
+    ) -> Self {
         let n_beams = ys.len().saturating_sub(1);
+        let tripped = || gate.is_some_and(|g| g.is_tripped());
+        // Per-edge interruption point: a tripped gate degrades the remaining
+        // splitters to empty iterators.
+        let splitter = |e| {
+            let mut sp = EdgeSplitter::new(e, &ys, forced);
+            if tripped() {
+                sp.cur = sp.end;
+            }
+            sp
+        };
         let mut sub: Vec<SubEdge> = match backend {
             PartitionBackend::DirectScan => {
                 if parallel {
-                    edges
-                        .par_iter()
-                        .flat_map_iter(|e| EdgeSplitter::new(e, &ys, forced))
-                        .collect()
+                    edges.par_iter().flat_map_iter(splitter).collect()
                 } else {
-                    edges
-                        .iter()
-                        .flat_map(|e| EdgeSplitter::new(e, &ys, forced))
-                        .collect()
+                    edges.iter().flat_map(splitter).collect()
                 }
             }
             PartitionBackend::SegmentTree => {
@@ -178,37 +200,49 @@ impl BeamSet {
                 } else {
                     SegmentTree::build(n_beams, &intervals)
                 };
-                let (offsets, items) = tree.par_stab_all();
-                // Reporting phase: each (beam, edge) pair becomes a sub-edge.
-                let make = |beam: usize, id: u32| -> SubEdge {
-                    let e = &edges[id as usize];
-                    sub_edge_for(e, &ys, beam, forced)
-                };
-                if parallel {
-                    (0..n_beams)
-                        .into_par_iter()
-                        .flat_map_iter(|b| {
-                            items[offsets[b]..offsets[b + 1]]
-                                .iter()
-                                .map(move |&id| make(b, id))
-                        })
-                        .collect()
+                let (offsets, items) = tree.par_stab_all_gated(gate);
+                if tripped() {
+                    Vec::new()
                 } else {
-                    (0..n_beams)
-                        .flat_map(|b| {
-                            items[offsets[b]..offsets[b + 1]]
-                                .iter()
-                                .map(move |&id| make(b, id))
-                        })
-                        .collect()
+                    // Reporting phase: each (beam, edge) pair becomes a
+                    // sub-edge.
+                    let make = |beam: usize, id: u32| -> SubEdge {
+                        let e = &edges[id as usize];
+                        sub_edge_for(e, &ys, beam, forced)
+                    };
+                    if parallel {
+                        (0..n_beams)
+                            .into_par_iter()
+                            .flat_map_iter(|b| {
+                                items[offsets[b]..offsets[b + 1]]
+                                    .iter()
+                                    .map(move |&id| make(b, id))
+                            })
+                            .collect()
+                    } else {
+                        (0..n_beams)
+                            .flat_map(|b| {
+                                items[offsets[b]..offsets[b + 1]]
+                                    .iter()
+                                    .map(move |&id| make(b, id))
+                            })
+                            .collect()
+                    }
                 }
             }
         };
 
-        if parallel {
-            sub.par_sort_unstable_by_key(|s| s.order_key());
-        } else {
-            sub.sort_unstable_by_key(|s| s.order_key());
+        if let Some(g) = gate {
+            g.meter().add_events(sub.len() as u64);
+            g.meter()
+                .record_scratch_bytes((sub.len() * std::mem::size_of::<SubEdge>()) as u64);
+        }
+        if !tripped() {
+            if parallel {
+                sub.par_sort_unstable_by_key(|s| s.order_key());
+            } else {
+                sub.sort_unstable_by_key(|s| s.order_key());
+            }
         }
 
         // CSR over beams.

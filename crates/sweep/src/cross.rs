@@ -15,7 +15,8 @@
 use crate::beams::BeamSet;
 use crate::edges::InputEdge;
 use polyclip_geom::{OrdF64, Point, SegmentIntersection};
-use polyclip_parprim::inversions::{par_report_inversions, report_inversions};
+use polyclip_parprim::inversions::{par_report_inversions_gated, report_inversions};
+use polyclip_parprim::Gate;
 use rayon::prelude::*;
 
 /// A discovered crossing between two input edges.
@@ -43,8 +44,23 @@ pub fn discover_intersections(
     edges: &[InputEdge],
     parallel: bool,
 ) -> Vec<CrossEvent> {
+    discover_intersections_gated(beams, edges, parallel, None)
+}
+
+/// [`discover_intersections`] under a cooperative [`Gate`]: each scanbeam
+/// polls the gate before doing any work (the per-scanbeam checkpoint of the
+/// bounded-execution design), credits its discovered crossings to the work
+/// meter, and big beams run the gated parallel inversion reporter which
+/// refuses the `O(k)` fill when `max_intersections` would blow. A tripped
+/// gate yields a truncated event list — callers must check the gate.
+pub fn discover_intersections_gated(
+    beams: &BeamSet,
+    edges: &[InputEdge],
+    parallel: bool,
+    gate: Option<&Gate>,
+) -> Vec<CrossEvent> {
     let beam_ids: Vec<usize> = (0..beams.n_beams()).collect();
-    let per_beam = |b: &usize| -> Vec<CrossEvent> { beam_crossings(beams, edges, *b) };
+    let per_beam = |b: &usize| -> Vec<CrossEvent> { beam_crossings(beams, edges, *b, gate) };
     if parallel {
         beam_ids.par_iter().flat_map_iter(&per_beam).collect()
     } else {
@@ -63,9 +79,28 @@ pub fn discover_intersections(
 /// points come from the sub-edge segments, which guarantees they fall
 /// *strictly inside* the offending beam and therefore make progress.
 pub fn discover_residual_crossings(beams: &BeamSet, parallel: bool) -> Vec<CrossEvent> {
+    discover_residual_crossings_gated(beams, parallel, None)
+}
+
+/// [`discover_residual_crossings`] with the same per-scanbeam gating as
+/// [`discover_intersections_gated`].
+pub fn discover_residual_crossings_gated(
+    beams: &BeamSet,
+    parallel: bool,
+    gate: Option<&Gate>,
+) -> Vec<CrossEvent> {
     let run = |b: usize| -> Vec<CrossEvent> {
+        if gate.is_some_and(|g| g.is_tripped()) {
+            return Vec::new();
+        }
         let sub = beams.beam(b);
-        let pairs = beam_inversions(sub);
+        let pairs = beam_inversions(sub, gate);
+        if let Some(g) = gate {
+            if g.intersections_would_exceed(pairs.len() as u64) {
+                return Vec::new();
+            }
+            g.meter().add_intersections(pairs.len() as u64);
+        }
         let (yb, yt) = (beams.y_bot(b), beams.y_top(b));
         let mut out = Vec::with_capacity(pairs.len());
         for (i, j) in pairs {
@@ -93,7 +128,7 @@ pub fn discover_residual_crossings(beams: &BeamSet, parallel: bool) -> Vec<Cross
 }
 
 /// Inversion pairs (bottom order vs top order) of one beam's sub-edges.
-fn beam_inversions(sub: &[crate::beams::SubEdge]) -> Vec<(usize, usize)> {
+fn beam_inversions(sub: &[crate::beams::SubEdge], gate: Option<&Gate>) -> Vec<(usize, usize)> {
     let m = sub.len();
     if m < 2 {
         return Vec::new();
@@ -108,18 +143,36 @@ fn beam_inversions(sub: &[crate::beams::SubEdge]) -> Vec<(usize, usize)> {
         rank[p as usize] = t as u32;
     }
     if m >= BIG_BEAM {
-        par_report_inversions(&rank)
+        par_report_inversions_gated(&rank, gate)
     } else {
         report_inversions(&rank)
     }
 }
 
 /// Crossings inside a single beam.
-fn beam_crossings(beams: &BeamSet, edges: &[InputEdge], b: usize) -> Vec<CrossEvent> {
+fn beam_crossings(
+    beams: &BeamSet,
+    edges: &[InputEdge],
+    b: usize,
+    gate: Option<&Gate>,
+) -> Vec<CrossEvent> {
+    // Per-scanbeam interruption point: a tripped gate degrades every
+    // remaining beam to an empty crossing list.
+    if gate.is_some_and(|g| g.is_tripped()) {
+        return Vec::new();
+    }
     let sub = beams.beam(b);
     // `sub` is in bottom order (xb, then xt); inversions against the top
     // order (xt, then xb) are exactly the crossing pairs.
-    let pairs = beam_inversions(sub);
+    let pairs = beam_inversions(sub, gate);
+    if let Some(g) = gate {
+        // Credit before materializing the events; a beam that would blow
+        // `max_intersections` latches the gate instead of allocating O(k).
+        if g.intersections_would_exceed(pairs.len() as u64) {
+            return Vec::new();
+        }
+        g.meter().add_intersections(pairs.len() as u64);
+    }
     let mut out = Vec::with_capacity(pairs.len());
     for (i, j) in pairs {
         let (sa, sb) = (&sub[i], &sub[j]);

@@ -29,6 +29,6 @@ pub mod events;
 
 pub use beams::{BeamSet, ForcedSplits, PartitionBackend, SubEdge};
 pub use bo::bentley_ottmann;
-pub use cross::{discover_intersections, CrossEvent};
+pub use cross::{discover_intersections, discover_intersections_gated, CrossEvent};
 pub use edges::{collect_edges, collect_edges_refs, InputEdge, Source};
 pub use events::{event_index, event_ys};

@@ -56,7 +56,7 @@ fn adversarial_catalog() -> Vec<PolygonSet> {
         spiky_ring(1, Point::new(0.5, 0.5), 1.0, 12),
         sliver_fan(2, Point::new(0.0, 0.0), 1.5, 6),
         pinched_ring(Point::new(1.0, 1.0), 1.0),
-        junk_pile(Point::new(-0.5, -0.5), 1.0),
+        junk_pile(3, Point::new(-0.5, -0.5), 1.0, 5),
     ]
 }
 
