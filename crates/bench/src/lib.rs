@@ -403,7 +403,7 @@ mod tests {
             merge: Duration::from_millis(3),
             retry_total: Duration::ZERO,
             total: Duration::from_millis(23),
-            work: Default::default(),
+            ..Default::default()
         };
         assert_eq!(critical_path(&times), Duration::from_millis(17));
     }

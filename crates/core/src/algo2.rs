@@ -31,14 +31,16 @@
 
 use crate::budget::{self, Gate, MeterSnapshot};
 use crate::classify::BoolOp;
-use crate::engine::{try_clip_refs_gated, try_clip_with_stats_gated, ClipOptions};
+use crate::engine::{try_clip_refs_in, try_clip_with_stats_in, ClipOptions};
 use crate::resilience::{self, ClipError, ClipOutcome, Degradation, InputRole};
 use crate::slabindex::SlabIndex;
 use crate::stats::ClipStats;
 use polyclip_geom::{Contour, OrdF64, Point, PolygonSet};
 use polyclip_parprim::par_sort_dedup_gated;
 use polyclip_seqclip::{band_clip, band_clip_contour_into};
+use polyclip_sweep::SweepScratch;
 use rayon::prelude::*;
+use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -66,6 +68,21 @@ pub struct PhaseTimes {
     pub retry_total: Duration,
     /// End-to-end wall clock.
     pub total: Duration,
+    /// Refinement rounds served by the incremental dirty-beam patch
+    /// instead of a full scanbeam rebuild, summed across slab workers
+    /// (mirrors [`ClipStats::refine_rounds_incremental`]).
+    pub refine_rounds_incremental: usize,
+    /// Dirty beams re-split across all incremental rounds and slabs
+    /// (mirrors [`ClipStats::beams_rebuilt`]).
+    pub beams_rebuilt: usize,
+    /// High-water mark of sweep scratch-arena capacity observed on any
+    /// single worker (bytes) — the steady-state memory cost of arena
+    /// reuse.
+    pub arena_hwm_bytes: u64,
+    /// Cumulative bytes of arena capacity reused instead of freshly
+    /// allocated, across all rounds and slabs — the allocator traffic the
+    /// arenas removed.
+    pub arena_reused_bytes: u64,
     /// Work-meter totals for the run (intersections found, events
     /// processed, output fragments gathered, peak scratch bytes) — the
     /// counters [`crate::ExecBudget`] limits are enforced against.
@@ -221,19 +238,27 @@ fn run_slab_ladder<F>(
     slab: usize,
     seq: &ClipOptions,
     gates: &SlabGates<'_>,
+    scratch: &mut SweepScratch,
     body: F,
 ) -> Result<SlabPartial, ClipError>
 where
-    F: Fn(&ClipOptions, &Gate) -> Result<(ClipOutcome, Duration, Duration), ClipError>,
+    F: Fn(
+        &ClipOptions,
+        &Gate,
+        &mut SweepScratch,
+    ) -> Result<(ClipOutcome, Duration, Duration), ClipError>,
 {
-    let attempt_with =
+    // The arena stays structurally valid across failed attempts (taken
+    // buffers are replaced by empty vectors), so retries and the pristine
+    // fallback reuse whatever capacity the dead attempt established.
+    let mut attempt_with =
         |opts: &ClipOptions,
          gate: &Gate,
          attempt: u32|
          -> Result<Result<(ClipOutcome, Duration, Duration), ClipError>, String> {
             catch_unwind(AssertUnwindSafe(|| {
                 resilience::maybe_panic_slab(opts, slab, attempt);
-                body(opts, gate)
+                body(opts, gate, &mut *scratch)
             }))
             .map_err(|p| resilience::panic_message(p.as_ref()))
         };
@@ -327,6 +352,7 @@ where
 
 /// The [`PartitionBackend::FullScan`] slab body: band-clip both full inputs
 /// (or clone them verbatim for an unbanded single-slab run), then clip.
+#[allow(clippy::too_many_arguments)]
 fn run_slab(
     slab: usize,
     band: Option<(f64, f64)>,
@@ -335,16 +361,22 @@ fn run_slab(
     op: BoolOp,
     seq: &ClipOptions,
     gates: &SlabGates<'_>,
+    scratch: &mut SweepScratch,
 ) -> Result<SlabPartial, ClipError> {
-    run_slab_ladder(slab, seq, gates, |opts, gate| {
+    run_slab_ladder(slab, seq, gates, scratch, |opts, gate, scratch| {
         let t0 = Instant::now();
-        let (s_band, c_band) = match band {
-            Some((lo, hi)) => (band_clip(subject, lo, hi), band_clip(clip_p, lo, hi)),
-            None => (subject.clone(), clip_p.clone()),
+        let (s_band, c_band): (Cow<'_, PolygonSet>, Cow<'_, PolygonSet>) = match band {
+            Some((lo, hi)) => (
+                Cow::Owned(band_clip(subject, lo, hi)),
+                Cow::Owned(band_clip(clip_p, lo, hi)),
+            ),
+            // Unbanded single-slab run: the engine only reads the inputs,
+            // so borrow them instead of deep-cloning both sets.
+            None => (Cow::Borrowed(subject), Cow::Borrowed(clip_p)),
         };
         let t_partition = t0.elapsed();
         let t1 = Instant::now();
-        try_clip_with_stats_gated(&s_band, &c_band, op, opts, gate)
+        try_clip_with_stats_in(&s_band, &c_band, op, opts, gate, scratch)
             .map(|outcome| (outcome, t_partition, t1.elapsed()))
     })
 }
@@ -357,6 +389,7 @@ fn run_slab(
 /// is exactly what `band_clip` would have produced — same contours, same
 /// order, same validity filtering — so the engine sees a bit-identical
 /// instance.
+#[allow(clippy::too_many_arguments)]
 fn run_slab_indexed(
     slab: usize,
     band: (f64, f64),
@@ -364,13 +397,14 @@ fn run_slab_indexed(
     op: BoolOp,
     seq: &ClipOptions,
     gates: &SlabGates<'_>,
+    sweep_scratch: &mut SweepScratch,
 ) -> Result<SlabPartial, ClipError> {
     // Per-entry dispositions for the second pass. `PolygonSet::push` (the
     // full-scan path) silently drops invalid (< 3 point) contours, so the
     // same filter applies here to keep the instances identical.
     const SKIP: u32 = u32::MAX;
     const BORROW: u32 = u32::MAX - 1;
-    run_slab_ladder(slab, seq, gates, |opts, gate| {
+    run_slab_ladder(slab, seq, gates, sweep_scratch, |opts, gate, sweep| {
         let (lo, hi) = band;
         let entries = index.slab(slab);
         let t0 = Instant::now();
@@ -407,7 +441,7 @@ fn run_slab_indexed(
         }
         let t_partition = t0.elapsed();
         let t1 = Instant::now();
-        try_clip_refs_gated(&subject_refs, &clip_refs, op, opts, gate)
+        try_clip_refs_in(&subject_refs, &clip_refs, op, opts, gate, sweep)
             .map(|outcome| (outcome, t_partition, t1.elapsed()))
     })
 }
@@ -615,7 +649,8 @@ pub fn try_clip_pair_slabs_backend(
             global: &gate,
             recovery: &recovery_gate,
         };
-        let partial = run_slab(0, None, subject, clip_p, op, &seq, &gates)?;
+        let mut scratch = SweepScratch::new();
+        let partial = run_slab(0, None, subject, clip_p, op, &seq, &gates, &mut scratch)?;
         let t_retry = partial.t_retry;
         let mut stats = partial.stats;
         stats.input_repairs += pre_repairs;
@@ -631,6 +666,7 @@ pub fn try_clip_pair_slabs_backend(
         if opts.validate_output {
             crate::engine::repair_output(subject, clip_p, op, opts, &mut outcome);
         }
+        let work = gate.meter().snapshot();
         let times = PhaseTimes {
             sanitize: t_sanitize,
             index: Duration::ZERO,
@@ -639,7 +675,11 @@ pub fn try_clip_pair_slabs_backend(
             merge: Duration::ZERO,
             retry_total: t_retry,
             total: t_start.elapsed(),
-            work: gate.meter().snapshot(),
+            refine_rounds_incremental: outcome.stats.refine_rounds_incremental,
+            beams_rebuilt: outcome.stats.beams_rebuilt,
+            arena_hwm_bytes: work.peak_scratch_bytes.max(scratch.high_water_bytes()),
+            arena_reused_bytes: work.scratch_reused_bytes,
+            work,
         };
         return Ok(Algo2Result {
             output: outcome.result,
@@ -697,20 +737,39 @@ pub fn try_clip_pair_slabs_backend(
     };
 
     // Steps 4–6 per slab, in parallel, each under the recovery ladder.
-    let partials: Vec<Result<SlabPartial, ClipError>> = (0..slabs)
+    // Slabs are fanned out in contiguous chunks (about one per thread);
+    // each chunk owns one scratch arena reused across its slabs, so a
+    // worker's later slabs replay the capacity its first slab allocated.
+    // Chunks are emitted in order, so `partials` stays in slab order.
+    let chunk = slabs.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let partials: Vec<Result<SlabPartial, ClipError>> = (0..slabs.div_ceil(chunk))
         .into_par_iter()
-        .map(|i| {
-            let band = (boundaries[i], boundaries[i + 1]);
-            let watchdog = gate.child_with_deadline(slab_deadline(i));
-            let gates = SlabGates {
-                attempt: &watchdog,
-                global: &gate,
-                recovery: &recovery_gate,
-            };
-            match &index {
-                Some(ix) => run_slab_indexed(i, band, ix, op, &seq, &gates),
-                None => run_slab(i, Some(band), subject, clip_p, op, &seq, &gates),
-            }
+        .flat_map_iter(|ci| {
+            let mut scratch = SweepScratch::new();
+            (ci * chunk..((ci + 1) * chunk).min(slabs))
+                .map(|i| {
+                    let band = (boundaries[i], boundaries[i + 1]);
+                    let watchdog = gate.child_with_deadline(slab_deadline(i));
+                    let gates = SlabGates {
+                        attempt: &watchdog,
+                        global: &gate,
+                        recovery: &recovery_gate,
+                    };
+                    match &index {
+                        Some(ix) => run_slab_indexed(i, band, ix, op, &seq, &gates, &mut scratch),
+                        None => run_slab(
+                            i,
+                            Some(band),
+                            subject,
+                            clip_p,
+                            op,
+                            &seq,
+                            &gates,
+                            &mut scratch,
+                        ),
+                    }
+                })
+                .collect::<Vec<_>>()
         })
         .collect();
     let mut parts: Vec<PolygonSet> = Vec::with_capacity(slabs);
@@ -785,6 +844,7 @@ pub fn try_clip_pair_slabs_backend(
         (output, stats, degradations)
     };
 
+    let work = gate.meter().snapshot();
     Ok(Algo2Result {
         output,
         times: PhaseTimes {
@@ -795,7 +855,11 @@ pub fn try_clip_pair_slabs_backend(
             merge,
             retry_total,
             total: t_start.elapsed(),
-            work: gate.meter().snapshot(),
+            refine_rounds_incremental: stats.refine_rounds_incremental,
+            beams_rebuilt: stats.beams_rebuilt,
+            arena_hwm_bytes: work.peak_scratch_bytes,
+            arena_reused_bytes: work.scratch_reused_bytes,
+            work,
         },
         slabs,
         stats,
@@ -1220,7 +1284,7 @@ mod tests {
             merge: Duration::from_millis(11),
             retry_total: Duration::ZERO,
             total: Duration::from_millis(29),
-            work: MeterSnapshot::default(),
+            ..Default::default()
         };
         assert_eq!(t.partition_total(), Duration::from_millis(6));
         assert_eq!(t.clip_total(), Duration::from_millis(12));

@@ -31,10 +31,10 @@ use crate::stats::ClipStats;
 use crate::stitch::stitch_counted;
 use crate::validate::{is_degenerate, sanitize_counted};
 use polyclip_geom::{Contour, FillRule, Point, PolygonSet};
-use polyclip_sweep::cross::{discover_residual_crossings_gated, CrossEvent};
+use polyclip_sweep::cross::{discover_residual_crossings_in, CrossEvent};
 use polyclip_sweep::{
-    collect_edges, collect_edges_refs, discover_intersections_gated, event_ys, BeamSet,
-    ForcedSplits, InputEdge, PartitionBackend,
+    collect_edges, collect_edges_refs, discover_intersections_in, event_ys_in, BeamSet,
+    ForcedSplits, InputEdge, PartitionBackend, RefineOutcome, SweepScratch, BIG_BEAM,
 };
 use rayon::prelude::*;
 use std::borrow::Cow;
@@ -86,6 +86,20 @@ pub struct ClipOptions {
     /// and an unlimited budget produces bit-identical output to a build
     /// without the budget machinery.
     pub budget: ExecBudget,
+    /// Patch the scanbeam structure in place on refinement rounds ≥ 2
+    /// (re-splitting only the beams that gained new scanlines) instead of
+    /// rebuilding it from scratch. Output is bit-identical either way —
+    /// the incremental patch is property-tested against the full rebuild —
+    /// so this is purely a performance switch; it falls back to a full
+    /// rebuild automatically when too many beams are dirty.
+    pub incremental_refine: bool,
+    /// Sequential-cutoff override for the beam-granular phases
+    /// (intersection discovery's per-beam parallel reporter, the
+    /// incremental-refinement fill). `None` uses the built-in
+    /// [`polyclip_sweep::BIG_BEAM`] cutoff; small values force the
+    /// parallel paths on small inputs (useful for testing), large values
+    /// keep small workloads sequential and amortization-friendly.
+    pub grain: Option<usize>,
 }
 
 impl Default for ClipOptions {
@@ -100,6 +114,8 @@ impl Default for ClipOptions {
             validate_output: false,
             faults: FaultPlan::default(),
             budget: ExecBudget::default(),
+            incremental_refine: true,
+            grain: None,
         }
     }
 }
@@ -174,6 +190,8 @@ fn snap_crossing(p: Point, a: &InputEdge, b: &InputEdge, cell: f64) -> Point {
 pub(crate) struct PrepReport {
     pub(crate) degradations: Vec<Degradation>,
     pub(crate) refine_rounds: usize,
+    pub(crate) refine_rounds_incremental: usize,
+    pub(crate) beams_rebuilt: usize,
     pub(crate) residuals_accepted: usize,
     pub(crate) input_repairs: usize,
 }
@@ -266,12 +284,13 @@ pub(crate) fn prepare(
     opts: &ClipOptions,
     report: &mut PrepReport,
     gate: &Gate,
+    scratch: &mut SweepScratch,
 ) -> Result<Option<Prepared>, ClipError> {
     let subject = gate_input(subject, InputRole::Subject, opts, report)?;
     let clip = gate_input(clip, InputRole::Clip, opts, report)?;
     budget::check(gate)?;
     let edges = collect_edges(&subject, &clip);
-    prepare_edges(edges, opts, report, gate)
+    prepare_edges(edges, opts, report, gate, scratch)
 }
 
 /// [`prepare`] over borrowed contour slices — identical non-finite and
@@ -285,13 +304,19 @@ pub(crate) fn prepare_refs(
     opts: &ClipOptions,
     report: &mut PrepReport,
     gate: &Gate,
+    scratch: &mut SweepScratch,
 ) -> Result<Option<Prepared>, ClipError> {
     let subject = gate_refs(subject, InputRole::Subject, report)?;
     let clip = gate_refs(clip, InputRole::Clip, report)?;
     budget::check(gate)?;
     let edges = collect_edges_refs(&subject, &clip);
-    prepare_edges(edges, opts, report, gate)
+    prepare_edges(edges, opts, report, gate, scratch)
 }
+
+/// Full rebuild threshold for incremental refinement: when more than this
+/// fraction of the beams is dirty, patching costs about as much as
+/// rebuilding and the full rebuild's better cache behavior wins.
+const DIRTY_REBUILD_FRACTION: f64 = 0.25;
 
 /// The shared back half of preparation, from normalized sweep edges onward.
 fn prepare_edges(
@@ -299,26 +324,30 @@ fn prepare_edges(
     opts: &ClipOptions,
     report: &mut PrepReport,
     gate: &Gate,
+    scratch: &mut SweepScratch,
 ) -> Result<Option<Prepared>, ClipError> {
     if edges.is_empty() {
         return Ok(None);
     }
-    let ys_a = event_ys(&edges, &[], opts.parallel);
+    let grain = opts.grain.unwrap_or(BIG_BEAM);
+    let ys_a = event_ys_in(&edges, &[], opts.parallel, scratch);
     if ys_a.len() < 2 {
+        scratch.give_ys(ys_a);
         return Ok(None);
     }
     let empty_forced = ForcedSplits::empty(edges.len());
-    let beams_a = BeamSet::build_gated(
+    let beams_a = BeamSet::build_gated_in(
         &edges,
-        ys_a.clone(),
+        ys_a,
         &empty_forced,
         opts.backend,
         opts.parallel,
         Some(gate),
+        scratch,
     );
     budget::check(gate)?;
-    let crossings = discover_intersections_gated(&beams_a, &edges, opts.parallel, Some(gate));
-    drop(beams_a);
+    let crossings =
+        discover_intersections_in(&beams_a, &edges, opts.parallel, Some(gate), grain, scratch);
     budget::check(gate)?;
 
     // Turn crossings into forced splits (both edges share the intersection
@@ -326,14 +355,19 @@ fn prepare_edges(
     let mut triples: Vec<(u32, f64, f64)> = Vec::with_capacity(2 * crossings.len());
     let mut extra: Vec<f64> = Vec::with_capacity(crossings.len());
     let mut k_pairs: Vec<(u32, u32)> = Vec::with_capacity(crossings.len());
-    for c in &crossings {
+    for (ci, c) in crossings.iter().enumerate() {
+        // k can reach millions; bound the cancellation latency of this
+        // O(k) post-processing pass the same way the discovery loops do.
+        if ci & 0x1FFF == 0 && ci > 0 {
+            budget::check(gate)?;
+        }
         let cp = snap_crossing(
             c.p,
             &edges[c.e1 as usize],
             &edges[c.e2 as usize],
             opts.snap_cell,
         );
-        let py = snap_to_events(&ys_a, cp.y);
+        let py = snap_to_events(&beams_a.ys, cp.y);
         let mut applied = false;
         for eid in [c.e1, c.e2] {
             let e = &edges[eid as usize];
@@ -347,6 +381,8 @@ fn prepare_edges(
         }
         k_pairs.push((c.e1.min(c.e2), c.e1.max(c.e2)));
     }
+    beams_a.recycle(scratch);
+    scratch.give_events(crossings);
     k_pairs.sort_unstable();
     k_pairs.dedup();
     let k = k_pairs.len();
@@ -357,32 +393,74 @@ fn prepare_edges(
     // the bent sub-edge geometry and re-split until crossing-free; each
     // iteration only adds events strictly inside an offending beam, so the
     // loop terminates (bounded further by MAX_REFINE as a belt-and-braces).
+    //
+    // Round 1 builds the scanbeam structure from scratch; rounds ≥ 2 patch
+    // it incrementally (only beams that gained a scanline are re-split;
+    // see [`BeamSet::refine_incremental`]) unless too much of it is dirty,
+    // in which case the round falls back to a full rebuild — the result is
+    // bit-identical either way. All builds draw from `scratch`, so even
+    // the fallback reuses the previous round's capacity.
     const MAX_REFINE: usize = 8;
     let forced_exhaust = resilience::fault_exhaust_refinement(opts);
-    let mut beams;
+    let mut beams: Option<BeamSet> = None;
+    // New events appended by the previous iteration's residual pass:
+    // exactly the scanlines an incremental patch must splice in.
+    let mut round_mark = 0usize;
     // Fault injection can pre-spend the round budget so the exhaustion
     // path runs on the very first iteration.
     let mut refine = if forced_exhaust { MAX_REFINE } else { 0 };
     loop {
         budget::check(gate)?;
-        let forced = ForcedSplits::build(edges.len(), triples.clone());
-        let ys_b = event_ys(&edges, &extra, opts.parallel);
-        beams = BeamSet::build_gated(
-            &edges,
-            ys_b,
-            &forced,
-            opts.backend,
-            opts.parallel,
-            Some(gate),
-        );
+        let forced = ForcedSplits::build_in(edges.len(), &triples, scratch);
+        let mut patched = false;
+        if opts.incremental_refine {
+            if let Some(b) = beams.as_mut() {
+                match b.refine_incremental(
+                    &edges,
+                    &forced,
+                    &extra[round_mark..],
+                    DIRTY_REBUILD_FRACTION,
+                    grain,
+                    opts.parallel,
+                    Some(gate),
+                    scratch,
+                ) {
+                    RefineOutcome::Incremental { beams_rebuilt } => {
+                        report.refine_rounds_incremental += 1;
+                        report.beams_rebuilt += beams_rebuilt;
+                        patched = true;
+                    }
+                    RefineOutcome::TooDirty => {}
+                }
+            }
+        }
+        if !patched {
+            if let Some(old) = beams.take() {
+                old.recycle(scratch);
+            }
+            let ys_b = event_ys_in(&edges, &extra, opts.parallel, scratch);
+            beams = Some(BeamSet::build_gated_in(
+                &edges,
+                ys_b,
+                &forced,
+                opts.backend,
+                opts.parallel,
+                Some(gate),
+                scratch,
+            ));
+        }
+        let bs = beams.as_ref().expect("built or patched above");
         budget::check(gate)?;
         refine += 1;
         if refine > MAX_REFINE {
             // Bound hit: count what is left so the degradation report is
             // concrete. A genuine (unfaulted) run only lands here after
             // MAX_REFINE rounds that each made progress.
-            let leftover =
-                discover_residual_crossings_gated(&beams, opts.parallel, Some(gate)).len();
+            let leftover_v =
+                discover_residual_crossings_in(bs, opts.parallel, Some(gate), grain, scratch);
+            let leftover = leftover_v.len();
+            scratch.give_events(leftover_v);
+            forced.recycle(scratch);
             budget::check(gate)?;
             if leftover > 0 || forced_exhaust {
                 report.degradations.push(Degradation::RefinementExhausted {
@@ -392,7 +470,8 @@ fn prepare_edges(
             }
             break;
         }
-        let mut residual = discover_residual_crossings_gated(&beams, opts.parallel, Some(gate));
+        let mut residual =
+            discover_residual_crossings_in(bs, opts.parallel, Some(gate), grain, scratch);
         budget::check(gate)?;
         if resilience::fault_residual_storm(opts) && refine == 1 {
             // Synthetic crossing pinned to an edge endpoint: never strictly
@@ -405,8 +484,11 @@ fn prepare_edges(
             });
         }
         if residual.is_empty() {
+            scratch.give_events(residual);
+            forced.recycle(scratch);
             break;
         }
+        round_mark = extra.len();
         let mut progressed = false;
         for c in &residual {
             let cp = snap_crossing(
@@ -427,19 +509,26 @@ fn prepare_edges(
             }
             extra.push(cp.y);
         }
+        let n_residual = residual.len();
+        scratch.give_events(residual);
+        forced.recycle(scratch);
         if !progressed {
             // The remaining residuals sit inside beams already at the
             // resolution limit; the cancellation/stitch phase degrades
             // gracefully (a dropped sliver walk), so accept — and report.
-            report.residuals_accepted += residual.len();
+            report.residuals_accepted += n_residual;
             report.degradations.push(Degradation::ResidualsAccepted {
-                residual_crossings: residual.len(),
+                residual_crossings: n_residual,
             });
             break;
         }
     }
     report.refine_rounds = refine.min(MAX_REFINE);
-    Ok(Some(Prepared { edges, beams, k }))
+    Ok(Some(Prepared {
+        edges,
+        beams: beams.expect("round loop always builds"),
+        k,
+    }))
 }
 
 /// Classify every beam (Step 3), in parallel when configured. Polls the
@@ -506,9 +595,23 @@ pub(crate) fn try_clip_with_stats_gated(
     opts: &ClipOptions,
     gate: &Gate,
 ) -> Result<ClipOutcome, ClipError> {
+    try_clip_with_stats_in(subject, clip, op, opts, gate, &mut SweepScratch::new())
+}
+
+/// [`try_clip_with_stats_gated`] against a caller-owned [`SweepScratch`] —
+/// the innermost re-entry point for workers (Algorithm 2's slab workers)
+/// that keep one arena per worker and reuse its capacity across clips.
+pub(crate) fn try_clip_with_stats_in(
+    subject: &PolygonSet,
+    clip: &PolygonSet,
+    op: BoolOp,
+    opts: &ClipOptions,
+    gate: &Gate,
+    scratch: &mut SweepScratch,
+) -> Result<ClipOutcome, ClipError> {
     let mut report = PrepReport::default();
-    let prepared = prepare(subject, clip, opts, &mut report, gate)?;
-    let mut outcome = clip_prepared(prepared, report, op, opts, gate)?;
+    let prepared = prepare(subject, clip, opts, &mut report, gate, scratch)?;
+    let mut outcome = clip_prepared(prepared, report, op, opts, gate, scratch)?;
     if opts.validate_output {
         repair_output(subject, clip, op, opts, &mut outcome);
     }
@@ -625,9 +728,22 @@ pub(crate) fn try_clip_refs_gated(
     opts: &ClipOptions,
     gate: &Gate,
 ) -> Result<ClipOutcome, ClipError> {
+    try_clip_refs_in(subject, clip, op, opts, gate, &mut SweepScratch::new())
+}
+
+/// [`try_clip_refs_gated`] against a caller-owned [`SweepScratch`] (see
+/// [`try_clip_with_stats_in`]).
+pub(crate) fn try_clip_refs_in(
+    subject: &[&Contour],
+    clip: &[&Contour],
+    op: BoolOp,
+    opts: &ClipOptions,
+    gate: &Gate,
+    scratch: &mut SweepScratch,
+) -> Result<ClipOutcome, ClipError> {
     let mut report = PrepReport::default();
-    let prepared = prepare_refs(subject, clip, opts, &mut report, gate)?;
-    clip_prepared(prepared, report, op, opts, gate)
+    let prepared = prepare_refs(subject, clip, opts, &mut report, gate, scratch)?;
+    clip_prepared(prepared, report, op, opts, gate, scratch)
 }
 
 /// Classification + merge + stitching: the shared tail of the two fallible
@@ -638,6 +754,7 @@ fn clip_prepared(
     op: BoolOp,
     opts: &ClipOptions,
     gate: &Gate,
+    scratch: &mut SweepScratch,
 ) -> Result<ClipOutcome, ClipError> {
     let Some(p) = prepared else {
         return Ok(ClipOutcome {
@@ -710,6 +827,8 @@ fn clip_prepared(
         out_contours: out.len(),
         out_vertices: out.vertex_count(),
         refine_rounds: report.refine_rounds,
+        refine_rounds_incremental: report.refine_rounds_incremental,
+        beams_rebuilt: report.beams_rebuilt,
         residuals_accepted: report.residuals_accepted,
         slab_retries: 0,
         input_repairs: report.input_repairs,
@@ -717,6 +836,11 @@ fn clip_prepared(
         completed_slabs: 0,
         total_slabs: 0,
     };
+    // Hand the scanbeam buffers back so the next clip on this worker's
+    // arena reuses them, and publish the arena counters on the meter.
+    p.beams.recycle(scratch);
+    gate.meter().record_scratch_bytes(scratch.capacity_bytes());
+    gate.meter().add_scratch_reused(scratch.take_reused_bytes());
     Ok(ClipOutcome {
         result: out,
         stats,
@@ -778,7 +902,14 @@ pub fn measure_op(
     opts: &ClipOptions,
 ) -> f64 {
     let gate = Gate::unlimited();
-    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut PrepReport::default(), &gate) else {
+    let Ok(Some(p)) = prepare(
+        subject,
+        clip_p,
+        opts,
+        &mut PrepReport::default(),
+        &gate,
+        &mut SweepScratch::new(),
+    ) else {
         return 0.0;
     };
     let Ok(outputs) = classify_all(&p, op, opts, &gate) else {
@@ -1059,6 +1190,69 @@ mod tests {
         // rather than as sweep crossings, so k counts the remaining three.
         assert!(stats.k_intersections >= 3, "pentagram self-intersections");
         assert!((eo_area(&out) - star_area).abs() < 1e-9);
+    }
+
+    // A budget trip must leave the scratch arena structurally valid: the
+    // next clip through the same arena has to succeed and match a
+    // fresh-arena run bit for bit. The dense cap sweep lands trips in
+    // every phase — Round-A discovery, the crossing post-process, and the
+    // incremental refinement rounds ≥ 2 (the workload runs several; see
+    // the `incremental` equivalence suite) — so a patch round interrupted
+    // halfway through its CSR splice is covered, not just clean-phase
+    // boundaries.
+    #[test]
+    fn tripped_scratch_arena_stays_reusable() {
+        use polyclip_datagen::degenerate::{shingled_strips, sliver_fan};
+        let subject = shingled_strips(5, pt(-1.0, -1.0), 2.0, 2.0, 10, 1e-6);
+        let clip_p = sliver_fan(6, pt(0.0, 0.0), 1.4, 8);
+        let opts = ClipOptions::default();
+        let baseline = try_clip_with_stats(&subject, &clip_p, BoolOp::Union, &opts).unwrap();
+        assert!(
+            baseline.stats.refine_rounds >= 3 && baseline.stats.refine_rounds_incremental >= 2,
+            "workload must drive incremental refinement: {:?}",
+            baseline.stats
+        );
+
+        let mut scratch = SweepScratch::new();
+        let mut trips = 0usize;
+        for cap in 1..=96u64 {
+            let tight = ClipOptions {
+                budget: ExecBudget {
+                    max_intersections: Some(cap),
+                    ..Default::default()
+                },
+                ..ClipOptions::default()
+            };
+            let gate = tight.budget.arm();
+            match try_clip_with_stats_in(
+                &subject,
+                &clip_p,
+                BoolOp::Union,
+                &tight,
+                &gate,
+                &mut scratch,
+            ) {
+                Err(ClipError::BudgetExceeded { .. }) => trips += 1,
+                Ok(_) => {}
+                Err(e) => panic!("cap {cap}: unexpected error {e:?}"),
+            }
+            let clean_gate = opts.budget.arm();
+            let reused = try_clip_with_stats_in(
+                &subject,
+                &clip_p,
+                BoolOp::Union,
+                &opts,
+                &clean_gate,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(reused.result, baseline.result, "cap {cap}: output differs");
+            assert_eq!(reused.stats, baseline.stats, "cap {cap}: stats differ");
+        }
+        assert!(
+            trips >= 8,
+            "cap sweep never tripped mid-run ({trips} trips)"
+        );
     }
 
     #[test]

@@ -81,7 +81,14 @@ pub fn pram_cost(
 ) -> PramCostModel {
     let mut report = Default::default();
     let gate = crate::budget::Gate::unlimited();
-    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut report, &gate) else {
+    let Ok(Some(p)) = prepare(
+        subject,
+        clip_p,
+        opts,
+        &mut report,
+        &gate,
+        &mut polyclip_sweep::SweepScratch::new(),
+    ) else {
         return PramCostModel::default();
     };
     let n = p.edges.len();
@@ -164,6 +171,8 @@ pub fn pram_cost(
         out_contours: 0,
         out_vertices: out_frags,
         refine_rounds: report.refine_rounds,
+        refine_rounds_incremental: report.refine_rounds_incremental,
+        beams_rebuilt: report.beams_rebuilt,
         residuals_accepted: report.residuals_accepted,
         slab_retries: 0,
         input_repairs: 0,

@@ -68,7 +68,14 @@ pub fn trapezoids(
     opts: &ClipOptions,
 ) -> Vec<Trapezoid> {
     let gate = crate::budget::Gate::unlimited();
-    let Ok(Some(p)) = prepare(subject, clip_p, opts, &mut Default::default(), &gate) else {
+    let Ok(Some(p)) = prepare(
+        subject,
+        clip_p,
+        opts,
+        &mut Default::default(),
+        &gate,
+        &mut polyclip_sweep::SweepScratch::new(),
+    ) else {
         return Vec::new();
     };
     let beams = &p.beams;

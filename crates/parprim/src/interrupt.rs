@@ -62,6 +62,7 @@ pub struct WorkMeter {
     events: AtomicU64,
     vertices: AtomicU64,
     peak_scratch_bytes: AtomicU64,
+    scratch_reused_bytes: AtomicU64,
 }
 
 impl WorkMeter {
@@ -88,6 +89,15 @@ impl WorkMeter {
         self.peak_scratch_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 
+    /// Credit bytes of scratch capacity that were *reused* instead of
+    /// freshly allocated (arena buffers handed back to a later refinement
+    /// round or slab). Unlike the peak, reuse accumulates: the quantity of
+    /// interest is the total allocation traffic the arena avoided.
+    pub fn add_scratch_reused(&self, bytes: u64) {
+        self.scratch_reused_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub fn intersections(&self) -> u64 {
         self.intersections.load(Ordering::Relaxed)
     }
@@ -103,6 +113,7 @@ impl WorkMeter {
             events: self.events.load(Ordering::Relaxed),
             vertices: self.vertices.load(Ordering::Relaxed),
             peak_scratch_bytes: self.peak_scratch_bytes.load(Ordering::Relaxed),
+            scratch_reused_bytes: self.scratch_reused_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +132,9 @@ pub struct MeterSnapshot {
     pub vertices: u64,
     /// Largest single scratch allocation observed (bytes).
     pub peak_scratch_bytes: u64,
+    /// Total scratch-arena capacity reused across refinement rounds and
+    /// slabs instead of being freshly allocated (bytes, accumulated).
+    pub scratch_reused_bytes: u64,
 }
 
 /// Why a [`Gate`] tripped.
@@ -392,6 +406,8 @@ mod tests {
         m.add_vertices(7);
         m.record_scratch_bytes(100);
         m.record_scratch_bytes(50); // max, not sum
+        m.add_scratch_reused(40);
+        m.add_scratch_reused(2); // sum, not max
         assert_eq!(
             m.snapshot(),
             MeterSnapshot {
@@ -399,6 +415,7 @@ mod tests {
                 events: 5,
                 vertices: 7,
                 peak_scratch_bytes: 100,
+                scratch_reused_bytes: 42,
             }
         );
     }

@@ -73,11 +73,43 @@ fn count_rec<T: Ord + Copy>(xs: &mut [T], buf: &mut [T]) -> u64 {
 /// `xs[i] > xs[j]`. Output order is unspecified. `O(n log n + k)` where `k`
 /// is the number of inversions.
 pub fn report_inversions<T: Ord + Copy>(xs: &[T]) -> Vec<(usize, usize)> {
-    let mut idx: Vec<usize> = (0..xs.len()).collect();
-    let mut buf = idx.clone();
+    let mut scratch = InvScratch::default();
     let mut out = Vec::new();
-    report_rec(xs, &mut idx, &mut buf, &mut out);
+    report_inversions_in(xs, &mut scratch, &mut out);
     out
+}
+
+/// Reusable working buffers for [`report_inversions_in`]: the index
+/// permutation and its merge buffer. Keeping one per worker thread makes
+/// repeated per-beam reporting allocation-free once capacity is established.
+#[derive(Debug, Default)]
+pub struct InvScratch {
+    idx: Vec<usize>,
+    buf: Vec<usize>,
+}
+
+impl InvScratch {
+    /// Bytes of heap capacity currently held by the scratch buffers.
+    pub fn capacity_bytes(&self) -> u64 {
+        ((self.idx.capacity() + self.buf.capacity()) * std::mem::size_of::<usize>()) as u64
+    }
+}
+
+/// [`report_inversions`] into caller-supplied buffers: `out` is cleared and
+/// filled with the inversion pairs; `scratch` is reused across calls so the
+/// steady state performs no allocation. Results are identical to
+/// [`report_inversions`].
+pub fn report_inversions_in<T: Ord + Copy>(
+    xs: &[T],
+    scratch: &mut InvScratch,
+    out: &mut Vec<(usize, usize)>,
+) {
+    out.clear();
+    scratch.idx.clear();
+    scratch.idx.extend(0..xs.len());
+    scratch.buf.clear();
+    scratch.buf.resize(xs.len(), 0);
+    report_rec(xs, &mut scratch.idx, &mut scratch.buf, out);
 }
 
 fn report_rec<T: Ord + Copy>(

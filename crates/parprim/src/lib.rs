@@ -30,7 +30,7 @@ pub mod sort;
 pub use interrupt::{CancelToken, Gate, MeterSnapshot, TripReason, WorkMeter};
 pub use inversions::{
     count_inversions, par_count_inversions, par_report_inversions, par_report_inversions_gated,
-    report_inversions,
+    report_inversions, report_inversions_in, InvScratch,
 };
 pub use pack::{
     pack, par_count_then_fill, par_dedup_adjacent, par_pack, par_pack_indexed, scatter_offsets,

@@ -18,7 +18,6 @@
 //! See [`SegmentTree::par_stab_all`] for the combined count→allocate→report
 //! batch query used by the clipper.
 
-use polyclip_parprim::pack::scatter_offsets;
 use rayon::prelude::*;
 
 /// A static segment tree over the elementary intervals induced by a sorted
@@ -40,6 +39,52 @@ pub struct SegmentTree {
     /// are the interval ids stored at node `v`.
     cover_start: Vec<usize>,
     cover_items: Vec<u32>,
+}
+
+/// Reusable construction/query buffers for a [`SegmentTree`]: the transient
+/// `(node, id)` cover pairs of the parallel build, plus the CSR arrays a
+/// retired tree hands back via [`SegmentTree::recycle`]. Holding one per
+/// worker makes repeated build→stab→drop cycles (one per refinement round or
+/// slab) allocation-free once capacity is established.
+#[derive(Debug, Default)]
+pub struct TreeScratch {
+    pairs: Vec<(u32, u32)>,
+    cover_start: Vec<usize>,
+    cover_items: Vec<u32>,
+}
+
+impl TreeScratch {
+    /// Bytes of heap capacity currently held by the scratch buffers.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.cover_start.capacity() * std::mem::size_of::<usize>()
+            + self.cover_items.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Bytes of capacity a fresh build would have had to allocate — credited
+    /// before buffers are taken, so the first use reports zero.
+    pub fn reusable_bytes(&self) -> u64 {
+        self.capacity_bytes()
+    }
+}
+
+/// Reusable buffers for [`SegmentTree::par_stab_all_in`]: per-leaf counts and
+/// the CSR `(offsets, items)` batch-query result.
+#[derive(Debug, Default)]
+pub struct StabScratch {
+    counts: Vec<usize>,
+    /// CSR offsets of the last batch query (`n_leaves + 1` entries).
+    pub offsets: Vec<usize>,
+    /// Interval ids, sliced by `offsets`.
+    pub items: Vec<u32>,
+}
+
+impl StabScratch {
+    /// Bytes of heap capacity currently held by the scratch buffers.
+    pub fn capacity_bytes(&self) -> u64 {
+        ((self.counts.capacity() + self.offsets.capacity()) * std::mem::size_of::<usize>()
+            + self.items.capacity() * std::mem::size_of::<u32>()) as u64
+    }
 }
 
 impl SegmentTree {
@@ -109,6 +154,71 @@ impl SegmentTree {
             cover_start,
             cover_items,
         }
+    }
+
+    /// [`build`](Self::build)/[`par_build`](Self::par_build) into reused
+    /// buffers: the transient cover pairs and the tree's own CSR arrays come
+    /// from `scratch`, so a build→[`recycle`](Self::recycle) cycle performs
+    /// no allocation once capacity is established. Cover lists are identical
+    /// to the allocating builds (each node's ids ascend in both).
+    pub fn build_in(
+        n_leaves: usize,
+        intervals: &[(usize, usize)],
+        parallel: bool,
+        scratch: &mut TreeScratch,
+    ) -> Self {
+        let size = n_leaves.next_power_of_two().max(1);
+        let n_nodes = 2 * size;
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
+        if parallel {
+            pairs.par_extend(
+                intervals
+                    .par_iter()
+                    .enumerate()
+                    .flat_map_iter(|(id, &(lo, hi))| {
+                        cover_nodes(size, lo, hi)
+                            .into_iter()
+                            .map(move |v| (v as u32, id as u32))
+                    }),
+            );
+            pairs.par_sort_unstable();
+        } else {
+            for (id, &(lo, hi)) in intervals.iter().enumerate() {
+                debug_assert!(hi <= n_leaves, "interval beyond leaf range");
+                pairs.extend(
+                    cover_nodes(size, lo, hi)
+                        .into_iter()
+                        .map(|v| (v as u32, id as u32)),
+                );
+            }
+            pairs.sort_unstable();
+        }
+        let mut cover_start = std::mem::take(&mut scratch.cover_start);
+        cover_start.clear();
+        cover_start.resize(n_nodes + 1, 0);
+        for &(v, _) in pairs.iter() {
+            cover_start[v as usize + 1] += 1;
+        }
+        for i in 0..n_nodes {
+            cover_start[i + 1] += cover_start[i];
+        }
+        let mut cover_items = std::mem::take(&mut scratch.cover_items);
+        cover_items.clear();
+        cover_items.extend(pairs.drain(..).map(|(_, id)| id));
+        SegmentTree {
+            n_leaves,
+            size,
+            cover_start,
+            cover_items,
+        }
+    }
+
+    /// Hand the tree's CSR arrays back to `scratch` for the next
+    /// [`build_in`](Self::build_in).
+    pub fn recycle(self, scratch: &mut TreeScratch) {
+        scratch.cover_start = self.cover_start;
+        scratch.cover_items = self.cover_items;
     }
 
     /// Number of elementary intervals.
@@ -197,30 +307,51 @@ impl SegmentTree {
         &self,
         gate: Option<&polyclip_parprim::Gate>,
     ) -> (Vec<usize>, Vec<u32>) {
-        let counts: Vec<usize> = (0..self.n_leaves)
-            .into_par_iter()
-            .map(|i| {
-                // Per-batch poll: remaining queries degrade to zero counts.
-                if gate.is_some_and(|g| g.is_tripped()) {
-                    return 0;
-                }
-                self.stab_count(i)
-            })
-            .collect();
-        let (mut offsets, total) = scatter_offsets(&counts);
+        let mut scratch = StabScratch::default();
+        self.par_stab_all_in(gate, &mut scratch);
+        (scratch.offsets, scratch.items)
+    }
+
+    /// [`par_stab_all_gated`](Self::par_stab_all_gated) into reused buffers:
+    /// `scratch.offsets`/`scratch.items` hold the CSR result on return, and a
+    /// steady-state caller (one batch query per refinement round or slab)
+    /// performs no allocation once capacity is established.
+    pub fn par_stab_all_in(
+        &self,
+        gate: Option<&polyclip_parprim::Gate>,
+        scratch: &mut StabScratch,
+    ) {
+        let counts = &mut scratch.counts;
+        counts.clear();
+        counts.par_extend((0..self.n_leaves).into_par_iter().map(|i| {
+            // Per-batch poll: remaining queries degrade to zero counts.
+            if gate.is_some_and(|g| g.is_tripped()) {
+                return 0;
+            }
+            self.stab_count(i)
+        }));
+        let offsets = &mut scratch.offsets;
+        offsets.clear();
+        offsets.reserve(self.n_leaves + 1);
+        let mut total = 0usize;
+        for &c in counts.iter() {
+            offsets.push(total);
+            total += c;
+        }
         offsets.push(total);
+        scratch.items.clear();
         if let Some(g) = gate {
             if g.checkpoint().is_some() {
-                return (offsets, Vec::new());
+                return;
             }
             g.meter()
                 .record_scratch_bytes((total * std::mem::size_of::<u32>()) as u64);
         }
-        let mut items = vec![0u32; total];
+        scratch.items.resize(total, 0);
         let mut slices: Vec<&mut [u32]> = Vec::with_capacity(self.n_leaves);
         {
-            let mut rest: &mut [u32] = &mut items;
-            for &c in &counts {
+            let mut rest: &mut [u32] = &mut scratch.items;
+            for &c in counts.iter() {
                 let (head, tail) = rest.split_at_mut(c);
                 slices.push(head);
                 rest = tail;
@@ -232,7 +363,6 @@ impl SegmentTree {
             }
             self.stab_fill(i, dst);
         });
-        (offsets, items)
     }
 }
 
@@ -388,6 +518,26 @@ mod tests {
         let (offsets, items) = t2.par_stab_all();
         assert_eq!(offsets, vec![0, 0, 0, 0, 0, 0]);
         assert!(items.is_empty());
+    }
+
+    #[test]
+    fn build_in_recycle_cycle_matches_allocating_builds() {
+        let intervals: Vec<(usize, usize)> =
+            (0..300).map(|i| (i % 40, 40 + (i * 11) % 61)).collect();
+        let reference = SegmentTree::build(100, &intervals);
+        let (ref_offsets, ref_items) = reference.par_stab_all();
+        let mut scratch = TreeScratch::default();
+        for parallel in [false, true] {
+            let t = SegmentTree::build_in(100, &intervals, parallel, &mut scratch);
+            assert_eq!(t.cover_start, reference.cover_start);
+            assert_eq!(t.cover_items, reference.cover_items);
+            let mut stab = StabScratch::default();
+            t.par_stab_all_in(None, &mut stab);
+            assert_eq!(stab.offsets, ref_offsets);
+            assert_eq!(stab.items, ref_items);
+            t.recycle(&mut scratch);
+            assert!(scratch.reusable_bytes() > 0, "recycled capacity is held");
+        }
     }
 
     #[test]

@@ -17,10 +17,23 @@
 
 use crate::edges::{InputEdge, Source};
 use crate::events::event_index;
+use crate::scratch::SweepScratch;
 use polyclip_geom::OrdF64;
 use polyclip_parprim::Gate;
 use polyclip_segtree::SegmentTree;
 use rayon::prelude::*;
+
+/// Placeholder sub-edge used to pre-size fill buffers; every slot is
+/// overwritten before use unless the gate trips (in which case the caller
+/// discards the whole set).
+const DUMMY_SUB: SubEdge = SubEdge {
+    beam: 0,
+    xb: 0.0,
+    xt: 0.0,
+    src: Source::Subject,
+    winding: 0,
+    edge_id: 0,
+};
 
 /// A fragment of an input edge spanning exactly one scanbeam.
 #[derive(Clone, Copy, Debug)]
@@ -75,18 +88,42 @@ impl ForcedSplits {
 
     /// Build from `(edge_id, y, x)` triples; duplicates (same edge, same y)
     /// collapse to one entry.
-    pub fn build(n_edges: usize, mut triples: Vec<(u32, f64, f64)>) -> Self {
-        triples.sort_unstable_by(|a, b| (a.0, OrdF64::new(a.1)).cmp(&(b.0, OrdF64::new(b.1))));
-        triples.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
-        let mut start = vec![0usize; n_edges + 1];
-        for &(id, _, _) in &triples {
+    pub fn build(n_edges: usize, triples: Vec<(u32, f64, f64)>) -> Self {
+        Self::build_in(n_edges, &triples, &mut SweepScratch::default())
+    }
+
+    /// [`build`](Self::build) from a borrowed triple slice into reused
+    /// buffers: the sort/dedup working copy and the CSR arrays come from
+    /// `scratch`, so per-round rebuilds of the forced-split table allocate
+    /// nothing once capacity is established. Hand the table back with
+    /// [`recycle`](Self::recycle).
+    pub fn build_in(
+        n_edges: usize,
+        triples: &[(u32, f64, f64)],
+        scratch: &mut SweepScratch,
+    ) -> Self {
+        let mut buf = std::mem::take(&mut scratch.triples);
+        buf.clear();
+        buf.extend_from_slice(triples);
+        buf.sort_unstable_by(|a, b| (a.0, OrdF64::new(a.1)).cmp(&(b.0, OrdF64::new(b.1))));
+        buf.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        let (mut start, mut items) = scratch.take_forced();
+        start.resize(n_edges + 1, 0);
+        for &(id, _, _) in buf.iter() {
             start[id as usize + 1] += 1;
         }
         for i in 0..n_edges {
             start[i + 1] += start[i];
         }
-        let items = triples.into_iter().map(|(_, y, x)| (y, x)).collect();
+        items.extend(buf.drain(..).map(|(_, y, x)| (y, x)));
+        scratch.triples = buf;
         ForcedSplits { start, items }
+    }
+
+    /// Hand the CSR arrays back to `scratch` for the next
+    /// [`build_in`](Self::build_in).
+    pub fn recycle(self, scratch: &mut SweepScratch) {
+        scratch.give_forced(self.start, self.items);
     }
 
     /// The forced x for `edge` at exactly `y`, if any.
@@ -131,6 +168,20 @@ pub enum PartitionBackend {
     SegmentTree,
 }
 
+/// Result of [`BeamSet::refine_incremental`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefineOutcome {
+    /// The set was patched in place; `beams_rebuilt` dirty beams were
+    /// re-split and re-sorted, every other beam was kept verbatim.
+    Incremental {
+        /// Number of dirty beams recomputed.
+        beams_rebuilt: usize,
+    },
+    /// The dirty fraction exceeded the threshold (or a new scanline fell
+    /// outside the schedule); the caller must perform a full rebuild.
+    TooDirty,
+}
+
 /// Edges partitioned into scanbeams: the scanbeam table of the paper,
 /// with per-beam sub-edges sorted left-to-right.
 #[derive(Clone, Debug)]
@@ -170,65 +221,129 @@ impl BeamSet {
         parallel: bool,
         gate: Option<&Gate>,
     ) -> Self {
+        Self::build_gated_in(
+            edges,
+            ys,
+            forced,
+            backend,
+            parallel,
+            gate,
+            &mut SweepScratch::default(),
+        )
+    }
+
+    /// [`build_gated`](Self::build_gated) into a reused [`SweepScratch`]:
+    /// the sub-edge array, CSR offsets, segment-tree buffers and the
+    /// count→allocate→fill working arrays all come from the arena, so
+    /// refinement rounds ≥ 2 (and later slabs on the same worker) reuse
+    /// round-1 capacity instead of reallocating. Output is bit-identical to
+    /// [`build_gated`]: the fill produces the same sub-edge multiset and the
+    /// final sort key `(beam, xb, xt, edge_id)` is a strict total order.
+    /// Hand the set back with [`recycle`](Self::recycle).
+    pub fn build_gated_in(
+        edges: &[InputEdge],
+        ys: Vec<f64>,
+        forced: &ForcedSplits,
+        backend: PartitionBackend,
+        parallel: bool,
+        gate: Option<&Gate>,
+        scratch: &mut SweepScratch,
+    ) -> Self {
         let n_beams = ys.len().saturating_sub(1);
         let tripped = || gate.is_some_and(|g| g.is_tripped());
-        // Per-edge interruption point: a tripped gate degrades the remaining
-        // splitters to empty iterators.
-        let splitter = |e| {
-            let mut sp = EdgeSplitter::new(e, &ys, forced);
-            if tripped() {
-                sp.cur = sp.end;
-            }
-            sp
-        };
-        let mut sub: Vec<SubEdge> = match backend {
+        let mut sub = scratch.take_sub();
+        match backend {
             PartitionBackend::DirectScan => {
                 if parallel {
-                    edges.par_iter().flat_map_iter(splitter).collect()
+                    // Count → allocate → fill: each edge owns a disjoint
+                    // slice sized by its beam span, so the fill is parallel
+                    // and the sub-edge buffer is reused across rounds.
+                    let counts = &mut scratch.counts;
+                    counts.clear();
+                    counts.par_extend(
+                        edges
+                            .par_iter()
+                            .map(|e| event_index(&ys, e.hi.y) - event_index(&ys, e.lo.y)),
+                    );
+                    let total: usize = counts.iter().sum();
+                    sub.resize(total, DUMMY_SUB);
+                    let mut slices: Vec<&mut [SubEdge]> = Vec::with_capacity(edges.len());
+                    let mut rest: &mut [SubEdge] = &mut sub;
+                    for &c in counts.iter() {
+                        let (head, tail) = rest.split_at_mut(c);
+                        slices.push(head);
+                        rest = tail;
+                    }
+                    slices
+                        .into_par_iter()
+                        .zip(edges.par_iter())
+                        .for_each(|(dst, e)| {
+                            // Per-edge interruption point: remaining edges
+                            // degrade to placeholder fills.
+                            if tripped() {
+                                dst.fill(DUMMY_SUB);
+                                return;
+                            }
+                            for (d, s) in dst.iter_mut().zip(EdgeSplitter::new(e, &ys, forced)) {
+                                *d = s;
+                            }
+                        });
                 } else {
-                    edges.iter().flat_map(splitter).collect()
+                    // Per-edge interruption point: a tripped gate degrades
+                    // the remaining splitters to empty iterators.
+                    let splitter = |e| {
+                        let mut sp = EdgeSplitter::new(e, &ys, forced);
+                        if tripped() {
+                            sp.cur = sp.end;
+                        }
+                        sp
+                    };
+                    sub.extend(edges.iter().flat_map(splitter));
                 }
             }
             PartitionBackend::SegmentTree => {
                 // Intervals in elementary-beam index space.
-                let intervals: Vec<(usize, usize)> = edges
-                    .iter()
-                    .map(|e| (event_index(&ys, e.lo.y), event_index(&ys, e.hi.y)))
-                    .collect();
-                let tree = if parallel {
-                    SegmentTree::par_build(n_beams, &intervals)
-                } else {
-                    SegmentTree::build(n_beams, &intervals)
-                };
-                let (offsets, items) = tree.par_stab_all_gated(gate);
-                if tripped() {
-                    Vec::new()
-                } else {
+                let intervals = &mut scratch.intervals;
+                intervals.clear();
+                intervals.extend(
+                    edges
+                        .iter()
+                        .map(|e| (event_index(&ys, e.lo.y), event_index(&ys, e.hi.y))),
+                );
+                scratch.credit_reuse(scratch.tree.reusable_bytes());
+                let tree =
+                    SegmentTree::build_in(n_beams, &scratch.intervals, parallel, &mut scratch.tree);
+                tree.par_stab_all_in(gate, &mut scratch.stab);
+                if !tripped() {
                     // Reporting phase: each (beam, edge) pair becomes a
-                    // sub-edge.
-                    let make = |beam: usize, id: u32| -> SubEdge {
-                        let e = &edges[id as usize];
-                        sub_edge_for(e, &ys, beam, forced)
-                    };
+                    // sub-edge; beams own disjoint contiguous slices.
+                    let offsets = &scratch.stab.offsets;
+                    let items = &scratch.stab.items;
+                    sub.resize(items.len(), DUMMY_SUB);
                     if parallel {
-                        (0..n_beams)
-                            .into_par_iter()
-                            .flat_map_iter(|b| {
-                                items[offsets[b]..offsets[b + 1]]
-                                    .iter()
-                                    .map(move |&id| make(b, id))
-                            })
-                            .collect()
+                        let mut slices: Vec<&mut [SubEdge]> = Vec::with_capacity(n_beams);
+                        let mut rest: &mut [SubEdge] = &mut sub;
+                        for b in 0..n_beams {
+                            let (head, tail) = rest.split_at_mut(offsets[b + 1] - offsets[b]);
+                            slices.push(head);
+                            rest = tail;
+                        }
+                        slices.into_par_iter().enumerate().for_each(|(b, dst)| {
+                            for (d, &id) in dst.iter_mut().zip(&items[offsets[b]..offsets[b + 1]]) {
+                                *d = sub_edge_for(&edges[id as usize], &ys, b, forced);
+                            }
+                        });
                     } else {
-                        (0..n_beams)
-                            .flat_map(|b| {
-                                items[offsets[b]..offsets[b + 1]]
-                                    .iter()
-                                    .map(move |&id| make(b, id))
-                            })
-                            .collect()
+                        let mut k = 0;
+                        for b in 0..n_beams {
+                            for &id in &items[offsets[b]..offsets[b + 1]] {
+                                sub[k] = sub_edge_for(&edges[id as usize], &ys, b, forced);
+                                k += 1;
+                            }
+                        }
                     }
                 }
+                tree.recycle(&mut scratch.tree);
             }
         };
 
@@ -237,27 +352,271 @@ impl BeamSet {
             g.meter()
                 .record_scratch_bytes((sub.len() * std::mem::size_of::<SubEdge>()) as u64);
         }
-        if !tripped() {
-            if parallel {
-                sub.par_sort_unstable_by_key(|s| s.order_key());
-            } else {
-                sub.sort_unstable_by_key(|s| s.order_key());
-            }
-        }
-
-        // CSR over beams.
-        let mut beam_start = vec![0usize; n_beams + 1];
+        // CSR over beams, counted *before* ordering (the counts are
+        // order-independent): having the offsets first lets the ordering
+        // pass run per beam instead of as one global sort.
+        let mut beam_start = scratch.take_beam_start();
+        beam_start.resize(n_beams + 1, 0);
         for s in &sub {
             beam_start[s.beam as usize + 1] += 1;
         }
         for i in 0..n_beams {
             beam_start[i + 1] += beam_start[i];
         }
+
+        if !tripped() {
+            sort_sub_by_beam(
+                &mut sub,
+                &beam_start,
+                n_beams,
+                parallel,
+                gate,
+                &mut scratch.counts,
+            );
+        }
+
         BeamSet {
             ys,
             beam_start,
             sub,
         }
+    }
+
+    /// Hand the set's buffers (event schedule, sub-edge array, CSR offsets)
+    /// back to `scratch` for the next build or refinement round.
+    pub fn recycle(self, scratch: &mut SweepScratch) {
+        scratch.give_ys(self.ys);
+        scratch.give_sub(self.sub);
+        scratch.give_beam_start(self.beam_start);
+    }
+
+    /// Incrementally refine the partition after a round discovered new split
+    /// scanlines, instead of rebuilding the whole set.
+    ///
+    /// `new_ys` are the event y's the round appended (residual-crossing
+    /// heights; unsorted, duplicates allowed) and `forced` is the *complete*
+    /// updated forced-split table. Each new y classifies one or two beams as
+    /// **dirty**:
+    ///
+    /// * a y strictly inside beam `b` splits `b` into two fragments — `b` is
+    ///   dirty;
+    /// * a y equal to an existing scanline adds no beam, but the forced x of
+    ///   edges crossing that scanline changed — both adjacent beams are
+    ///   dirty.
+    ///
+    /// Every edge active in a dirty beam is re-split and re-sorted there;
+    /// clean beams keep their sub-edges verbatim (only the beam index is
+    /// renumbered), which is sound because a new forced entry either sits at
+    /// a new interior y (inside a dirty beam) or at an existing scanline
+    /// whose two adjacent beams are dirty — no clean beam's boundary data
+    /// changes. Because [`x_on_edge`] is a pure function and the sort key
+    /// `(beam, xb, xt, edge_id)` is a strict total order per beam, the
+    /// patched set is **bit-identical** to a full rebuild on the merged
+    /// schedule (property-tested against both backends).
+    ///
+    /// Returns [`RefineOutcome::TooDirty`] — caller must fall back to a full
+    /// rebuild — when the dirty fraction exceeds `max_dirty_fraction` or a
+    /// new y falls outside the current schedule. The fill runs parallel over
+    /// beams when `parallel` is set and the patched set is at least `grain`
+    /// sub-edges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine_incremental(
+        &mut self,
+        edges: &[InputEdge],
+        forced: &ForcedSplits,
+        new_ys: &[f64],
+        max_dirty_fraction: f64,
+        grain: usize,
+        parallel: bool,
+        gate: Option<&Gate>,
+        scratch: &mut SweepScratch,
+    ) -> RefineOutcome {
+        let n_beams = self.n_beams();
+        if n_beams == 0 {
+            return RefineOutcome::TooDirty;
+        }
+        // Classify each new scanline. Plain f64 equality against the
+        // schedule matches the OrdF64 dedup of `event_ys` (no NaN here, and
+        // ±0.0 compare equal under both).
+        let mut splits = std::mem::take(&mut scratch.splits);
+        let mut dirty = std::mem::take(&mut scratch.dirty);
+        splits.clear();
+        dirty.clear();
+        dirty.resize(n_beams, false);
+        for &y in new_ys {
+            let idx = self.ys.partition_point(|&v| v < y);
+            if idx < self.ys.len() && self.ys[idx] == y {
+                if idx > 0 {
+                    dirty[idx - 1] = true;
+                }
+                if idx < n_beams {
+                    dirty[idx] = true;
+                }
+            } else if idx == 0 || idx > n_beams {
+                // Outside the schedule: the beam structure itself grows;
+                // this cannot happen for genuine residual crossings, so
+                // don't complicate the patch path for it.
+                scratch.splits = splits;
+                scratch.dirty = dirty;
+                return RefineOutcome::TooDirty;
+            } else {
+                dirty[idx - 1] = true;
+                splits.push((idx as u32 - 1, y));
+            }
+        }
+        splits.sort_unstable_by(|a, b| (a.0, OrdF64::new(a.1)).cmp(&(b.0, OrdF64::new(b.1))));
+        splits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        let beams_rebuilt = dirty.iter().filter(|&&d| d).count();
+        if beams_rebuilt as f64 > max_dirty_fraction * n_beams as f64 {
+            scratch.splits = splits;
+            scratch.dirty = dirty;
+            return RefineOutcome::TooDirty;
+        }
+
+        // CSR over old beams into `splits`, plus output offsets: old beam b
+        // becomes `splits_of_b + 1` fragments of `old_count` sub-edges each
+        // (every old sub-edge spans the whole old beam, hence every
+        // fragment).
+        let mut split_start = std::mem::take(&mut scratch.split_start);
+        split_start.clear();
+        split_start.reserve(n_beams + 1);
+        split_start.push(0);
+        {
+            let mut si = 0usize;
+            for b in 0..n_beams {
+                while si < splits.len() && (splits[si].0 as usize) == b {
+                    si += 1;
+                }
+                split_start.push(si);
+            }
+        }
+
+        // Merged schedule: old scanlines with each beam's interior splits
+        // spliced in — exactly what `event_ys` would produce.
+        let mut new_ys_vec = scratch.take_ys();
+        new_ys_vec.reserve(self.ys.len() + splits.len());
+        for b in 0..n_beams {
+            new_ys_vec.push(self.ys[b]);
+            for &(_, y) in &splits[split_start[b]..split_start[b + 1]] {
+                new_ys_vec.push(y);
+            }
+        }
+        new_ys_vec.push(self.ys[n_beams]);
+
+        let mut new_total = 0usize;
+        let mut recomputed = 0usize;
+        for b in 0..n_beams {
+            let nfrag = split_start[b + 1] - split_start[b] + 1;
+            let cnt = self.beam(b).len();
+            new_total += nfrag * cnt;
+            if dirty[b] {
+                recomputed += nfrag * cnt;
+            }
+        }
+        if let Some(g) = gate {
+            g.meter().add_events(recomputed as u64);
+            g.meter()
+                .record_scratch_bytes((new_total * std::mem::size_of::<SubEdge>()) as u64);
+        }
+
+        let mut new_sub = scratch.take_sub();
+        new_sub.resize(new_total, DUMMY_SUB);
+        {
+            let tripped = || gate.is_some_and(|g| g.is_tripped());
+            let fill_beam = |b: usize, dst: &mut [SubEdge]| {
+                let old = self.beam(b);
+                let base = (b + split_start[b]) as u32;
+                if !dirty[b] {
+                    // Clean beam: copy verbatim, renumbering the beam index.
+                    for (d, s) in dst.iter_mut().zip(old) {
+                        let mut c = *s;
+                        c.beam = base;
+                        *d = c;
+                    }
+                    return;
+                }
+                if tripped() {
+                    dst.fill(DUMMY_SUB);
+                    return;
+                }
+                let cnt = old.len();
+                let s_range = &splits[split_start[b]..split_start[b + 1]];
+                let nfrag = s_range.len() + 1;
+                for (ei, s) in old.iter().enumerate() {
+                    let e = &edges[s.edge_id as usize];
+                    let mut x_lo = x_on_edge(e, self.ys[b], forced);
+                    for f in 0..nfrag {
+                        let y_hi = if f < s_range.len() {
+                            s_range[f].1
+                        } else {
+                            self.ys[b + 1]
+                        };
+                        let x_hi = x_on_edge(e, y_hi, forced);
+                        dst[f * cnt + ei] = SubEdge {
+                            beam: base + f as u32,
+                            xb: x_lo,
+                            xt: x_hi,
+                            src: s.src,
+                            winding: s.winding,
+                            edge_id: s.edge_id,
+                        };
+                        x_lo = x_hi;
+                    }
+                }
+                for f in 0..nfrag {
+                    dst[f * cnt..(f + 1) * cnt].sort_unstable_by_key(|s| s.order_key());
+                }
+            };
+            if parallel && new_total >= grain {
+                let mut slices: Vec<&mut [SubEdge]> = Vec::with_capacity(n_beams);
+                let mut rest: &mut [SubEdge] = &mut new_sub;
+                for b in 0..n_beams {
+                    let nfrag = split_start[b + 1] - split_start[b] + 1;
+                    let (head, tail) = rest.split_at_mut(nfrag * self.beam(b).len());
+                    slices.push(head);
+                    rest = tail;
+                }
+                slices
+                    .into_par_iter()
+                    .enumerate()
+                    .for_each(|(b, dst)| fill_beam(b, dst));
+            } else {
+                let mut off = 0usize;
+                for b in 0..n_beams {
+                    let nfrag = split_start[b + 1] - split_start[b] + 1;
+                    let len = nfrag * self.beam(b).len();
+                    fill_beam(b, &mut new_sub[off..off + len]);
+                    off += len;
+                }
+            }
+        }
+
+        // New per-beam CSR: every fragment of old beam b holds `old_count`
+        // sub-edges.
+        let mut new_start = scratch.take_beam_start();
+        new_start.reserve(n_beams + splits.len() + 1);
+        let mut acc = 0usize;
+        for b in 0..n_beams {
+            let nfrag = split_start[b + 1] - split_start[b] + 1;
+            let cnt = self.beam(b).len();
+            for _ in 0..nfrag {
+                new_start.push(acc);
+                acc += cnt;
+            }
+        }
+        new_start.push(acc);
+        debug_assert_eq!(acc, new_total);
+
+        let old_ys = std::mem::replace(&mut self.ys, new_ys_vec);
+        let old_sub = std::mem::replace(&mut self.sub, new_sub);
+        let old_start = std::mem::replace(&mut self.beam_start, new_start);
+        scratch.give_ys(old_ys);
+        scratch.give_sub(old_sub);
+        scratch.give_beam_start(old_start);
+        scratch.splits = splits;
+        scratch.dirty = dirty;
+        scratch.split_start = split_start;
+        RefineOutcome::Incremental { beams_rebuilt }
     }
 
     /// Number of scanbeams.
@@ -289,6 +648,70 @@ impl BeamSet {
     #[inline]
     pub fn total_sub_edges(&self) -> usize {
         self.sub.len()
+    }
+}
+
+/// Order `sub` by [`SubEdge::order_key`], given the per-beam CSR offsets:
+/// an in-place bucket permutation by beam (`O(total)` swaps) followed by
+/// independent per-beam sorts. The key is total (edge ids are unique within
+/// a beam), so the result is bit-identical to a global unstable sort by the
+/// same key — but the comparison depth drops from `log total` to
+/// `log beam_len`, the per-beam phase parallelizes over beams, and both
+/// phases poll the gate at bounded intervals, where a single global sort is
+/// uninterruptible for its whole `O(total log total)` run. A trip mid-pass
+/// leaves `sub` partially ordered — callers must check the gate.
+fn sort_sub_by_beam(
+    sub: &mut [SubEdge],
+    beam_start: &[usize],
+    n_beams: usize,
+    parallel: bool,
+    gate: Option<&Gate>,
+    cursor: &mut Vec<usize>,
+) {
+    let tripped = || gate.is_some_and(|g| g.is_tripped());
+    cursor.clear();
+    cursor.extend_from_slice(&beam_start[..n_beams]);
+    let mut ops = 0usize;
+    for b in 0..n_beams {
+        // Buckets below `b` are already complete, so every remaining
+        // misplaced element swaps directly into its final bucket; each
+        // element moves at most once.
+        let end = beam_start[b + 1];
+        while cursor[b] < end {
+            ops += 1;
+            if ops & 0xFFFF == 0 && tripped() {
+                return;
+            }
+            let tb = sub[cursor[b]].beam as usize;
+            if tb == b {
+                cursor[b] += 1;
+            } else {
+                let dst = cursor[tb];
+                cursor[tb] += 1;
+                sub.swap(cursor[b], dst);
+            }
+        }
+    }
+    if parallel {
+        let mut slices: Vec<&mut [SubEdge]> = Vec::with_capacity(n_beams);
+        let mut rest: &mut [SubEdge] = sub;
+        for b in 0..n_beams {
+            let (head, tail) = rest.split_at_mut(beam_start[b + 1] - beam_start[b]);
+            slices.push(head);
+            rest = tail;
+        }
+        slices.into_par_iter().for_each(|s| {
+            if s.len() > 1 && !tripped() {
+                s.sort_unstable_by_key(|e| e.order_key());
+            }
+        });
+    } else {
+        for b in 0..n_beams {
+            if tripped() {
+                return;
+            }
+            sub[beam_start[b]..beam_start[b + 1]].sort_unstable_by_key(|e| e.order_key());
+        }
     }
 }
 
@@ -381,7 +804,7 @@ impl Iterator for EdgeSplitter<'_> {
 mod tests {
     use super::*;
     use crate::edges::collect_edges;
-    use crate::events::event_ys;
+    use crate::events::{event_ys, event_ys_in};
     use polyclip_geom::PolygonSet;
 
     fn beams_of(
@@ -505,5 +928,154 @@ mod tests {
                 assert_eq!(x.xb.to_bits(), y.xb.to_bits());
             }
         }
+    }
+
+    fn assert_identical(a: &BeamSet, b: &BeamSet) {
+        assert_eq!(a.ys.len(), b.ys.len(), "schedule length");
+        for (x, y) in a.ys.iter().zip(&b.ys) {
+            assert_eq!(x.to_bits(), y.to_bits(), "schedule y");
+        }
+        assert_eq!(a.beam_start, b.beam_start, "beam CSR");
+        assert_eq!(a.sub.len(), b.sub.len());
+        for (x, y) in a.sub.iter().zip(&b.sub) {
+            assert_eq!(x.beam, y.beam);
+            assert_eq!(x.xb.to_bits(), y.xb.to_bits());
+            assert_eq!(x.xt.to_bits(), y.xt.to_bits());
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.winding, y.winding);
+            assert_eq!(x.edge_id, y.edge_id);
+        }
+    }
+
+    /// Forced triples for `new_ys`: every edge strictly spanning a new y
+    /// gets a forced vertex there, mimicking what intersection discovery
+    /// feeds the engine.
+    fn triples_at(edges: &[InputEdge], new_ys: &[f64]) -> Vec<(u32, f64, f64)> {
+        let mut t = Vec::new();
+        for &y in new_ys {
+            for e in edges {
+                if e.lo.y < y && y < e.hi.y {
+                    t.push((e.id, y, e.x_at_y(y)));
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn incremental_refine_matches_full_rebuild() {
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (5.0, 0.5), (4.0, 3.0), (1.0, 2.5)]);
+        let q = PolygonSet::from_xy(&[(2.0, 1.0), (6.0, 1.5), (3.0, 4.0)]);
+        let edges = collect_edges(&p, &q);
+        // Round-2 scanlines: two interior, one landing exactly on an
+        // existing event (1.0) so the forced-x-at-existing-scanline path is
+        // exercised, plus a duplicate.
+        let extra = [0.8, 1.0, 2.2, 0.8];
+        let triples = triples_at(&edges, &extra);
+        for backend in [PartitionBackend::DirectScan, PartitionBackend::SegmentTree] {
+            for parallel in [false, true] {
+                let mut scratch = SweepScratch::new();
+                let ys0 = event_ys(&edges, &[], parallel);
+                let empty = ForcedSplits::empty(edges.len());
+                let mut inc = BeamSet::build_gated_in(
+                    &edges,
+                    ys0,
+                    &empty,
+                    backend,
+                    parallel,
+                    None,
+                    &mut scratch,
+                );
+                let forced = ForcedSplits::build(edges.len(), triples.clone());
+                let out = inc.refine_incremental(
+                    &edges,
+                    &forced,
+                    &extra,
+                    1.0,
+                    4,
+                    parallel,
+                    None,
+                    &mut scratch,
+                );
+                assert!(
+                    matches!(out, RefineOutcome::Incremental { beams_rebuilt } if beams_rebuilt > 0),
+                    "{out:?}"
+                );
+                let ys1 = event_ys(&edges, &extra, parallel);
+                let full = BeamSet::build(&edges, ys1, &forced, backend, parallel);
+                assert_identical(&inc, &full);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_refine_multi_round_reuses_capacity() {
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (5.0, 0.5), (4.0, 3.0), (1.0, 2.5)]);
+        let q = PolygonSet::from_xy(&[(2.0, 1.0), (6.0, 1.5), (3.0, 4.0)]);
+        let edges = collect_edges(&p, &q);
+        let mut scratch = SweepScratch::new();
+        let ys0 = event_ys_in(&edges, &[], false, &mut scratch);
+        let empty = ForcedSplits::empty(edges.len());
+        let mut inc = BeamSet::build_gated_in(
+            &edges,
+            ys0,
+            &empty,
+            PartitionBackend::DirectScan,
+            false,
+            None,
+            &mut scratch,
+        );
+        scratch.take_reused_bytes();
+        let mut extra_all: Vec<f64> = Vec::new();
+        for round_ys in [[0.8, 2.2], [1.4, 0.9]] {
+            extra_all.extend_from_slice(&round_ys);
+            let forced = ForcedSplits::build(edges.len(), triples_at(&edges, &extra_all));
+            let out = inc.refine_incremental(
+                &edges,
+                &forced,
+                &round_ys,
+                1.0,
+                4,
+                false,
+                None,
+                &mut scratch,
+            );
+            assert!(matches!(out, RefineOutcome::Incremental { .. }), "{out:?}");
+        }
+        let ysf = event_ys(&edges, &extra_all, false);
+        let forced = ForcedSplits::build(edges.len(), triples_at(&edges, &extra_all));
+        let full = BeamSet::build(&edges, ysf, &forced, PartitionBackend::DirectScan, false);
+        assert_identical(&inc, &full);
+        // Round 2 drew its sub-edge / schedule buffers from round-1 capacity.
+        assert!(scratch.take_reused_bytes() > 0);
+        assert!(scratch.high_water_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_refine_rejects_out_of_schedule_and_high_dirt() {
+        let p = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 1.0), (2.0, 2.0)]);
+        let edges = collect_edges(&p, &PolygonSet::new());
+        let mut scratch = SweepScratch::new();
+        let ys = event_ys(&edges, &[], false);
+        let empty = ForcedSplits::empty(edges.len());
+        let mut bs = BeamSet::build(&edges, ys, &empty, PartitionBackend::DirectScan, false);
+        let before = bs.clone();
+        // y below the whole schedule → structural growth → TooDirty.
+        let out = bs.refine_incremental(&edges, &empty, &[-1.0], 1.0, 4, false, None, &mut scratch);
+        assert_eq!(out, RefineOutcome::TooDirty);
+        // Every beam dirty with a 10% budget → TooDirty. Neither call may
+        // have modified the set.
+        let out = bs.refine_incremental(
+            &edges,
+            &empty,
+            &[0.5, 1.5],
+            0.1,
+            4,
+            false,
+            None,
+            &mut scratch,
+        );
+        assert_eq!(out, RefineOutcome::TooDirty);
+        assert_identical(&bs, &before);
     }
 }

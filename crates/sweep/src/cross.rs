@@ -14,8 +14,9 @@
 
 use crate::beams::BeamSet;
 use crate::edges::InputEdge;
+use crate::scratch::{BeamScratch, SweepScratch};
 use polyclip_geom::{OrdF64, Point, SegmentIntersection};
-use polyclip_parprim::inversions::{par_report_inversions_gated, report_inversions};
+use polyclip_parprim::inversions::{par_report_inversions_gated, report_inversions_in};
 use polyclip_parprim::Gate;
 use rayon::prelude::*;
 
@@ -33,7 +34,9 @@ pub struct CrossEvent {
 
 /// Beams whose active list is at least this long use the parallel
 /// inversion reporter internally (nested parallelism over huge beams).
-const BIG_BEAM: usize = 16 * 1024;
+/// Overridable per call via `ClipOptions::grain` → the `grain` parameter of
+/// the `*_in` discovery entry points.
+pub const BIG_BEAM: usize = 16 * 1024;
 
 /// Discover all transversal edge crossings.
 ///
@@ -59,13 +62,66 @@ pub fn discover_intersections_gated(
     parallel: bool,
     gate: Option<&Gate>,
 ) -> Vec<CrossEvent> {
-    let beam_ids: Vec<usize> = (0..beams.n_beams()).collect();
-    let per_beam = |b: &usize| -> Vec<CrossEvent> { beam_crossings(beams, edges, *b, gate) };
+    discover_intersections_in(
+        beams,
+        edges,
+        parallel,
+        gate,
+        BIG_BEAM,
+        &mut SweepScratch::default(),
+    )
+}
+
+/// [`discover_intersections_gated`] into a reused [`SweepScratch`]: the
+/// event list and the per-beam inversion buffers come from the arena (the
+/// parallel path keeps one [`BeamScratch`] per rayon fold segment), so
+/// repeated rounds allocate nothing once capacity is established. Event
+/// order is preserved exactly (beam order, then within-beam pair order), so
+/// downstream forced-split dedup sees the same first-wins winner. Hand the
+/// returned vector back via [`SweepScratch`] when done.
+pub fn discover_intersections_in(
+    beams: &BeamSet,
+    edges: &[InputEdge],
+    parallel: bool,
+    gate: Option<&Gate>,
+    grain: usize,
+    scratch: &mut SweepScratch,
+) -> Vec<CrossEvent> {
+    let mut out = scratch.take_events();
     if parallel {
-        beam_ids.par_iter().flat_map_iter(&per_beam).collect()
+        // Chunk the beams so each task reuses one scratch across its chunk;
+        // chunks are emitted in beam order, so the event order matches the
+        // sequential path exactly.
+        let n = beams.n_beams();
+        let chunk = beam_chunk_size(n);
+        let found: Vec<CrossEvent> = (0..n.div_ceil(chunk.max(1)))
+            .into_par_iter()
+            .flat_map_iter(|c| {
+                let mut bs = BeamScratch::default();
+                let mut acc = Vec::new();
+                for b in c * chunk..((c + 1) * chunk).min(n) {
+                    beam_crossings_in(beams, edges, b, gate, grain, &mut bs, &mut acc);
+                }
+                acc
+            })
+            .collect();
+        out.extend(found);
     } else {
-        beam_ids.iter().flat_map(per_beam).collect()
+        for b in 0..beams.n_beams() {
+            beam_crossings_in(beams, edges, b, gate, grain, &mut scratch.beam, &mut out);
+        }
     }
+    out
+}
+
+/// Beams per parallel discovery task: a few chunks per thread for load
+/// balance while amortizing one scratch allocation over the whole chunk.
+/// Chunking affects grouping only, never results — events stay in beam
+/// order regardless.
+fn beam_chunk_size(n_beams: usize) -> usize {
+    n_beams
+        .div_ceil((rayon::current_num_threads() * 4).max(1))
+        .max(1)
 }
 
 /// Discover *residual* crossings in a split beam set: inversions evaluated
@@ -89,92 +145,156 @@ pub fn discover_residual_crossings_gated(
     parallel: bool,
     gate: Option<&Gate>,
 ) -> Vec<CrossEvent> {
-    let run = |b: usize| -> Vec<CrossEvent> {
-        if gate.is_some_and(|g| g.is_tripped()) {
-            return Vec::new();
-        }
-        let sub = beams.beam(b);
-        let pairs = beam_inversions(sub, gate);
-        if let Some(g) = gate {
-            if g.intersections_would_exceed(pairs.len() as u64) {
-                return Vec::new();
-            }
-            g.meter().add_intersections(pairs.len() as u64);
-        }
-        let (yb, yt) = (beams.y_bot(b), beams.y_top(b));
-        let mut out = Vec::with_capacity(pairs.len());
-        for (i, j) in pairs {
-            let (sa, sb) = (&sub[i], &sub[j]);
-            let seg_a = polyclip_geom::Segment::new(Point::new(sa.xb, yb), Point::new(sa.xt, yt));
-            let seg_b = polyclip_geom::Segment::new(Point::new(sb.xb, yb), Point::new(sb.xt, yt));
-            if let SegmentIntersection::At(p) = seg_a.intersect(&seg_b) {
-                out.push(CrossEvent {
-                    e1: sa.edge_id,
-                    e2: sb.edge_id,
-                    p,
-                });
-            }
-        }
-        out
-    };
+    discover_residual_crossings_in(
+        beams,
+        parallel,
+        gate,
+        BIG_BEAM,
+        &mut SweepScratch::default(),
+    )
+}
+
+/// [`discover_residual_crossings_gated`] into a reused [`SweepScratch`],
+/// with the same arena discipline and event-order guarantee as
+/// [`discover_intersections_in`].
+pub fn discover_residual_crossings_in(
+    beams: &BeamSet,
+    parallel: bool,
+    gate: Option<&Gate>,
+    grain: usize,
+    scratch: &mut SweepScratch,
+) -> Vec<CrossEvent> {
+    let mut out = scratch.take_events();
     if parallel {
-        (0..beams.n_beams())
+        let n = beams.n_beams();
+        let chunk = beam_chunk_size(n);
+        let found: Vec<CrossEvent> = (0..n.div_ceil(chunk.max(1)))
             .into_par_iter()
-            .flat_map_iter(run)
-            .collect()
+            .flat_map_iter(|c| {
+                let mut bs = BeamScratch::default();
+                let mut acc = Vec::new();
+                for b in c * chunk..((c + 1) * chunk).min(n) {
+                    beam_residuals_in(beams, b, gate, grain, &mut bs, &mut acc);
+                }
+                acc
+            })
+            .collect();
+        out.extend(found);
     } else {
-        (0..beams.n_beams()).flat_map(run).collect()
+        for b in 0..beams.n_beams() {
+            beam_residuals_in(beams, b, gate, grain, &mut scratch.beam, &mut out);
+        }
+    }
+    out
+}
+
+/// Residual crossings of one beam, appended to `out`.
+fn beam_residuals_in(
+    beams: &BeamSet,
+    b: usize,
+    gate: Option<&Gate>,
+    grain: usize,
+    bs: &mut BeamScratch,
+    out: &mut Vec<CrossEvent>,
+) {
+    if gate.is_some_and(|g| g.is_tripped()) {
+        return;
+    }
+    let sub = beams.beam(b);
+    beam_inversions_in(sub, gate, grain, bs);
+    if let Some(g) = gate {
+        if g.intersections_would_exceed(bs.pairs.len() as u64) {
+            return;
+        }
+        g.meter().add_intersections(bs.pairs.len() as u64);
+    }
+    let (yb, yt) = (beams.y_bot(b), beams.y_top(b));
+    out.reserve(bs.pairs.len());
+    for (t, &(i, j)) in bs.pairs.iter().enumerate() {
+        // A dense beam can hold millions of pairs; re-poll inside the O(k)
+        // materialization so cancellation latency stays bounded by the
+        // batch, not the beam.
+        if t & 0xFFF == 0 && t > 0 && gate.is_some_and(|g| g.is_tripped()) {
+            return;
+        }
+        let (sa, sb) = (&sub[i], &sub[j]);
+        let seg_a = polyclip_geom::Segment::new(Point::new(sa.xb, yb), Point::new(sa.xt, yt));
+        let seg_b = polyclip_geom::Segment::new(Point::new(sb.xb, yb), Point::new(sb.xt, yt));
+        if let SegmentIntersection::At(p) = seg_a.intersect(&seg_b) {
+            out.push(CrossEvent {
+                e1: sa.edge_id,
+                e2: sb.edge_id,
+                p,
+            });
+        }
     }
 }
 
-/// Inversion pairs (bottom order vs top order) of one beam's sub-edges.
-fn beam_inversions(sub: &[crate::beams::SubEdge], gate: Option<&Gate>) -> Vec<(usize, usize)> {
+/// Inversion pairs (bottom order vs top order) of one beam's sub-edges,
+/// left in `bs.pairs`.
+fn beam_inversions_in(
+    sub: &[crate::beams::SubEdge],
+    gate: Option<&Gate>,
+    grain: usize,
+    bs: &mut BeamScratch,
+) {
+    bs.pairs.clear();
     let m = sub.len();
     if m < 2 {
-        return Vec::new();
+        return;
     }
-    let mut top_order: Vec<u32> = (0..m as u32).collect();
-    top_order.sort_unstable_by_key(|&i| {
+    bs.top_order.clear();
+    bs.top_order.extend(0..m as u32);
+    bs.top_order.sort_unstable_by_key(|&i| {
         let s = &sub[i as usize];
         (OrdF64::new(s.xt), OrdF64::new(s.xb), s.edge_id)
     });
-    let mut rank = vec![0u32; m];
-    for (t, &p) in top_order.iter().enumerate() {
-        rank[p as usize] = t as u32;
+    bs.rank.clear();
+    bs.rank.resize(m, 0);
+    for (t, &p) in bs.top_order.iter().enumerate() {
+        bs.rank[p as usize] = t as u32;
     }
-    if m >= BIG_BEAM {
-        par_report_inversions_gated(&rank, gate)
+    if m >= grain.max(2) {
+        bs.pairs = par_report_inversions_gated(&bs.rank, gate);
     } else {
-        report_inversions(&rank)
+        report_inversions_in(&bs.rank, &mut bs.inv, &mut bs.pairs);
     }
 }
 
-/// Crossings inside a single beam.
-fn beam_crossings(
+/// Crossings inside a single beam, appended to `out`.
+fn beam_crossings_in(
     beams: &BeamSet,
     edges: &[InputEdge],
     b: usize,
     gate: Option<&Gate>,
-) -> Vec<CrossEvent> {
+    grain: usize,
+    bs: &mut BeamScratch,
+    out: &mut Vec<CrossEvent>,
+) {
     // Per-scanbeam interruption point: a tripped gate degrades every
     // remaining beam to an empty crossing list.
     if gate.is_some_and(|g| g.is_tripped()) {
-        return Vec::new();
+        return;
     }
     let sub = beams.beam(b);
     // `sub` is in bottom order (xb, then xt); inversions against the top
     // order (xt, then xb) are exactly the crossing pairs.
-    let pairs = beam_inversions(sub, gate);
+    beam_inversions_in(sub, gate, grain, bs);
     if let Some(g) = gate {
         // Credit before materializing the events; a beam that would blow
         // `max_intersections` latches the gate instead of allocating O(k).
-        if g.intersections_would_exceed(pairs.len() as u64) {
-            return Vec::new();
+        if g.intersections_would_exceed(bs.pairs.len() as u64) {
+            return;
         }
-        g.meter().add_intersections(pairs.len() as u64);
+        g.meter().add_intersections(bs.pairs.len() as u64);
     }
-    let mut out = Vec::with_capacity(pairs.len());
-    for (i, j) in pairs {
+    out.reserve(bs.pairs.len());
+    for (t, &(i, j)) in bs.pairs.iter().enumerate() {
+        // Same batched re-poll as the residual path: k segment-intersection
+        // tests in one beam must not straddle the cancellation contract.
+        if t & 0xFFF == 0 && t > 0 && gate.is_some_and(|g| g.is_tripped()) {
+            return;
+        }
         let (sa, sb) = (&sub[i], &sub[j]);
         if sa.edge_id == sb.edge_id {
             continue; // an edge occurs once per beam, but stay defensive
@@ -193,7 +313,6 @@ fn beam_crossings(
             SegmentIntersection::Overlap(..) | SegmentIntersection::None => {}
         }
     }
-    out
 }
 
 /// Reference oracle: O(n²) pairwise transversal-crossing finder used by
