@@ -15,49 +15,21 @@
 //! grows.
 
 use polyclip::core::algo2::PartitionBackend;
-use polyclip::datagen::{generate_layer, synthetic_pair, table3_spec};
+use polyclip::datagen::synthetic_pair;
 use polyclip::prelude::*;
 use polyclip_bench::json::Value;
-use polyclip_bench::{critical_path, json, time_best};
+use polyclip_bench::{critical_path, flatten_layer, time_best, write_artifact, BenchArgs};
 
 const SLAB_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Flatten a generated GIS layer into one multi-contour polygon set — the
-/// many-small-contours regime where binning beats p full scans.
-fn flatten_layer(id: usize, scale: f64, seed: u64) -> PolygonSet {
-    let mut out = PolygonSet::new();
-    for feature in generate_layer(&table3_spec(id), scale, seed) {
-        for c in feature.into_contours() {
-            out.push(c);
-        }
-    }
-    out
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_algo2.json");
-    let mut n: usize = 40_000;
-    let mut scale: f64 = 0.02;
-    let mut reps: usize = 3;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--smoke" => {
-                n = 2_000;
-                scale = 0.002;
-                reps = 1;
-            }
-            "--out" => out_path = it.next().expect("--out <path>").clone(),
-            "--n" => {
-                n = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--n <vertices>");
-            }
-            other => panic!("unknown argument `{other}`"),
-        }
-    }
+    let BenchArgs {
+        out_path,
+        n,
+        scale,
+        reps,
+        ..
+    } = BenchArgs::parse("BENCH_algo2.json");
 
     // Two workloads: a two-giant-contours pair (every contour overlaps every
     // slab — worst case for binning, best case for the scratch-buffer reuse)
@@ -184,10 +156,5 @@ fn main() {
         ("runs", Value::Arr(runs)),
     ]);
 
-    let text = doc.render();
-    std::fs::write(&out_path, &text).expect("write bench artifact");
-    let readback = std::fs::read_to_string(&out_path).expect("re-read bench artifact");
-    json::validate(&readback)
-        .unwrap_or_else(|pos| panic!("{out_path} is not valid JSON (parse failed at byte {pos})"));
-    println!("wrote {out_path} ({} bytes, valid JSON)", readback.len());
+    write_artifact(&out_path, &doc);
 }

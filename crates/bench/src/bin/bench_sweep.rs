@@ -19,7 +19,7 @@
 use polyclip::datagen::{synthetic_pair, torture_corpus};
 use polyclip::prelude::*;
 use polyclip_bench::json::Value;
-use polyclip_bench::{json, time_best};
+use polyclip_bench::{time_best, write_artifact, BenchArgs};
 
 const SLAB_COUNTS: [usize; 2] = [1, 8];
 
@@ -117,27 +117,9 @@ fn record(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_sweep.json");
-    let mut n: usize = 40_000;
-    let mut reps: usize = 3;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--smoke" => {
-                n = 2_000;
-                reps = 1;
-            }
-            "--out" => out_path = it.next().expect("--out <path>").clone(),
-            "--n" => {
-                n = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--n <vertices>");
-            }
-            other => panic!("unknown argument `{other}`"),
-        }
-    }
+    let BenchArgs {
+        out_path, n, reps, ..
+    } = BenchArgs::parse("BENCH_sweep.json");
 
     let mut runs: Vec<Value> = Vec::new();
 
@@ -191,10 +173,5 @@ fn main() {
         ("runs", Value::Arr(runs)),
     ]);
 
-    let text = doc.render();
-    std::fs::write(&out_path, &text).expect("write bench artifact");
-    let readback = std::fs::read_to_string(&out_path).expect("re-read bench artifact");
-    json::validate(&readback)
-        .unwrap_or_else(|pos| panic!("{out_path} is not valid JSON (parse failed at byte {pos})"));
-    println!("wrote {out_path} ({} bytes, valid JSON)", readback.len());
+    write_artifact(&out_path, &doc);
 }

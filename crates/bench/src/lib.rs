@@ -374,6 +374,86 @@ pub fn layer(id: usize, scale: f64, seed: u64) -> Layer {
     Layer::new(polyclip::datagen::generate_layer(&spec, scale, seed))
 }
 
+/// Flatten a generated Table III layer into one multi-contour polygon set —
+/// the many-small-contours regime where slab binning beats p full scans.
+/// Shared by `bench_algo2` and `bench_prepared` (`gis_multi` workload).
+pub fn flatten_layer(id: usize, scale: f64, seed: u64) -> PolygonSet {
+    let mut out = PolygonSet::new();
+    for feature in
+        polyclip::datagen::generate_layer(&polyclip::datagen::table3_spec(id), scale, seed)
+    {
+        for c in feature.into_contours() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The common CLI surface of the bench bins: `--smoke` (CI-sized inputs,
+/// single rep), `--out <path>`, `--n <vertices>`. Full-run defaults match
+/// the checked-in artifacts: n = 40 000 vertices, Table III scale 0.02,
+/// best-of-3 timing.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Artifact path (`--out`), pre-set to the bin's default.
+    pub out_path: String,
+    /// Synthetic-pair vertex count (`--n`).
+    pub n: usize,
+    /// Table III layer scale.
+    pub scale: f64,
+    /// Best-of-N repetitions per configuration.
+    pub reps: usize,
+    /// True when `--smoke` was passed.
+    pub smoke: bool,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`, panicking on unknown flags (a bench bin has
+    /// no business limping past a typo).
+    pub fn parse(default_out: &str) -> Self {
+        let mut parsed = BenchArgs {
+            out_path: default_out.to_string(),
+            n: 40_000,
+            scale: 0.02,
+            reps: 3,
+            smoke: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--smoke" => {
+                    parsed.n = 2_000;
+                    parsed.scale = 0.002;
+                    parsed.reps = 1;
+                    parsed.smoke = true;
+                }
+                "--out" => parsed.out_path = it.next().expect("--out <path>").clone(),
+                "--n" => {
+                    parsed.n = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--n <vertices>");
+                }
+                other => panic!("unknown argument `{other}`"),
+            }
+        }
+        parsed
+    }
+}
+
+/// The shared artifact tail of every bench bin: render the document, write
+/// it, re-read it, and validate the readback so a truncated or garbled
+/// artifact fails loudly in CI instead of poisoning downstream analysis.
+pub fn write_artifact(out_path: &str, doc: &json::Value) {
+    let text = doc.render();
+    fs::write(out_path, &text).expect("write bench artifact");
+    let readback = fs::read_to_string(out_path).expect("re-read bench artifact");
+    json::validate(&readback)
+        .unwrap_or_else(|pos| panic!("{out_path} is not valid JSON (parse failed at byte {pos})"));
+    println!("wrote {out_path} ({} bytes, valid JSON)", readback.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,14 @@ pub struct PhaseTimes {
     /// processed, output fragments gathered, peak scratch bytes) — the
     /// counters [`crate::ExecBudget`] limits are enforced against.
     pub work: MeterSnapshot,
+    /// One-time build cost of the [`crate::prepared::PreparedLayer`] that
+    /// served this call, for amortization accounting (how many clips pay
+    /// off the compile). Zero on cold runs.
+    pub prepare_build: Duration,
+    /// True when this run reused a prepared layer's frozen subject-side
+    /// state (sanitized contours, event schedule, contour extents) instead
+    /// of recomputing it.
+    pub prepared_reused: bool,
 }
 
 impl PhaseTimes {
@@ -191,7 +199,8 @@ pub enum PartitionBackend {
 
 /// One slab worker's contribution: its partial output plus everything the
 /// aggregate needs (stats, degradations, phase timings).
-struct SlabPartial {
+#[derive(Default)]
+pub(crate) struct SlabPartial {
     output: PolygonSet,
     stats: ClipStats,
     degradations: Vec<Degradation>,
@@ -640,59 +649,28 @@ pub fn try_clip_pair_slabs_backend(
     );
     budget::check(&gate)?;
 
+    let drive = SlabDrive {
+        subject,
+        clip_p,
+        op,
+        opts,
+        seq: &seq,
+        gate: &gate,
+        recovery_gate: &recovery_gate,
+        pre_repairs,
+        pre_degradations,
+        t_start,
+        t_sanitize,
+        prepare_build: Duration::ZERO,
+        prepared_reused: false,
+    };
+
     if ys.len() < 2 || n_slabs <= 1 {
-        // Degenerate instance or a single slab: one unbanded worker, still
-        // under the recovery ladder (slab index 0). No watchdog — the slab
-        // IS the run, so its deadline is the global one.
-        let gates = SlabGates {
-            attempt: &gate,
-            global: &gate,
-            recovery: &recovery_gate,
-        };
-        let mut scratch = SweepScratch::new();
-        let partial = run_slab(0, None, subject, clip_p, op, &seq, &gates, &mut scratch)?;
-        let t_retry = partial.t_retry;
-        let mut stats = partial.stats;
-        stats.input_repairs += pre_repairs;
-        stats.completed_slabs = 1;
-        stats.total_slabs = 1;
-        let mut degradations = pre_degradations;
-        degradations.extend(partial.degradations);
-        let mut outcome = ClipOutcome {
-            result: partial.output,
-            stats,
-            degradations,
-        };
-        if opts.validate_output {
-            crate::engine::repair_output(subject, clip_p, op, opts, &mut outcome);
-        }
-        let work = gate.meter().snapshot();
-        let times = PhaseTimes {
-            sanitize: t_sanitize,
-            index: Duration::ZERO,
-            per_slab_partition: vec![Duration::ZERO],
-            per_slab_clip: vec![partial.t_clip],
-            merge: Duration::ZERO,
-            retry_total: t_retry,
-            total: t_start.elapsed(),
-            refine_rounds_incremental: outcome.stats.refine_rounds_incremental,
-            beams_rebuilt: outcome.stats.beams_rebuilt,
-            arena_hwm_bytes: work.peak_scratch_bytes.max(scratch.high_water_bytes()),
-            arena_reused_bytes: work.scratch_reused_bytes,
-            work,
-        };
-        return Ok(Algo2Result {
-            output: outcome.result,
-            times,
-            slabs: 1,
-            stats: outcome.stats,
-            degradations: outcome.degradations,
-        });
+        return drive_single_slab(drive, &mut SweepScratch::new());
     }
 
     // Equal-event-count slab boundaries over [ymin, ymax].
     let boundaries = slab_boundaries(&ys, n_slabs);
-    let slabs = boundaries.len() - 1;
 
     // The shared binning pass (SlabIndex backend only): one parallel sweep
     // over both inputs replaces p full scans.
@@ -707,6 +685,130 @@ pub fn try_clip_pair_slabs_backend(
         Duration::ZERO
     };
 
+    drive_slabs(
+        drive,
+        &boundaries,
+        index.as_ref(),
+        None,
+        t_index,
+        merge_strategy,
+        SweepScratch::new,
+        drop,
+    )
+}
+
+/// Everything the slab fan-out drivers need beyond the partition source:
+/// the inputs as the workers will see them (already sanitized), armed
+/// gates, per-worker options, pre-aggregated sanitize results, and the
+/// provenance fields that end up in [`PhaseTimes`]. Shared by the cold
+/// path ([`try_clip_pair_slabs_backend`]) and the prepared path
+/// ([`crate::prepared::try_clip_prepared_backend`]).
+pub(crate) struct SlabDrive<'a> {
+    pub subject: &'a PolygonSet,
+    pub clip_p: &'a PolygonSet,
+    pub op: BoolOp,
+    /// The caller's options (consulted for `validate_output`,
+    /// `budget.allow_partial`).
+    pub opts: &'a ClipOptions,
+    /// Worker options: sequential, sanitize/validate off, cancel-only
+    /// budget.
+    pub seq: &'a ClipOptions,
+    /// The armed global gate.
+    pub gate: &'a Gate,
+    /// The armed cancel-only recovery gate.
+    pub recovery_gate: &'a Gate,
+    pub pre_repairs: usize,
+    pub pre_degradations: Vec<Degradation>,
+    pub t_start: Instant,
+    pub t_sanitize: Duration,
+    pub prepare_build: Duration,
+    pub prepared_reused: bool,
+}
+
+/// Degenerate instance or a single slab: one unbanded worker, still under
+/// the recovery ladder (slab index 0). No watchdog — the slab IS the run,
+/// so its deadline is the global one.
+pub(crate) fn drive_single_slab(
+    d: SlabDrive<'_>,
+    scratch: &mut SweepScratch,
+) -> Result<Algo2Result, ClipError> {
+    let gates = SlabGates {
+        attempt: d.gate,
+        global: d.gate,
+        recovery: d.recovery_gate,
+    };
+    let partial = run_slab(0, None, d.subject, d.clip_p, d.op, d.seq, &gates, scratch)?;
+    let t_retry = partial.t_retry;
+    let mut stats = partial.stats;
+    stats.input_repairs += d.pre_repairs;
+    stats.prepared_reused = d.prepared_reused;
+    stats.completed_slabs = 1;
+    stats.total_slabs = 1;
+    let mut degradations = d.pre_degradations;
+    degradations.extend(partial.degradations);
+    let mut outcome = ClipOutcome {
+        result: partial.output,
+        stats,
+        degradations,
+    };
+    if d.opts.validate_output {
+        crate::engine::repair_output(d.subject, d.clip_p, d.op, d.opts, &mut outcome);
+    }
+    let work = d.gate.meter().snapshot();
+    let times = PhaseTimes {
+        sanitize: d.t_sanitize,
+        index: Duration::ZERO,
+        per_slab_partition: vec![Duration::ZERO],
+        per_slab_clip: vec![partial.t_clip],
+        merge: Duration::ZERO,
+        retry_total: t_retry,
+        total: d.t_start.elapsed(),
+        refine_rounds_incremental: outcome.stats.refine_rounds_incremental,
+        beams_rebuilt: outcome.stats.beams_rebuilt,
+        arena_hwm_bytes: work.peak_scratch_bytes.max(scratch.high_water_bytes()),
+        arena_reused_bytes: work.scratch_reused_bytes,
+        work,
+        prepare_build: d.prepare_build,
+        prepared_reused: d.prepared_reused,
+    };
+    Ok(Algo2Result {
+        output: outcome.result,
+        times,
+        slabs: 1,
+        stats: outcome.stats,
+        degradations: outcome.degradations,
+    })
+}
+
+/// Steps 4–8: the slab fan-out, partial collection, merge and output
+/// ladder, shared by the cold and prepared paths.
+///
+/// `index` selects the partition backend (`Some` = bucketed, `None` = full
+/// scan). `skip[i]` marks slabs whose output is provably empty — the
+/// prepared path's query-side pruning (an intersection in a slab without
+/// query contours, or an empty bucket) — which are recorded as completed
+/// with zero-duration partials instead of running the engine. `acquire` /
+/// `release` supply each worker chunk's scratch arena: the cold path makes
+/// a fresh arena per chunk, the prepared path checks arenas out of the
+/// layer's cross-request pool.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_slabs<A, R>(
+    d: SlabDrive<'_>,
+    boundaries: &[f64],
+    index: Option<&SlabIndex<'_>>,
+    skip: Option<&[bool]>,
+    t_index: Duration,
+    merge_strategy: MergeStrategy,
+    acquire: A,
+    release: R,
+) -> Result<Algo2Result, ClipError>
+where
+    A: Fn() -> SweepScratch + Sync,
+    R: Fn(SweepScratch) + Sync,
+{
+    let slabs = boundaries.len() - 1;
+    let (gate, recovery_gate) = (d.gate, d.recovery_gate);
+
     // The watchdog: derive each slab's deadline from the global allowance
     // and its estimated load share. A slab gets twice its fair share of the
     // remaining time (floored at the uniform 1/slabs share so tiny buckets
@@ -718,8 +820,8 @@ pub fn try_clip_pair_slabs_backend(
         .map(|ix| (0..slabs).map(|i| ix.slab(i).len()).collect());
     let now = Instant::now();
     let slab_deadline = |i: usize| -> Option<Instant> {
-        let d = gate.deadline()?;
-        let remaining = d.saturating_duration_since(now);
+        let deadline = gate.deadline()?;
+        let remaining = deadline.saturating_duration_since(now);
         let uniform = 1.0 / slabs as f64;
         let share = match &entry_counts {
             Some(counts) => {
@@ -745,31 +847,38 @@ pub fn try_clip_pair_slabs_backend(
     let partials: Vec<Result<SlabPartial, ClipError>> = (0..slabs.div_ceil(chunk))
         .into_par_iter()
         .flat_map_iter(|ci| {
-            let mut scratch = SweepScratch::new();
-            (ci * chunk..((ci + 1) * chunk).min(slabs))
+            let mut scratch = acquire();
+            let out = (ci * chunk..((ci + 1) * chunk).min(slabs))
                 .map(|i| {
+                    if skip.is_some_and(|s| s[i]) {
+                        return Ok(SlabPartial::default());
+                    }
                     let band = (boundaries[i], boundaries[i + 1]);
                     let watchdog = gate.child_with_deadline(slab_deadline(i));
                     let gates = SlabGates {
                         attempt: &watchdog,
-                        global: &gate,
-                        recovery: &recovery_gate,
+                        global: gate,
+                        recovery: recovery_gate,
                     };
                     match &index {
-                        Some(ix) => run_slab_indexed(i, band, ix, op, &seq, &gates, &mut scratch),
+                        Some(ix) => {
+                            run_slab_indexed(i, band, ix, d.op, d.seq, &gates, &mut scratch)
+                        }
                         None => run_slab(
                             i,
                             Some(band),
-                            subject,
-                            clip_p,
-                            op,
-                            &seq,
+                            d.subject,
+                            d.clip_p,
+                            d.op,
+                            d.seq,
                             &gates,
                             &mut scratch,
                         ),
                     }
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            release(scratch);
+            out
         })
         .collect();
     let mut parts: Vec<PolygonSet> = Vec::with_capacity(slabs);
@@ -777,10 +886,11 @@ pub fn try_clip_pair_slabs_backend(
     let mut per_slab_clip: Vec<Duration> = Vec::with_capacity(slabs);
     let mut retry_total = Duration::ZERO;
     let mut stats = ClipStats {
-        input_repairs: pre_repairs,
+        input_repairs: d.pre_repairs,
+        prepared_reused: d.prepared_reused,
         ..ClipStats::default()
     };
-    let mut degradations: Vec<Degradation> = pre_degradations;
+    let mut degradations: Vec<Degradation> = d.pre_degradations;
     // Partial-result collection: with `allow_partial`, slabs lost to a
     // deadline/work-budget trip are skipped and the survivors merged;
     // cancellation and geometry errors always end the run, as does a blown
@@ -798,7 +908,7 @@ pub fn try_clip_pair_slabs_backend(
                 degradations.extend(p.degradations);
             }
             Err(e) => {
-                if !opts.budget.allow_partial || !budget::is_budget_trip(&e) {
+                if !d.opts.budget.allow_partial || !budget::is_budget_trip(&e) {
                     return Err(e);
                 }
                 lost_slabs += 1;
@@ -826,19 +936,19 @@ pub fn try_clip_pair_slabs_backend(
     let t_merge = Instant::now();
     let interior = &boundaries[1..boundaries.len() - 1];
     let output = match merge_strategy {
-        MergeStrategy::Sequential => merge_slab_outputs(parts.into_iter(), interior, &seq),
-        MergeStrategy::Tree => merge_slab_outputs_tree(parts, interior, &seq),
+        MergeStrategy::Sequential => merge_slab_outputs(parts.into_iter(), interior, d.seq),
+        MergeStrategy::Tree => merge_slab_outputs_tree(parts, interior, d.seq),
     };
     let merge = t_merge.elapsed();
 
     // Output ladder on the merged result (once, not per slab).
-    let (output, stats, degradations) = if opts.validate_output {
+    let (output, stats, degradations) = if d.opts.validate_output {
         let mut outcome = ClipOutcome {
             result: output,
             stats,
             degradations,
         };
-        crate::engine::repair_output(subject, clip_p, op, opts, &mut outcome);
+        crate::engine::repair_output(d.subject, d.clip_p, d.op, d.opts, &mut outcome);
         (outcome.result, outcome.stats, outcome.degradations)
     } else {
         (output, stats, degradations)
@@ -848,18 +958,20 @@ pub fn try_clip_pair_slabs_backend(
     Ok(Algo2Result {
         output,
         times: PhaseTimes {
-            sanitize: t_sanitize,
+            sanitize: d.t_sanitize,
             index: t_index,
             per_slab_partition,
             per_slab_clip,
             merge,
             retry_total,
-            total: t_start.elapsed(),
+            total: d.t_start.elapsed(),
             refine_rounds_incremental: stats.refine_rounds_incremental,
             beams_rebuilt: stats.beams_rebuilt,
             arena_hwm_bytes: work.peak_scratch_bytes,
             arena_reused_bytes: work.scratch_reused_bytes,
             work,
+            prepare_build: d.prepare_build,
+            prepared_reused: d.prepared_reused,
         },
         slabs,
         stats,

@@ -835,6 +835,7 @@ fn clip_prepared(
         output_repairs: 0,
         completed_slabs: 0,
         total_slabs: 0,
+        prepared_reused: false,
     };
     // Hand the scanbeam buffers back so the next clip on this worker's
     // arena reuses them, and publish the arena counters on the meter.

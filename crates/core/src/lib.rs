@@ -26,6 +26,10 @@
 //! * [`sanitize`] — the degeneracy-hardened front door: counted repair of
 //!   dirty input (duplicate/collinear/spike vertices, zero-area contours)
 //!   before it reaches the sweep;
+//! * [`prepared`] — compile-once, clip-many: an immutable
+//!   [`PreparedLayer`](prepared::PreparedLayer) freezing the subject-side
+//!   work of Algorithm 2 for cross-request reuse, clipped concurrently with
+//!   only query-side cost;
 //! * [`budget`] — bounded execution: deadlines, cooperative cancellation,
 //!   and work/memory budgets enforced at coarse pipeline checkpoints;
 //! * [`stats`] — the n / k / k' instrumentation demonstrating output
@@ -52,6 +56,7 @@ pub mod horizontal;
 pub mod ops;
 pub mod overlay;
 pub mod pram;
+pub mod prepared;
 pub mod resilience;
 pub mod sanitize;
 pub mod slabindex;
@@ -77,6 +82,7 @@ pub use overlay::{
     SlabAssignment,
 };
 pub use pram::{pram_cost, PhaseCost, PramCostModel};
+pub use prepared::{clip_prepared, try_clip_prepared, try_clip_prepared_backend, PreparedLayer};
 pub use resilience::{ClipError, ClipOutcome, Degradation, FaultPlan, InputRole, RepairRung};
 pub use sanitize::{sanitize_set, SanitizeOptions, SanitizeReport};
 pub use slabindex::{SlabEntry, SlabIndex};

@@ -179,6 +179,7 @@ pub fn pram_cost(
         output_repairs: 0,
         completed_slabs: 0,
         total_slabs: 0,
+        prepared_reused: false,
     };
     PramCostModel { phases, stats }
 }

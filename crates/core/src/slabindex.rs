@@ -35,7 +35,7 @@ pub struct SlabEntry {
 
 /// Contiguous slab span of one contour, with its cached y-extent.
 #[derive(Clone, Copy, Debug, Default)]
-struct Span {
+pub(crate) struct Span {
     lo: u32,
     hi: u32, // inclusive; lo > hi encodes "overlaps nothing"
     ymin: f64,
@@ -43,12 +43,47 @@ struct Span {
 }
 
 impl Span {
-    const NONE: Span = Span {
+    pub(crate) const NONE: Span = Span {
         lo: 1,
         hi: 0,
         ymin: 0.0,
         ymax: 0.0,
     };
+
+    /// The slab span of a contour with vertical extent `[ymin, ymax]`
+    /// against strictly increasing slab `boundaries`. Slab s overlaps iff
+    /// `boundaries[s] <= ymax && boundaries[s+1] >= ymin` (the closed-band
+    /// semantics of `band_clip` / [`polyclip_geom::BBox::y_overlaps`]);
+    /// both conditions are half-open ranges of s, so the overlapping slabs
+    /// form one contiguous run found by two binary searches.
+    pub(crate) fn of_extent(ymin: f64, ymax: f64, boundaries: &[f64]) -> Span {
+        let slabs = boundaries.len() - 1;
+        if ymin > ymax {
+            return Span::NONE;
+        }
+        let hi_count = boundaries[..slabs].partition_point(|&b| b <= ymax);
+        let lo = boundaries[1..=slabs].partition_point(|&b| b < ymin);
+        if hi_count == 0 || lo >= slabs || lo > hi_count - 1 {
+            return Span::NONE;
+        }
+        Span {
+            lo: lo as u32,
+            hi: (hi_count - 1) as u32,
+            ymin,
+            ymax,
+        }
+    }
+
+    /// The inclusive slab range `(lo, hi)` this span covers, or `None` if
+    /// the contour overlaps no slab.
+    #[inline]
+    pub(crate) fn range(&self) -> Option<(usize, usize)> {
+        if self.lo > self.hi {
+            None
+        } else {
+            Some((self.lo as usize, self.hi as usize))
+        }
+    }
 
     #[inline]
     fn len(&self) -> usize {
@@ -85,17 +120,10 @@ impl<'a> SlabIndex<'a> {
     /// ([`polyclip_geom::BBox::y_overlaps`]): a contour touching a boundary
     /// lands in both adjacent slabs, exactly like the full-scan path.
     pub fn build(subject: &'a PolygonSet, clip: &'a PolygonSet, boundaries: &[f64]) -> Self {
-        let slabs = boundaries.len().saturating_sub(1);
         let n_subject = subject.contours().len();
         let n = n_subject + clip.contours().len();
-        if slabs == 0 || n == 0 {
-            return SlabIndex {
-                subject,
-                clip,
-                entries: Vec::new(),
-                bucket_start: vec![0; slabs + 1],
-                n_subject,
-            };
+        if boundaries.len() < 2 || n == 0 {
+            return Self::from_spans(subject, clip, Vec::new(), boundaries);
         }
 
         let contour_at = |i: usize| -> &Contour {
@@ -107,10 +135,9 @@ impl<'a> SlabIndex<'a> {
         };
 
         // Pass 1 (parallel): per-contour slab span by binary search of the
-        // contour's y-extent against the sorted boundaries. Slab s overlaps
-        // iff boundaries[s] <= ymax && boundaries[s+1] >= ymin; with
-        // strictly increasing boundaries both conditions are half-open
-        // ranges of s, so the overlapping slabs are one contiguous run.
+        // contour's y-extent against the sorted boundaries
+        // ([`Span::of_extent`]). The prepared-layer path skips this pass by
+        // feeding [`Self::from_spans`] cached extents instead.
         let spans: Vec<Span> = (0..n)
             .into_par_iter()
             .map(|i| {
@@ -118,19 +145,35 @@ impl<'a> SlabIndex<'a> {
                 if bb.is_empty() {
                     return Span::NONE;
                 }
-                let hi_count = boundaries[..slabs].partition_point(|&b| b <= bb.ymax);
-                let lo = boundaries[1..=slabs].partition_point(|&b| b < bb.ymin);
-                if hi_count == 0 || lo >= slabs || lo > hi_count - 1 {
-                    return Span::NONE;
-                }
-                Span {
-                    lo: lo as u32,
-                    hi: (hi_count - 1) as u32,
-                    ymin: bb.ymin,
-                    ymax: bb.ymax,
-                }
+                Span::of_extent(bb.ymin, bb.ymax, boundaries)
             })
             .collect();
+        Self::from_spans(subject, clip, spans, boundaries)
+    }
+
+    /// Assemble the CSR bucketing from precomputed per-contour slab spans
+    /// (subject contours first, then clip contours, in input order) — the
+    /// shared tail of [`Self::build`] and the prepared-layer clip path,
+    /// which derives subject spans from extents frozen at build time.
+    pub(crate) fn from_spans(
+        subject: &'a PolygonSet,
+        clip: &'a PolygonSet,
+        spans: Vec<Span>,
+        boundaries: &[f64],
+    ) -> Self {
+        let slabs = boundaries.len().saturating_sub(1);
+        let n_subject = subject.contours().len();
+        let n = n_subject + clip.contours().len();
+        if slabs == 0 || n == 0 || spans.is_empty() {
+            return SlabIndex {
+                subject,
+                clip,
+                entries: Vec::new(),
+                bucket_start: vec![0; slabs + 1],
+                n_subject,
+            };
+        }
+        debug_assert_eq!(spans.len(), n);
 
         // Pass 2 (parallel): emit one entry per (slab, contour) incidence
         // into an exactly-sized array via count → prefix-sum → fill, then

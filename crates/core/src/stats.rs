@@ -56,6 +56,10 @@ pub struct ClipStats {
     /// Slabs the run was partitioned into (0 for single-slab engine runs;
     /// the slab driver sets both fields after merging).
     pub total_slabs: usize,
+    /// This run reused a [`PreparedLayer`](crate::prepared::PreparedLayer)'s
+    /// frozen subject-side state instead of recomputing it (mirrors
+    /// [`PhaseTimes::prepared_reused`](crate::algo2::PhaseTimes)).
+    pub prepared_reused: bool,
 }
 
 impl ClipStats {
@@ -91,6 +95,7 @@ impl ClipStats {
         self.output_repairs += other.output_repairs;
         self.completed_slabs += other.completed_slabs;
         self.total_slabs += other.total_slabs;
+        self.prepared_reused |= other.prepared_reused;
     }
 }
 

@@ -132,6 +132,9 @@ pub mod prelude {
         overlay_intersection, overlay_union, Algo2Result, BoolOp, ClipOptions, ClipStats, Layer,
         OverlayResult, PhaseTimes, SlabAssignment,
     };
+    pub use polyclip_core::{
+        clip_prepared, try_clip_prepared, try_clip_prepared_backend, PreparedLayer,
+    };
     pub use polyclip_core::{intersection_all, subtract_all, union_all, xor_all};
     pub use polyclip_core::{sanitize_set, SanitizeOptions, SanitizeReport};
     pub use polyclip_core::{
@@ -158,5 +161,15 @@ mod tests {
         assert!((eo_area(&i) - 1.0).abs() < 1e-9);
         let r = clip_pair_slabs(&a, &b, BoolOp::Union, 2, &ClipOptions::sequential());
         assert!((eo_area(&r.output) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_layer_facade_build_once_clip_many() {
+        let base = PolygonSet::from_xy(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+        let layer = PreparedLayer::build(&base, &ClipOptions::default()).unwrap();
+        let q = PolygonSet::from_xy(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]);
+        let r = clip_prepared(&layer, &q, BoolOp::Intersection, 2, &ClipOptions::default());
+        assert!((eo_area(&r.output) - 4.0).abs() < 1e-9);
+        assert!(r.times.prepared_reused);
     }
 }

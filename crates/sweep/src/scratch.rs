@@ -117,9 +117,20 @@ impl SweepScratch {
             + vec_bytes(&self.split_start)
     }
 
-    /// Largest total capacity observed at a recycle point (bytes).
+    /// Largest total capacity observed at a recycle point (bytes) since the
+    /// arena was created or [`reset_high_water`](Self::reset_high_water) was
+    /// last called.
     pub fn high_water_bytes(&self) -> u64 {
         self.hwm_bytes
+    }
+
+    /// Re-baseline the high-water mark to the capacity currently parked in
+    /// the arena. Callers that keep one arena alive across many independent
+    /// clips (the prepared-layer scratch pool) call this when checking an
+    /// arena out, so [`high_water_bytes`](Self::high_water_bytes) reports
+    /// the peak of *this* call instead of the process-lifetime maximum.
+    pub fn reset_high_water(&mut self) {
+        self.hwm_bytes = self.capacity_bytes();
     }
 
     /// Cumulative bytes of capacity taken from the arena non-empty (i.e.
@@ -204,5 +215,26 @@ impl SweepScratch {
     pub fn give_events(&mut self, v: Vec<CrossEvent>) {
         self.events = v;
         self.note_hwm();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_high_water_rebaselines_to_current_capacity() {
+        let mut s = SweepScratch::new();
+        s.give_ys(Vec::with_capacity(1024));
+        let hwm = s.high_water_bytes();
+        assert!(hwm >= 1024 * std::mem::size_of::<f64>() as u64);
+        // Lending the big buffer out leaves the mark untouched...
+        let lent = s.take_ys();
+        assert_eq!(s.high_water_bytes(), hwm);
+        // ...and resetting re-baselines to what is actually parked now.
+        s.reset_high_water();
+        assert_eq!(s.high_water_bytes(), s.capacity_bytes());
+        assert!(s.high_water_bytes() < hwm);
+        drop(lent);
     }
 }
