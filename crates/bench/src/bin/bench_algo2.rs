@@ -18,11 +18,14 @@ use polyclip::core::algo2::PartitionBackend;
 use polyclip::datagen::synthetic_pair;
 use polyclip::prelude::*;
 use polyclip_bench::json::Value;
-use polyclip_bench::{critical_path, flatten_layer, time_best, write_artifact, BenchArgs};
+use polyclip_bench::{
+    critical_path, exit_after_artifact, flatten_layer, time_best, write_artifact, BenchArgs,
+};
+use std::process::ExitCode;
 
 const SLAB_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn main() {
+fn main() -> ExitCode {
     let BenchArgs {
         out_path,
         n,
@@ -156,5 +159,5 @@ fn main() {
         ("runs", Value::Arr(runs)),
     ]);
 
-    write_artifact(&out_path, &doc);
+    exit_after_artifact(write_artifact(&out_path, &doc))
 }

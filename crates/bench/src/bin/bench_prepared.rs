@@ -22,7 +22,8 @@
 use polyclip::datagen::synthetic_pair;
 use polyclip::prelude::*;
 use polyclip_bench::json::Value;
-use polyclip_bench::{flatten_layer, time_best, write_artifact, BenchArgs};
+use polyclip_bench::{exit_after_artifact, flatten_layer, time_best, write_artifact, BenchArgs};
+use std::process::ExitCode;
 
 const SLAB_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -53,7 +54,7 @@ fn query_at(subject: &PolygonSet, fy: f64, frac: f64) -> PolygonSet {
     ])
 }
 
-fn main() {
+fn main() -> ExitCode {
     let BenchArgs {
         out_path,
         n,
@@ -184,5 +185,5 @@ fn main() {
         }),
         ("runs", Value::Arr(runs)),
     ]);
-    write_artifact(&out_path, &doc);
+    exit_after_artifact(write_artifact(&out_path, &doc))
 }

@@ -19,7 +19,8 @@
 use polyclip::datagen::{synthetic_pair, torture_corpus};
 use polyclip::prelude::*;
 use polyclip_bench::json::Value;
-use polyclip_bench::{time_best, write_artifact, BenchArgs};
+use polyclip_bench::{exit_after_artifact, time_best, write_artifact, BenchArgs};
+use std::process::ExitCode;
 
 const SLAB_COUNTS: [usize; 2] = [1, 8];
 
@@ -116,7 +117,7 @@ fn record(
     ]));
 }
 
-fn main() {
+fn main() -> ExitCode {
     let BenchArgs {
         out_path, n, reps, ..
     } = BenchArgs::parse("BENCH_sweep.json");
@@ -173,5 +174,5 @@ fn main() {
         ("runs", Value::Arr(runs)),
     ]);
 
-    write_artifact(&out_path, &doc);
+    exit_after_artifact(write_artifact(&out_path, &doc))
 }

@@ -145,11 +145,13 @@ pub fn ms(d: Duration) -> String {
 /// The slab counts swept by the scaling figures.
 pub const SLAB_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
 
-/// Hand-rolled JSON emission and validation for the machine-readable bench
-/// artifacts (`BENCH_algo2.json`). The workspace deliberately carries no
-/// serde; the subset here (objects, arrays, strings, finite numbers, bools)
-/// covers everything the bench bins emit, and [`json::validate`] gives CI a
-/// cheap well-formedness check on the written file.
+/// Hand-rolled JSON emission, validation, and parsing for the
+/// machine-readable bench artifacts (`BENCH_algo2.json`) and the
+/// `polyclip-serve` line protocol. The workspace deliberately carries no
+/// serde; the subset here (objects, arrays, strings, finite numbers, bools,
+/// null) covers everything those emit, [`json::validate`] gives CI a cheap
+/// well-formedness check on written files, and [`json::Value::parse`] is
+/// the shared reader for the serve protocol and loadgen's artifact checks.
 pub mod json {
     use std::fmt::Write as _;
 
@@ -172,6 +174,110 @@ pub mod json {
         /// Convenience object constructor from `(key, value)` pairs.
         pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
             Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// Parse one JSON document (the same subset [`validate`] accepts;
+        /// `null` parses as a non-finite [`Value::Num`], mirroring how
+        /// rendering emits non-finite numbers as `null`). Returns the byte
+        /// position of the failure on malformed input.
+        pub fn parse(text: &str) -> Result<Value, usize> {
+            let b = text.as_bytes();
+            let mut i = 0usize;
+            skip_ws(b, &mut i);
+            let v = parse_into(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i == b.len() {
+                Ok(v)
+            } else {
+                Err(i)
+            }
+        }
+
+        /// Object field lookup (first match); `None` on non-objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The finite number carried by a [`Value::Num`].
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) if x.is_finite() => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The string carried by a [`Value::Str`].
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean carried by a [`Value::Bool`].
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The elements of a [`Value::Arr`].
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(xs) => Some(xs),
+                _ => None,
+            }
+        }
+
+        /// Serialize onto a single line with no whitespace — the framing
+        /// the line-delimited wire protocol in `polyclip-serve` needs
+        /// (one document per `\n`-terminated line).
+        pub fn render_compact(&self) -> String {
+            let mut s = String::new();
+            self.write_compact(&mut s);
+            s
+        }
+
+        fn write_compact(&self, out: &mut String) {
+            match self {
+                Value::Num(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Num(_) => out.push_str("null"),
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                Value::Str(s) => {
+                    out.push('"');
+                    out.push_str(&escape(s));
+                    out.push('"');
+                }
+                Value::Arr(xs) => {
+                    out.push('[');
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        x.write_compact(out);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(kv) => {
+                    out.push('{');
+                    for (i, (k, v)) in kv.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{}\":", escape(k));
+                        v.write_compact(out);
+                    }
+                    out.push('}');
+                }
+            }
         }
 
         /// Serialize with two-space indentation.
@@ -245,18 +351,10 @@ pub mod json {
     /// Minimal well-formedness check: balanced structure, legal literals,
     /// exactly one top-level value. Returns the parse-failure position on
     /// error. Not a full RFC 8259 validator — just enough for CI to reject
-    /// a truncated or garbled artifact.
+    /// a truncated or garbled artifact. Shares the recursive-descent core
+    /// with [`Value::parse`], so the two can never drift.
     pub fn validate(text: &str) -> Result<(), usize> {
-        let b = text.as_bytes();
-        let mut i = 0usize;
-        skip_ws(b, &mut i);
-        parse_value(b, &mut i)?;
-        skip_ws(b, &mut i);
-        if i == b.len() {
-            Ok(())
-        } else {
-            Err(i)
-        }
+        Value::parse(text).map(|_| ())
     }
 
     fn skip_ws(b: &[u8], i: &mut usize) {
@@ -265,31 +363,33 @@ pub mod json {
         }
     }
 
-    fn parse_value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    fn parse_into(b: &[u8], i: &mut usize) -> Result<Value, usize> {
         match b.get(*i) {
             Some(b'{') => {
                 *i += 1;
                 skip_ws(b, i);
+                let mut kv: Vec<(String, Value)> = Vec::new();
                 if b.get(*i) == Some(&b'}') {
                     *i += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(kv));
                 }
                 loop {
                     skip_ws(b, i);
-                    parse_string(b, i)?;
+                    let key = parse_string(b, i)?;
                     skip_ws(b, i);
                     if b.get(*i) != Some(&b':') {
                         return Err(*i);
                     }
                     *i += 1;
                     skip_ws(b, i);
-                    parse_value(b, i)?;
+                    let v = parse_into(b, i)?;
+                    kv.push((key, v));
                     skip_ws(b, i);
                     match b.get(*i) {
                         Some(b',') => *i += 1,
                         Some(b'}') => {
                             *i += 1;
-                            return Ok(());
+                            return Ok(Value::Obj(kv));
                         }
                         _ => return Err(*i),
                     }
@@ -298,28 +398,29 @@ pub mod json {
             Some(b'[') => {
                 *i += 1;
                 skip_ws(b, i);
+                let mut xs: Vec<Value> = Vec::new();
                 if b.get(*i) == Some(&b']') {
                     *i += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(xs));
                 }
                 loop {
                     skip_ws(b, i);
-                    parse_value(b, i)?;
+                    xs.push(parse_into(b, i)?);
                     skip_ws(b, i);
                     match b.get(*i) {
                         Some(b',') => *i += 1,
                         Some(b']') => {
                             *i += 1;
-                            return Ok(());
+                            return Ok(Value::Arr(xs));
                         }
                         _ => return Err(*i),
                     }
                 }
             }
-            Some(b'"') => parse_string(b, i),
-            Some(b't') => parse_lit(b, i, b"true"),
-            Some(b'f') => parse_lit(b, i, b"false"),
-            Some(b'n') => parse_lit(b, i, b"null"),
+            Some(b'"') => parse_string(b, i).map(Value::Str),
+            Some(b't') => parse_lit(b, i, b"true").map(|()| Value::Bool(true)),
+            Some(b'f') => parse_lit(b, i, b"false").map(|()| Value::Bool(false)),
+            Some(b'n') => parse_lit(b, i, b"null").map(|()| Value::Num(f64::NAN)),
             Some(c) if c.is_ascii_digit() || *c == b'-' => {
                 let start = *i;
                 *i += 1;
@@ -328,29 +429,64 @@ pub mod json {
                 {
                     *i += 1;
                 }
-                text_slice(b, start, *i).parse::<f64>().map_err(|_| start)?;
-                Ok(())
+                text_slice(b, start, *i)
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| start)
             }
             _ => Err(*i),
         }
     }
 
-    fn parse_string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    /// Parse and unescape one string literal at `i`.
+    fn parse_string(b: &[u8], i: &mut usize) -> Result<String, usize> {
         if b.get(*i) != Some(&b'"') {
             return Err(*i);
         }
+        let start = *i;
         *i += 1;
+        let mut out = String::new();
         while let Some(&c) = b.get(*i) {
             match c {
                 b'"' => {
                     *i += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
-                b'\\' => *i += 2,
-                _ => *i += 1,
+                b'\\' => {
+                    let esc = b.get(*i + 1).ok_or(*i)?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b.get(*i + 2..*i + 6).ok_or(*i)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| *i)?, 16)
+                                    .map_err(|_| *i)?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(*i),
+                    }
+                    *i += 2;
+                }
+                _ => {
+                    // Re-slice from the raw bytes to keep multi-byte UTF-8
+                    // intact: advance to the next escape or quote.
+                    let run_start = *i;
+                    while *i < b.len() && b[*i] != b'"' && b[*i] != b'\\' {
+                        *i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&b[run_start..*i]).map_err(|_| run_start)?);
+                }
             }
         }
-        Err(*i)
+        Err(start)
     }
 
     fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
@@ -445,13 +581,32 @@ impl BenchArgs {
 /// The shared artifact tail of every bench bin: render the document, write
 /// it, re-read it, and validate the readback so a truncated or garbled
 /// artifact fails loudly in CI instead of poisoning downstream analysis.
-pub fn write_artifact(out_path: &str, doc: &json::Value) {
+///
+/// Returns `Err` (instead of panicking) on I/O failure or an invalid
+/// readback so bins can propagate a non-zero exit status — a smoke job
+/// that inspects only the exit code must not be able to pass on a
+/// malformed artifact.
+#[must_use = "a failed artifact write must fail the bench run"]
+pub fn write_artifact(out_path: &str, doc: &json::Value) -> Result<(), String> {
     let text = doc.render();
-    fs::write(out_path, &text).expect("write bench artifact");
-    let readback = fs::read_to_string(out_path).expect("re-read bench artifact");
+    fs::write(out_path, &text).map_err(|e| format!("write {out_path}: {e}"))?;
+    let readback = fs::read_to_string(out_path).map_err(|e| format!("re-read {out_path}: {e}"))?;
     json::validate(&readback)
-        .unwrap_or_else(|pos| panic!("{out_path} is not valid JSON (parse failed at byte {pos})"));
+        .map_err(|pos| format!("{out_path} is not valid JSON (parse failed at byte {pos})"))?;
     println!("wrote {out_path} ({} bytes, valid JSON)", readback.len());
+    Ok(())
+}
+
+/// Exit-status adapter for the bench bins' `main`: report the artifact
+/// error on stderr and return the conventional failure code.
+pub fn exit_after_artifact(result: Result<(), String>) -> std::process::ExitCode {
+    match result {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench artifact error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +679,55 @@ mod tests {
         let text = v.render();
         assert!(json::validate(&text).is_ok(), "{text}");
         assert!(text.contains("null"), "NaN must degrade to null");
+    }
+
+    #[test]
+    fn json_parse_roundtrips_rendered_documents() {
+        let v = json::Value::obj(vec![
+            ("op", json::Value::Str("intersection".into())),
+            ("deadline_ms", json::Value::Num(12.5)),
+            ("partial", json::Value::Bool(false)),
+            (
+                "query",
+                json::Value::Arr(vec![json::Value::Num(1.0), json::Value::Num(-2.0)]),
+            ),
+            ("note", json::Value::Str("line\nbreak \"q\"".into())),
+        ]);
+        let parsed = json::Value::parse(&v.render()).expect("parse rendered doc");
+        assert_eq!(
+            parsed.get("op").and_then(|v| v.as_str()),
+            Some("intersection")
+        );
+        assert_eq!(
+            parsed.get("deadline_ms").and_then(|v| v.as_f64()),
+            Some(12.5)
+        );
+        assert_eq!(parsed.get("partial").and_then(|v| v.as_bool()), Some(false));
+        let q = parsed.get("query").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(q[1].as_f64(), Some(-2.0));
+        assert_eq!(
+            parsed.get("note").and_then(|v| v.as_str()),
+            Some("line\nbreak \"q\"")
+        );
+        // null parses as a non-finite Num, the mirror of how it renders.
+        let n = json::Value::parse("{\"x\": null}").unwrap();
+        assert!(matches!(n.get("x"), Some(json::Value::Num(x)) if x.is_nan()));
+        assert_eq!(n.get("x").and_then(|v| v.as_f64()), None);
+        // The wire framing: compact output is one line and parses back.
+        let compact = v.render_compact();
+        assert!(!compact.contains('\n'), "compact render must be one line");
+        let reparsed = json::Value::parse(&compact).expect("parse compact doc");
+        assert_eq!(
+            reparsed.get("note").and_then(|v| v.as_str()),
+            Some("line\nbreak \"q\"")
+        );
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_lines() {
+        for bad in ["{\"a\": }", "[1, 2,] ", "{\"a\" 1}", "tru", "\"open", "{}}"] {
+            assert!(json::Value::parse(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

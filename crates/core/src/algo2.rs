@@ -267,6 +267,7 @@ where
          -> Result<Result<(ClipOutcome, Duration, Duration), ClipError>, String> {
             catch_unwind(AssertUnwindSafe(|| {
                 resilience::maybe_panic_slab(opts, slab, attempt);
+                resilience::maybe_stall_slab(opts, slab, attempt);
                 body(opts, gate, &mut *scratch)
             }))
             .map_err(|p| resilience::panic_message(p.as_ref()))

@@ -78,9 +78,10 @@ use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Arenas kept warm between clips; beyond this the pool stops growing and
-/// surplus arenas are dropped on check-in (bounds steady-state memory under
-/// a concurrency spike).
+/// Default cap on arenas kept warm between clips; beyond this the pool
+/// stops growing and surplus arenas are dropped on check-in (bounds
+/// steady-state memory under a concurrency spike). Override per layer with
+/// [`PreparedLayer::build_with_pool_limit`].
 const MAX_POOLED_ARENAS: usize = 16;
 
 /// An immutable, `Send + Sync` snapshot of everything about a subject layer
@@ -113,6 +114,10 @@ pub struct PreparedLayer {
     build_time: Duration,
     /// Warm [`SweepScratch`] arenas shared by all clips on this layer.
     pool: Mutex<Vec<SweepScratch>>,
+    /// Check-in cap for the pool: surplus arenas beyond this are dropped.
+    /// A checkout against an empty pool always makes a fresh arena, so an
+    /// undersized pool costs allocations, never progress.
+    pool_limit: usize,
 }
 
 impl PreparedLayer {
@@ -122,6 +127,19 @@ impl PreparedLayer {
     /// layer is immutable; clip it with [`clip_prepared`] using the *same*
     /// sanitize setting for bit-identity with the cold path.
     pub fn build(subject: &PolygonSet, opts: &ClipOptions) -> Result<Arc<Self>, ClipError> {
+        Self::build_with_pool_limit(subject, opts, MAX_POOLED_ARENAS)
+    }
+
+    /// [`build`](Self::build) with an explicit scratch-pool check-in cap.
+    /// `0` disables pooling entirely (every clip allocates fresh arenas);
+    /// a cap below the expected concurrency still serves every request —
+    /// checkouts against an empty pool fall back to fresh arenas — it just
+    /// trades allocations for memory. The default cap is 16.
+    pub fn build_with_pool_limit(
+        subject: &PolygonSet,
+        opts: &ClipOptions,
+        pool_limit: usize,
+    ) -> Result<Arc<Self>, ClipError> {
         let t0 = Instant::now();
         let gate = opts.budget.arm();
         budget::check(&gate)?;
@@ -182,6 +200,7 @@ impl PreparedLayer {
             bbox,
             build_time: t0.elapsed(),
             pool: Mutex::new(Vec::new()),
+            pool_limit,
         }))
     }
 
@@ -232,7 +251,7 @@ impl PreparedLayer {
     /// Return an arena to the pool for the next clip.
     fn checkin(&self, s: SweepScratch) {
         let mut pool = self.lock_pool();
-        if pool.len() < MAX_POOLED_ARENAS {
+        if pool.len() < self.pool_limit {
             pool.push(s);
         }
     }

@@ -256,6 +256,24 @@ pub enum Degradation {
         /// Total slabs the run was partitioned into.
         total_slabs: usize,
     },
+    /// A serving layer above the engine (`polyclip-serve`) altered how this
+    /// request ran because the fleet was overloaded: output validation
+    /// disabled, partial results forced, or the deadline tightened for a
+    /// retry. The engine itself never emits this rung — it is the
+    /// service-level extension of the ladder, appended by the server so
+    /// clients see overload measures through the same reporting channel as
+    /// engine degradations. Lossy: the caller got a best-effort answer
+    /// shaped by load, not the configuration they asked for.
+    ServiceDegraded {
+        /// Overload level at execution time: 1 = output validation
+        /// disabled, 2 = partial results forced, 3 = load shedding active
+        /// (this request survived shedding but ran under maximum
+        /// degradation).
+        level: u8,
+        /// Whether the request was retried with a tightened budget after a
+        /// first-attempt budget trip.
+        retried: bool,
+    },
 }
 
 /// A rung of the output self-repair ladder, cheapest first. Recorded in
@@ -300,6 +318,7 @@ impl Degradation {
             Degradation::DroppedFragments { .. } => 7,
             Degradation::OutputRepaired { .. } => 8,
             Degradation::PartialResult { .. } => 9,
+            Degradation::ServiceDegraded { .. } => 10,
         }
     }
 
@@ -337,9 +356,11 @@ impl Degradation {
             Degradation::OutputRepaired { violations, .. } => {
                 Some(ClipError::InvalidOutput { violations })
             }
-            Degradation::PartialResult { .. } => Some(ClipError::BudgetExceeded {
-                work: polyclip_parprim::MeterSnapshot::default(),
-            }),
+            Degradation::PartialResult { .. } | Degradation::ServiceDegraded { .. } => {
+                Some(ClipError::BudgetExceeded {
+                    work: polyclip_parprim::MeterSnapshot::default(),
+                })
+            }
             _ => None,
         }
     }
@@ -396,6 +417,15 @@ impl fmt::Display for Degradation {
                 f,
                 "budget blew mid-run: partial result covering {completed_slabs} of \
                  {total_slabs} slabs"
+            ),
+            Degradation::ServiceDegraded { level, retried } => write!(
+                f,
+                "service degraded this request under overload (level {level}{})",
+                if *retried {
+                    ", retried with tightened budget"
+                } else {
+                    ""
+                }
             ),
         }
     }
@@ -466,6 +496,16 @@ pub struct FaultPlan {
     /// Append a synthetic non-progressing residual crossing in the first
     /// refinement round, forcing the accept-residuals path.
     pub residual_storm: bool,
+    /// Stall attempt 0 of this slab's worker by [`stall_ms`]
+    /// (Self::stall_ms) before it runs. Combined with a deadline in
+    /// [`ExecBudget`](crate::ExecBudget), this deterministically trips the
+    /// slab watchdog so tests can drive the watchdog→retry rung of the
+    /// ladder on *both* the cold and the prepared
+    /// ([`try_clip_prepared`](crate::try_clip_prepared)) query paths — the
+    /// retry runs unstalled and recovers bit-identically.
+    pub stall_slab: Option<usize>,
+    /// Milliseconds the stalled slab's first attempt sleeps.
+    pub stall_ms: u64,
 }
 
 impl FaultPlan {
@@ -474,6 +514,15 @@ impl FaultPlan {
         FaultPlan {
             panic_slab: Some(slab),
             panic_attempts: attempts,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that stalls attempt 0 of slab `slab` for `ms` milliseconds.
+    pub fn stall_in_slab(slab: usize, ms: u64) -> Self {
+        FaultPlan {
+            stall_slab: Some(slab),
+            stall_ms: ms,
             ..FaultPlan::default()
         }
     }
@@ -486,6 +535,19 @@ pub(crate) fn maybe_panic_slab(opts: &crate::ClipOptions, slab: usize, attempt: 
     #[cfg(feature = "fault-injection")]
     if opts.faults.panic_slab == Some(slab) && attempt < opts.faults.panic_attempts {
         panic!("fault-injection: slab {slab} attempt {attempt}");
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = (opts, slab, attempt);
+}
+
+/// Sleep if the fault plan stalls this slab's first attempt (retries run
+/// unstalled so the watchdog→retry rung recovers). Compiled to a no-op
+/// without the `fault-injection` feature.
+#[inline]
+pub(crate) fn maybe_stall_slab(opts: &crate::ClipOptions, slab: usize, attempt: u32) {
+    #[cfg(feature = "fault-injection")]
+    if opts.faults.stall_slab == Some(slab) && attempt == 0 && opts.faults.stall_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(opts.faults.stall_ms));
     }
     #[cfg(not(feature = "fault-injection"))]
     let _ = (opts, slab, attempt);
@@ -578,6 +640,10 @@ mod tests {
             Degradation::PartialResult {
                 completed_slabs: 3,
                 total_slabs: 8,
+            },
+            Degradation::ServiceDegraded {
+                level: 2,
+                retried: true,
             },
         ];
         for w in ladder.windows(2) {

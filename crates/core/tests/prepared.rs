@@ -223,3 +223,100 @@ fn concurrent_clips_on_one_layer_stay_isolated() {
     assert!(again.times.prepared_reused);
     assert!(layer.pooled_arenas() > 0, "arenas returned to the pool");
 }
+
+/// Hammer one layer from eight threads through a pool capped far below the
+/// concurrency (2 arenas for 8 threads): checkouts against the drained
+/// pool must fall back to fresh arenas — never block, never deadlock —
+/// every call must stay bit-identical to its single-threaded baseline, the
+/// per-call arena accounting must be live for every request, and the pool
+/// must still respect its cap once the storm passes.
+#[test]
+fn undersized_arena_pool_survives_a_thread_storm() {
+    const POOL_CAP: usize = 2;
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 24;
+    let subject = gen_set(0xdecade, 8);
+    let layer =
+        PreparedLayer::build_with_pool_limit(&subject, &ClipOptions::sequential(), POOL_CAP)
+            .unwrap();
+
+    // Two query shapes with very different arena appetites, so recycled
+    // arenas constantly change hands between light and heavy work.
+    let small_q = gen_set(0x51, 1);
+    let big_q = gen_set(0xb16, 6);
+    let baseline = |q: &PolygonSet| {
+        polyclip_core::prepared::try_clip_prepared(
+            &layer,
+            q,
+            BoolOp::Intersection,
+            4,
+            &ClipOptions::sequential(),
+        )
+        .expect("baseline clip")
+    };
+    let base_small = baseline(&small_q);
+    let base_big = baseline(&big_q);
+    assert!(base_big.times.arena_hwm_bytes > 0, "hwm accounting is live");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let layer: Arc<PreparedLayer> = Arc::clone(&layer);
+            let small_q = small_q.clone();
+            let big_q = big_q.clone();
+            let (small_out, big_out) = (base_small.output.clone(), base_big.output.clone());
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let big = (t + i) % 2 == 0;
+                    let q = if big { &big_q } else { &small_q };
+                    let r = polyclip_core::prepared::try_clip_prepared(
+                        &layer,
+                        q,
+                        BoolOp::Intersection,
+                        4,
+                        &ClipOptions::sequential(),
+                    )
+                    .expect("no failures under contention");
+                    let want = if big { &big_out } else { &small_out };
+                    assert_eq!(
+                        &r.output, want,
+                        "thread {t} iter {i}: output diverged under contention"
+                    );
+                    // Per-call accounting: the stats describe this request's
+                    // own run, not a neighbour's.
+                    assert_eq!(r.stats.total_slabs, r.slabs);
+                    assert_eq!(r.stats.completed_slabs, r.slabs);
+                    assert!(r.stats.prepared_reused && r.times.prepared_reused);
+                    assert!(r.times.arena_hwm_bytes > 0, "hwm lost under contention");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics under pool starvation");
+    }
+
+    // The check-in cap held: at most POOL_CAP arenas were retained no
+    // matter how many fresh ones the storm forced into existence.
+    assert!(
+        layer.pooled_arenas() <= POOL_CAP,
+        "pool grew past its cap: {}",
+        layer.pooled_arenas()
+    );
+    // And the layer still serves correct answers afterwards.
+    let after = baseline(&big_q);
+    assert_eq!(after.output, base_big.output);
+
+    // pool_limit = 0 disables retention entirely while still serving.
+    let unpooled =
+        PreparedLayer::build_with_pool_limit(&subject, &ClipOptions::sequential(), 0).unwrap();
+    let r = polyclip_core::prepared::try_clip_prepared(
+        &unpooled,
+        &big_q,
+        BoolOp::Intersection,
+        4,
+        &ClipOptions::sequential(),
+    )
+    .unwrap();
+    assert_eq!(r.output, base_big.output);
+    assert_eq!(unpooled.pooled_arenas(), 0, "cap 0 must retain nothing");
+}

@@ -1,0 +1,314 @@
+//! Deadline-aware admission control: a bounded three-class priority queue
+//! that turns work away at the door instead of letting it rot inside.
+//!
+//! Two rejection rules, both evaluated on *arrival*:
+//!
+//! * **capacity** — the queue holds at most `capacity` jobs across all
+//!   priority classes; a full queue rejects immediately with a
+//!   `retry_after` hint of roughly one drain slot;
+//! * **deadline feasibility** — an EWMA of observed service time per
+//!   (layer, op) estimates how long the jobs already queued will take to
+//!   drain through `workers` workers; if that delay plus the request's own
+//!   estimated service time already exceeds its deadline, the request is
+//!   rejected *now*, when the client can still retry elsewhere, rather
+//!   than after it has wasted a queue slot and a worker pull.
+//!
+//! Jobs that slip past both checks can still become doomed while queued
+//! (estimates are estimates); workers drop those at dequeue — see
+//! [`Entry::expires_at`].
+
+use crate::protocol::{Priority, RejectReason};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Exponentially-weighted moving average of service time, keyed by
+/// (layer, op). A fresh key starts from a configurable prior so the first
+/// requests are not admitted blind.
+pub struct ServiceEstimator {
+    inner: Mutex<HashMap<(String, u8), f64>>,
+    prior_s: f64,
+    alpha: f64,
+}
+
+impl ServiceEstimator {
+    /// `prior` seeds unseen (layer, op) keys; `alpha` is the EWMA weight
+    /// of each new observation (0 < alpha ≤ 1).
+    pub fn new(prior: Duration, alpha: f64) -> Self {
+        ServiceEstimator {
+            inner: Mutex::new(HashMap::new()),
+            prior_s: prior.as_secs_f64(),
+            alpha: alpha.clamp(f64::EPSILON, 1.0),
+        }
+    }
+
+    /// Fold one observed service time into the (layer, op) estimate.
+    pub fn record(&self, layer: &str, op: u8, observed: Duration) {
+        let mut m = self.inner.lock().unwrap();
+        let e = m.entry((layer.to_string(), op)).or_insert(self.prior_s);
+        *e += self.alpha * (observed.as_secs_f64() - *e);
+    }
+
+    /// Current estimate for one (layer, op).
+    pub fn estimate(&self, layer: &str, op: u8) -> Duration {
+        let m = self.inner.lock().unwrap();
+        Duration::from_secs_f64(
+            m.get(&(layer.to_string(), op))
+                .copied()
+                .unwrap_or(self.prior_s)
+                .max(0.0),
+        )
+    }
+}
+
+/// A queued job plus the scheduling metadata admission stamped on it.
+pub struct Entry<T> {
+    /// The job payload.
+    pub item: T,
+    /// Scheduling class it was admitted under.
+    pub priority: Priority,
+    /// When it entered the queue (queue-delay accounting).
+    pub enqueued_at: Instant,
+    /// Absolute client deadline. Workers drop the job unstarted once this
+    /// passes — executing it could only produce a late answer.
+    pub expires_at: Option<Instant>,
+}
+
+/// Why admission turned a request away, plus when to retry.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionReject {
+    /// Which rule fired.
+    pub reason: RejectReason,
+    /// Estimated time until a retry could be admitted.
+    pub retry_after: Duration,
+}
+
+struct QueueInner<T> {
+    buckets: [VecDeque<Entry<T>>; 3],
+    len: usize,
+    closed: bool,
+}
+
+/// The bounded priority queue. `pop` serves strictly by class
+/// (High before Normal before Low), FIFO within a class.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cv: Condvar,
+    capacity: usize,
+    workers: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue holding at most `capacity` jobs, drained by `workers`
+    /// concurrent workers (used to convert queue depth into delay).
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(QueueInner {
+                buckets: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                len: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Queue depth as a fraction of capacity — the load signal the
+    /// degradation ladder watches.
+    pub fn fill_fraction(&self) -> f64 {
+        self.depth() as f64 / self.capacity as f64
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated time for the current backlog to drain through the
+    /// worker pool, assuming `est_service` per job.
+    pub fn estimated_queue_delay(&self, est_service: Duration) -> Duration {
+        let depth = self.depth() as f64;
+        est_service.mul_f64(depth / self.workers as f64)
+    }
+
+    /// Admit or reject on arrival. `remaining` is the request's deadline
+    /// measured from now (`None` = infinitely patient); `est_service` is
+    /// the EWMA estimate for its (layer, op).
+    pub fn try_admit(
+        &self,
+        item: T,
+        priority: Priority,
+        remaining: Option<Duration>,
+        est_service: Duration,
+    ) -> Result<(), (T, AdmissionReject)> {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            return Err((
+                item,
+                AdmissionReject {
+                    reason: RejectReason::QueueFull,
+                    retry_after: Duration::ZERO,
+                },
+            ));
+        }
+        let drain_slot = est_service.mul_f64(1.0 / self.workers as f64);
+        if q.len >= self.capacity {
+            return Err((
+                item,
+                AdmissionReject {
+                    reason: RejectReason::QueueFull,
+                    retry_after: drain_slot,
+                },
+            ));
+        }
+        let queue_delay = est_service.mul_f64(q.len as f64 / self.workers as f64);
+        if let Some(remaining) = remaining {
+            if queue_delay + est_service > remaining {
+                return Err((
+                    item,
+                    AdmissionReject {
+                        reason: RejectReason::DeadlineUnmeetable,
+                        retry_after: queue_delay,
+                    },
+                ));
+            }
+        }
+        let now = Instant::now();
+        q.buckets[priority.index()].push_back(Entry {
+            item,
+            priority,
+            enqueued_at: now,
+            expires_at: remaining.map(|r| now + r),
+        });
+        q.len += 1;
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (highest class first) or the queue
+    /// is closed *and* drained; `None` means a worker should exit.
+    pub fn pop(&self) -> Option<Entry<T>> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            for b in q.buckets.iter_mut() {
+                if let Some(e) = b.pop_front() {
+                    q.len -= 1;
+                    return Some(e);
+                }
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Stop admitting; wake every blocked worker. Already-queued jobs
+    /// still drain (graceful shutdown finishes what it accepted).
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn full_queue_rejects_with_a_drain_slot_hint() {
+        let q = AdmissionQueue::new(2, 1);
+        assert!(q.try_admit(1, Priority::Normal, None, MS).is_ok());
+        assert!(q.try_admit(2, Priority::Normal, None, MS).is_ok());
+        let (item, rej) = q.try_admit(3, Priority::Normal, None, MS).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(rej.reason, RejectReason::QueueFull);
+        assert!(rej.retry_after > Duration::ZERO);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn unmeetable_deadline_is_rejected_on_arrival() {
+        let q = AdmissionQueue::new(64, 1);
+        for i in 0..10 {
+            q.try_admit(i, Priority::Normal, None, Duration::from_millis(10))
+                .unwrap();
+        }
+        // 10 jobs × 10ms ahead of it through one worker: a 20ms deadline
+        // is hopeless, a 1s deadline is fine.
+        let (_, rej) = q
+            .try_admit(
+                99,
+                Priority::Normal,
+                Some(Duration::from_millis(20)),
+                Duration::from_millis(10),
+            )
+            .unwrap_err();
+        assert_eq!(rej.reason, RejectReason::DeadlineUnmeetable);
+        assert!(rej.retry_after >= Duration::from_millis(50));
+        q.try_admit(
+            100,
+            Priority::Normal,
+            Some(Duration::from_secs(1)),
+            Duration::from_millis(10),
+        )
+        .expect("a patient deadline must be admitted");
+    }
+
+    #[test]
+    fn pop_serves_strictly_by_class_then_fifo() {
+        let q = AdmissionQueue::new(16, 1);
+        q.try_admit("low-1", Priority::Low, None, MS).unwrap();
+        q.try_admit("norm-1", Priority::Normal, None, MS).unwrap();
+        q.try_admit("high-1", Priority::High, None, MS).unwrap();
+        q.try_admit("high-2", Priority::High, None, MS).unwrap();
+        let order: Vec<&str> = (0..4).map(|_| q.pop().unwrap().item).collect();
+        assert_eq!(order, ["high-1", "high-2", "norm-1", "low-1"]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_drains_the_backlog() {
+        let q = Arc::new(AdmissionQueue::new(16, 2));
+        q.try_admit(7, Priority::Normal, None, MS).unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(e) = q.pop() {
+                    seen.push(e.item);
+                }
+                seen
+            })
+        };
+        // Give the worker a chance to drain the one job and block.
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), vec![7]);
+        assert!(q.try_admit(8, Priority::Normal, None, MS).is_err());
+    }
+
+    #[test]
+    fn estimator_converges_toward_observations_and_is_keyed() {
+        let est = ServiceEstimator::new(Duration::from_millis(5), 0.5);
+        assert_eq!(est.estimate("gis", 0), Duration::from_millis(5));
+        for _ in 0..12 {
+            est.record("gis", 0, Duration::from_millis(20));
+        }
+        let e = est.estimate("gis", 0);
+        assert!(e > Duration::from_millis(19) && e < Duration::from_millis(21));
+        // Other keys keep the prior.
+        assert_eq!(est.estimate("gis", 1), Duration::from_millis(5));
+        assert_eq!(est.estimate("blob", 0), Duration::from_millis(5));
+    }
+}

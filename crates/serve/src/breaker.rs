@@ -1,0 +1,244 @@
+//! Per-layer circuit breaker with exponential-backoff cooldown.
+//!
+//! A layer whose requests keep failing (budget trips, engine panics) stops
+//! being asked: after `trip_threshold` consecutive failures the breaker
+//! opens and admission rejects the layer's traffic outright for a cooldown
+//! period — failing fast costs a rejection line, failing slow costs a
+//! worker. When the cooldown lapses the breaker goes **half-open**: exactly
+//! one probe request is let through. If it succeeds the breaker closes and
+//! the slate is clean; if it fails the breaker re-opens with the cooldown
+//! doubled (capped), so a persistently sick layer converges to quiet
+//! periodic probing instead of thundering retries.
+//!
+//! The clock is injected on every call (`now: Instant`) — state transitions
+//! are a pure function of (state, event, now), which is what makes the
+//! tests deterministic and fast.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker verdict for one arriving request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BreakerDecision {
+    /// Closed: normal traffic.
+    Allow,
+    /// Half-open: this request is the single probe. The caller **must**
+    /// report its outcome via `on_success`/`on_failure` or the breaker
+    /// stays half-open and rejects everything else.
+    Probe,
+    /// Open: reject, retry after the embedded hint.
+    Reject(Duration),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Closed {
+        consecutive_failures: u32,
+    },
+    Open {
+        until: Instant,
+        trips: u32,
+    },
+    HalfOpen {
+        trips: u32,
+        /// When the outstanding probe was released. If its outcome never
+        /// comes back (probe dropped as doomed, connection died), a new
+        /// probe is issued after a timeout rather than wedging the
+        /// breaker half-open forever.
+        since: Instant,
+    },
+}
+
+/// One breaker, typically one per registered layer.
+pub struct CircuitBreaker {
+    state: Mutex<State>,
+    trip_threshold: u32,
+    base_cooldown: Duration,
+    max_cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// `trip_threshold` consecutive failures open the breaker for
+    /// `base_cooldown`, doubling per re-trip up to `max_cooldown`.
+    pub fn new(trip_threshold: u32, base_cooldown: Duration, max_cooldown: Duration) -> Self {
+        CircuitBreaker {
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            trip_threshold: trip_threshold.max(1),
+            base_cooldown,
+            max_cooldown: max_cooldown.max(base_cooldown),
+        }
+    }
+
+    fn cooldown_for(&self, trips: u32) -> Duration {
+        let factor = 1u32 << trips.min(16);
+        (self.base_cooldown * factor).min(self.max_cooldown)
+    }
+
+    /// Decide the fate of a request arriving at `now`.
+    pub fn admit(&self, now: Instant) -> BreakerDecision {
+        let mut s = self.state.lock().unwrap();
+        match *s {
+            State::Closed { .. } => BreakerDecision::Allow,
+            State::Open { until, trips } => {
+                if now >= until {
+                    *s = State::HalfOpen { trips, since: now };
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Reject(until - now)
+                }
+            }
+            // A probe is already in flight; everyone else waits a beat —
+            // unless the probe's outcome has been missing long enough
+            // that it evidently vanished, in which case re-probe.
+            State::HalfOpen { trips, since } => {
+                if now.saturating_duration_since(since) > self.base_cooldown * 4 {
+                    *s = State::HalfOpen { trips, since: now };
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Reject(self.base_cooldown)
+                }
+            }
+        }
+    }
+
+    /// A request (or the half-open probe) completed successfully.
+    pub fn on_success(&self) {
+        *self.state.lock().unwrap() = State::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// A request (or the half-open probe) failed at `now`.
+    pub fn on_failure(&self, now: Instant) {
+        let mut s = self.state.lock().unwrap();
+        *s = match *s {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let f = consecutive_failures + 1;
+                if f >= self.trip_threshold {
+                    State::Open {
+                        until: now + self.cooldown_for(0),
+                        trips: 1,
+                    }
+                } else {
+                    State::Closed {
+                        consecutive_failures: f,
+                    }
+                }
+            }
+            // The probe failed: re-open, longer.
+            State::HalfOpen { trips, .. } | State::Open { trips, .. } => State::Open {
+                until: now + self.cooldown_for(trips),
+                trips: trips + 1,
+            },
+        };
+    }
+
+    /// True when the breaker is currently rejecting (open and cooling).
+    pub fn is_open(&self, now: Instant) -> bool {
+        matches!(*self.state.lock().unwrap(), State::Open { until, .. } if now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(3, Duration::from_millis(100), Duration::from_secs(5))
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures_only() {
+        let b = breaker();
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success(); // streak broken
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.admit(t0), BreakerDecision::Allow);
+        b.on_failure(t0); // third consecutive: trip
+        match b.admit(t0) {
+            BreakerDecision::Reject(after) => assert!(after <= Duration::from_millis(100)),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_and_closes_on_success() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(after), BreakerDecision::Probe);
+        // Second arrival while the probe is out: rejected.
+        assert!(matches!(b.admit(after), BreakerDecision::Reject(_)));
+        b.on_success();
+        assert_eq!(b.admit(after), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_cooldown() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(t1), BreakerDecision::Probe);
+        b.on_failure(t1);
+        // First trip cooled 100ms; the re-trip must cool 200ms.
+        let BreakerDecision::Reject(after) = b.admit(t1) else {
+            panic!("breaker must re-open after a failed probe")
+        };
+        assert!(
+            after > Duration::from_millis(150),
+            "cooldown did not double: {after:?}"
+        );
+        assert!(b.is_open(t1 + Duration::from_millis(150)));
+        assert_eq!(
+            b.admit(t1 + Duration::from_millis(250)),
+            BreakerDecision::Probe
+        );
+    }
+
+    #[test]
+    fn vanished_probe_does_not_wedge_the_breaker() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(t1), BreakerDecision::Probe);
+        // The probe's outcome never arrives (dropped as doomed, say).
+        // Long after the probe timeout, a fresh probe must be issued.
+        let t2 = t1 + Duration::from_secs(1);
+        assert_eq!(b.admit(t2), BreakerDecision::Probe);
+        b.on_success();
+        assert_eq!(b.admit(t2), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn cooldown_growth_is_capped() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(100), Duration::from_millis(400));
+        let mut now = Instant::now();
+        for _ in 0..10 {
+            b.on_failure(now);
+            // Walk time past the cooldown to earn the next probe.
+            now += Duration::from_secs(1);
+            assert_eq!(b.admit(now), BreakerDecision::Probe);
+        }
+        b.on_failure(now);
+        let BreakerDecision::Reject(after) = b.admit(now) else {
+            panic!("open breaker must reject")
+        };
+        assert!(after <= Duration::from_millis(400));
+    }
+}

@@ -1,0 +1,334 @@
+//! LRU result cache with single-flight coalescing.
+//!
+//! Keyed on (layer epoch, op, query hash): a cache entry is valid exactly
+//! as long as the prepared layer it was computed against — bumping the
+//! epoch on layer reload invalidates every stale entry without a scan.
+//!
+//! **Single flight**: when N identical queries race, the first becomes the
+//! *leader* and computes; the other N−1 block on the entry and reuse the
+//! leader's answer — the engine runs once, not N times. A leader that
+//! fails (or whose result is not cacheable, e.g. a partial answer produced
+//! under overload) *abandons* the flight: one blocked follower is promoted
+//! to leader and the rest keep waiting. Leaders are tracked by a guard
+//! ([`Flight`]) whose `Drop` abandons the flight, so a panicking worker
+//! can never strand its followers.
+//!
+//! Only clean, complete results are cached: a partial answer computed
+//! under a blown budget must not be served after the overload clears.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key: (layer epoch, op code, query-geometry hash).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QueryKey {
+    /// Registration epoch of the layer the query ran against.
+    pub epoch: u64,
+    /// Boolean-op discriminant.
+    pub op: u8,
+    /// FNV-1a over the query's coordinate bits.
+    pub query_hash: u64,
+}
+
+/// FNV-1a over the raw IEEE-754 bits of a coordinate list. Bit-exact
+/// queries — the only kind a cache may unify — hash equal; everything
+/// else is a miss.
+pub fn hash_coords<I: IntoIterator<Item = (f64, f64)>>(coords: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for (x, y) in coords {
+        step(x.to_bits());
+        step(y.to_bits());
+    }
+    h
+}
+
+/// The cached answer for one key — the response-sized digest, not the
+/// geometry (the service returns contour count + area checksums).
+#[derive(Clone, Debug)]
+pub struct CachedClip {
+    /// Contours in the result.
+    pub contours: usize,
+    /// Even-odd area of the result.
+    pub area: f64,
+    /// Degradation descriptions the original run absorbed.
+    pub degraded: Vec<String>,
+}
+
+struct CacheInner {
+    map: HashMap<QueryKey, CachedClip>,
+    // Front = least recently used. Touch = remove + push_back; entries
+    // are small and capacity modest, so the O(n) remove is noise next to
+    // a clip.
+    lru: VecDeque<QueryKey>,
+    inflight: HashMap<QueryKey, u32>,
+}
+
+/// The cache. All three counters are cumulative totals for stats.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    cv: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Leadership guard for one in-flight computation. [`Flight::complete`]
+/// publishes the result to cache and followers; dropping without
+/// completing abandons the flight (promoting one follower to leader).
+pub struct Flight {
+    cache: Arc<ResultCache>,
+    key: QueryKey,
+    done: bool,
+}
+
+/// Outcome of a cache lookup.
+pub enum Lookup {
+    /// The answer was cached (or a coalesced leader produced it while we
+    /// waited). The flag is true when this caller waited on another
+    /// request's flight rather than hitting the map directly.
+    Hit(CachedClip, bool),
+    /// This caller is the leader and must compute, then
+    /// [`Flight::complete`] or drop-to-abandon.
+    Lead(Flight),
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (≥ 1).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                inflight: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        })
+    }
+
+    /// Look up `key`; on miss, either become the leader or wait for the
+    /// current one.
+    pub fn begin(self: &Arc<Self>, key: QueryKey) -> Lookup {
+        let mut inner = self.inner.lock().unwrap();
+        let mut waited = false;
+        loop {
+            if let Some(v) = inner.map.get(&key).cloned() {
+                if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                    inner.lru.remove(pos);
+                    inner.lru.push_back(key);
+                }
+                if waited {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Lookup::Hit(v, waited);
+            }
+            if let Some(waiters) = inner.inflight.get_mut(&key) {
+                *waiters += 1;
+                waited = true;
+                inner = self.cv.wait(inner).unwrap();
+                // Re-check from the top: the leader either published
+                // (map hit) or abandoned (we may now lead).
+                if let Some(w) = inner.inflight.get_mut(&key) {
+                    *w -= 1;
+                }
+                continue;
+            }
+            inner.inflight.insert(key, 0);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Lead(Flight {
+                cache: Arc::clone(self),
+                key,
+                done: false,
+            });
+        }
+    }
+
+    fn publish(&self, key: QueryKey, value: CachedClip) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, value).is_none() {
+            inner.lru.push_back(key);
+            while inner.lru.len() > self.capacity {
+                if let Some(old) = inner.lru.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+        inner.inflight.remove(&key);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    fn abandon(&self, key: QueryKey) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.inflight.remove(&key);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, coalesced, misses) cumulative counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Flight {
+    /// Publish the leader's result: inserts into the LRU and releases
+    /// every coalesced follower with a hit.
+    pub fn complete(mut self, value: CachedClip) {
+        self.done = true;
+        self.cache.publish(self.key, value);
+    }
+
+    /// Explicitly abandon (non-cacheable result): followers are released
+    /// and one of them re-leads. Dropping the guard does the same.
+    pub fn abandon(mut self) {
+        self.done = true;
+        self.cache.abandon(self.key);
+    }
+}
+
+impl Drop for Flight {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.abandon(self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn key(h: u64) -> QueryKey {
+        QueryKey {
+            epoch: 1,
+            op: 0,
+            query_hash: h,
+        }
+    }
+
+    fn clip(area: f64) -> CachedClip {
+        CachedClip {
+            contours: 1,
+            area,
+            degraded: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hash_distinguishes_bit_different_queries() {
+        let a = hash_coords([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        let b = hash_coords([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0 + 1e-15)]);
+        let c = hash_coords([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        // -0.0 and 0.0 are different bits, hence different cache lines.
+        assert_ne!(hash_coords([(0.0, 0.0)]), hash_coords([(-0.0, 0.0)]));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let c = ResultCache::new(2);
+        for h in 0..2u64 {
+            let Lookup::Lead(f) = c.begin(key(h)) else {
+                panic!("fresh key must lead")
+            };
+            f.complete(clip(h as f64));
+        }
+        // Touch key 0 so key 1 is now the LRU victim.
+        assert!(matches!(c.begin(key(0)), Lookup::Hit(..)));
+        let Lookup::Lead(f) = c.begin(key(2)) else {
+            panic!("fresh key must lead")
+        };
+        f.complete(clip(2.0));
+        assert_eq!(c.len(), 2);
+        assert!(
+            matches!(c.begin(key(0)), Lookup::Hit(..)),
+            "recently used survived"
+        );
+        assert!(
+            matches!(c.begin(key(1)), Lookup::Lead(_)),
+            "LRU entry must have been evicted"
+        );
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_queries() {
+        let c = ResultCache::new(8);
+        let Lookup::Lead(flight) = c.begin(key(9)) else {
+            panic!("first caller must lead")
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || match c.begin(key(9)) {
+                    Lookup::Hit(v, waited) => (v.area, waited),
+                    Lookup::Lead(_) => panic!("follower must not lead while flight is live"),
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        flight.complete(clip(42.0));
+        for f in followers {
+            let (area, waited) = f.join().unwrap();
+            assert_eq!(area, 42.0);
+            assert!(waited, "followers must report coalescing");
+        }
+        let (hits, coalesced, misses) = c.counters();
+        assert_eq!((hits, coalesced, misses), (0, 4, 1));
+    }
+
+    #[test]
+    fn abandoned_flight_promotes_a_follower_to_leader() {
+        let c = ResultCache::new(8);
+        let Lookup::Lead(flight) = c.begin(key(5)) else {
+            panic!("first caller must lead")
+        };
+        let follower = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || match c.begin(key(5)) {
+                Lookup::Lead(f) => {
+                    f.complete(clip(7.0));
+                    true
+                }
+                Lookup::Hit(..) => false,
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        drop(flight); // leader dies without publishing
+        assert!(
+            follower.join().unwrap(),
+            "a follower must inherit the flight after abandon"
+        );
+        assert!(matches!(c.begin(key(5)), Lookup::Hit(..)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic fault injection for the serving layer, mirroring the
+//! engine's [`FaultPlan`](polyclip::prelude::FaultPlan) discipline: the
+//! plan is plain data, always constructible, and **inert unless the
+//! `fault-injection` cargo feature is enabled** — production builds carry
+//! the fields but compile the behaviour out.
+//!
+//! Three faults, each keyed to deterministic counters rather than clocks
+//! or randomness, so a test run either always trips or never does:
+//!
+//! * **worker kill** — a worker thread panics after completing its N-th
+//!   job, at most `kill_count` workers fleet-wide. Exercises panic
+//!   containment and respawn.
+//! * **pull stall** — the first `stall_pulls` queue pulls sleep
+//!   `stall_pull_ms` before popping. Backs the queue up on demand so the
+//!   degradation watermarks engage on a workload that would otherwise be
+//!   too fast to saturate.
+//! * **deadline corruption** — every `corrupt_deadline_every`-th admitted
+//!   clip request has its deadline zeroed *after* admission. Produces
+//!   doomed-at-dequeue jobs deterministically, exercising the drop path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The serve-layer fault plan. Default = no faults.
+#[derive(Clone, Debug, Default)]
+pub struct ServeFaultPlan {
+    /// Panic a worker after it completes this many jobs.
+    pub kill_after_jobs: Option<u64>,
+    /// Fleet-wide cap on worker kills (0 with `kill_after_jobs` set means
+    /// unlimited — every worker dies on schedule, forever).
+    pub kill_count: u64,
+    /// Sleep this long before each of the first `stall_pulls` queue pulls.
+    pub stall_pull_ms: u64,
+    /// How many pulls to stall.
+    pub stall_pulls: u64,
+    /// Zero the deadline of every N-th admitted clip request.
+    pub corrupt_deadline_every: Option<u64>,
+}
+
+impl ServeFaultPlan {
+    /// True when any fault is configured (used by stats reporting).
+    pub fn any(&self) -> bool {
+        self.kill_after_jobs.is_some()
+            || (self.stall_pull_ms > 0 && self.stall_pulls > 0)
+            || self.corrupt_deadline_every.is_some()
+    }
+}
+
+/// Shared mutable fault state: the deterministic counters the plan's
+/// triggers consume.
+#[derive(Default)]
+// The counters are only consumed when the feature compiles the triggers in.
+#[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+pub struct FaultState {
+    kills_done: AtomicU64,
+    pulls_seen: AtomicU64,
+    admitted_seen: AtomicU64,
+}
+
+impl FaultState {
+    /// Workers killed so far (respawn accounting cross-checks this).
+    pub fn kills(&self) -> u64 {
+        self.kills_done.load(Ordering::Relaxed)
+    }
+
+    /// Decide whether the calling worker should die now, having just
+    /// completed its `jobs_done`-th job. Consumes one kill credit.
+    #[allow(unused_variables)]
+    pub fn should_kill_worker(&self, plan: &ServeFaultPlan, jobs_done: u64) -> bool {
+        #[cfg(feature = "fault-injection")]
+        {
+            if let Some(n) = plan.kill_after_jobs {
+                if jobs_done == n {
+                    if plan.kill_count == 0 {
+                        self.kills_done.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    // Claim a kill credit atomically; losers stay alive.
+                    let mut cur = self.kills_done.load(Ordering::Relaxed);
+                    while cur < plan.kill_count {
+                        match self.kills_done.compare_exchange(
+                            cur,
+                            cur + 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => return true,
+                            Err(seen) => cur = seen,
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Stall the calling worker's queue pull if the plan says so.
+    #[allow(unused_variables)]
+    pub fn maybe_stall_pull(&self, plan: &ServeFaultPlan) {
+        #[cfg(feature = "fault-injection")]
+        {
+            if plan.stall_pull_ms > 0 {
+                let seq = self.pulls_seen.fetch_add(1, Ordering::Relaxed);
+                if seq < plan.stall_pulls {
+                    std::thread::sleep(std::time::Duration::from_millis(plan.stall_pull_ms));
+                }
+            }
+        }
+    }
+
+    /// Whether this admitted request's deadline should be corrupted
+    /// (zeroed). Counts admitted clip requests 1, 2, 3, …; fires on
+    /// multiples of the plan's period.
+    #[allow(unused_variables)]
+    pub fn corrupts_deadline(&self, plan: &ServeFaultPlan) -> bool {
+        #[cfg(feature = "fault-injection")]
+        {
+            if let Some(every) = plan.corrupt_deadline_every {
+                let seq = self.admitted_seen.fetch_add(1, Ordering::Relaxed) + 1;
+                return every > 0 && seq.is_multiple_of(every);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_credits_are_bounded_and_deterministic() {
+        let plan = ServeFaultPlan {
+            kill_after_jobs: Some(3),
+            kill_count: 2,
+            ..Default::default()
+        };
+        let st = FaultState::default();
+        assert!(!st.should_kill_worker(&plan, 2));
+        assert!(st.should_kill_worker(&plan, 3)); // worker A dies
+        assert!(st.should_kill_worker(&plan, 3)); // worker B dies
+        assert!(!st.should_kill_worker(&plan, 3)); // credits exhausted
+        assert_eq!(st.kills(), 2);
+    }
+
+    #[test]
+    fn deadline_corruption_fires_on_exact_multiples() {
+        let plan = ServeFaultPlan {
+            corrupt_deadline_every: Some(3),
+            ..Default::default()
+        };
+        let st = FaultState::default();
+        let fired: Vec<bool> = (0..6).map(|_| st.corrupts_deadline(&plan)).collect();
+        assert_eq!(fired, [false, false, true, false, false, true]);
+    }
+}
+
+#[cfg(all(test, not(feature = "fault-injection")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_inert_without_the_feature() {
+        let plan = ServeFaultPlan {
+            kill_after_jobs: Some(1),
+            kill_count: 100,
+            stall_pull_ms: 10_000,
+            stall_pulls: u64::MAX,
+            corrupt_deadline_every: Some(1),
+        };
+        let st = FaultState::default();
+        assert!(!st.should_kill_worker(&plan, 1));
+        assert!(!st.corrupts_deadline(&plan));
+        let t0 = std::time::Instant::now();
+        st.maybe_stall_pull(&plan);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,50 @@
+//! # polyclip-serve — a long-lived clip service that degrades, never dies
+//!
+//! The engine crates answer one question: *clip these polygons, correctly,
+//! within this budget*. This crate answers the operational one: keep
+//! answering that question for hours under an open-loop arrival stream that
+//! does not care whether the fleet is keeping up. Five pillars
+//! (DESIGN.md §4.10):
+//!
+//! 1. **Deadline-aware admission** ([`admission`]) — a bounded priority
+//!    queue that rejects on *arrival* when the EWMA-estimated queue delay
+//!    for the request's (op, layer) would already blow its deadline,
+//!    returning a typed rejection with a `retry_after_ms` hint instead of
+//!    letting doomed work poison the queue.
+//! 2. **Circuit breaking + retry** ([`breaker`]) — budget-trip and panic
+//!    failures are retried once on a [`tightened`](polyclip::prelude::ExecBudget::tighten)
+//!    budget with partial results allowed; repeated failures trip a
+//!    per-layer breaker that sheds load outright until a half-open probe
+//!    succeeds.
+//! 3. **Graceful degradation** ([`degrade`]) — watermarks on queue depth
+//!    walk a ladder: disable output validation, force partial results,
+//!    shed the lowest priority class. Every rung taken is surfaced to the
+//!    client as a [`Degradation::ServiceDegraded`](polyclip::prelude::Degradation)
+//!    in the response, never silently.
+//! 4. **Result caching** ([`cache`]) — an LRU keyed on (layer epoch, op,
+//!    query hash) with single-flight coalescing: concurrent identical
+//!    queries compute once and share the answer.
+//! 5. **Deterministic fault injection** ([`faults`], behind the
+//!    `fault-injection` feature) — kill workers, stall queue pulls,
+//!    corrupt deadlines, on a fixed schedule, so the recovery ladder is
+//!    *tested*, not hoped for.
+//!
+//! The wire protocol ([`protocol`]) is line-delimited JSON over plain
+//! `std::net` TCP; the executor ([`server`]) is a hand-rolled worker pool
+//! with panic containment and respawn. No external dependencies.
+//!
+//! ```sh
+//! cargo run --release -p polyclip-serve --bin polyclip_serve -- --addr 127.0.0.1:0
+//! cargo run --release -p polyclip-serve --bin loadgen -- --spawn --smoke
+//! ```
+
+pub mod admission;
+pub mod breaker;
+pub mod cache;
+pub mod degrade;
+pub mod faults;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Priority, RejectReason, Request, Response};
+pub use server::{ServeConfig, Server, ServerStats};

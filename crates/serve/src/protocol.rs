@@ -1,0 +1,430 @@
+//! Wire protocol: line-delimited JSON over TCP.
+//!
+//! One request per `\n`-terminated line in, one response line out,
+//! correlated by `id` (responses may arrive out of order — the worker pool
+//! finishes jobs as it finishes them). The document subset is exactly what
+//! [`polyclip_bench::json`] parses and renders, so the server, the load
+//! generator, and the bench artifacts share one schema.
+//!
+//! ```text
+//! → {"id":7,"op":"intersection","layer":"gis","priority":1,
+//!    "deadline_ms":50,"query":[[x0,y0],[x1,y1],...]}
+//! ← {"id":7,"status":"ok","contours":3,"area":0.0912,"partial":false,
+//!    "cache_hit":false,"retried":false,"degraded":[...],
+//!    "queue_ms":0.4,"exec_ms":3.1}
+//! ← {"id":9,"status":"rejected","reason":"queue_full","retry_after_ms":12.5}
+//! ```
+//!
+//! Admin verbs (`"op":"stats"`, `"op":"info"`, `"op":"shutdown"`) bypass
+//! the clip queue entirely: an operator must be able to inspect and stop an
+//! overloaded server *because* it is overloaded.
+
+use polyclip::prelude::{BoolOp, PolygonSet};
+use polyclip_bench::json::Value;
+
+/// Scheduling class carried by every clip request. Lower value = more
+/// important. Under the deepest degradation rung the server sheds `Low`
+/// outright.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum Priority {
+    /// Interactive / latency-sensitive traffic; shed last.
+    High = 0,
+    /// The default class.
+    #[default]
+    Normal = 1,
+    /// Batch / best-effort traffic; shed first under overload.
+    Low = 2,
+}
+
+impl Priority {
+    /// Queue-bucket index (0 = most important).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All classes, most important first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn from_num(x: f64) -> Priority {
+        match x as i64 {
+            0 => Priority::High,
+            2 => Priority::Low,
+            _ => Priority::Normal,
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// A clip query against a named prepared layer.
+    Clip(ClipRequest),
+    /// Snapshot of the server counters.
+    Stats { id: u64 },
+    /// Layer metadata (bbox, epoch) — what a load generator needs to craft
+    /// queries without out-of-band knowledge of the dataset.
+    Info { id: u64, layer: String },
+    /// Graceful shutdown: stop accepting, drain, exit.
+    Shutdown { id: u64 },
+}
+
+/// The clip variant of [`Request`].
+#[derive(Clone, Debug)]
+pub struct ClipRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Boolean operation to run.
+    pub op: BoolOp,
+    /// Name of the registered prepared layer to clip against.
+    pub layer: String,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Client deadline in milliseconds, measured from arrival. `None`
+    /// means the client will wait forever (admission still bounds the
+    /// queue).
+    pub deadline_ms: Option<f64>,
+    /// Query polygon: one implicit-closed contour of (x, y) vertices.
+    pub query: PolygonSet,
+}
+
+/// Why a request was turned away at the door.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The EWMA-estimated queue delay already exceeds the request's
+    /// deadline: accepting it would only produce a late failure.
+    DeadlineUnmeetable,
+    /// The per-layer circuit breaker is open after repeated failures.
+    BreakerOpen,
+    /// The degradation ladder is shedding this priority class.
+    Shed,
+}
+
+impl RejectReason {
+    /// Wire tag for the rejection.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineUnmeetable => "deadline_unmeetable",
+            RejectReason::BreakerOpen => "breaker_open",
+            RejectReason::Shed => "shed",
+        }
+    }
+}
+
+/// A response line, ready to render.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The clip completed (possibly partial, possibly degraded).
+    Ok {
+        id: u64,
+        /// Contours in the result.
+        contours: usize,
+        /// Even-odd area of the result (a cheap end-to-end checksum — the
+        /// full geometry would dwarf every other byte on the wire; clients
+        /// that need it can fetch it out of band).
+        area: f64,
+        /// True when the budget blew mid-run and completed slabs were
+        /// salvaged.
+        partial: bool,
+        /// True when the answer came from the result cache (directly or by
+        /// coalescing onto an in-flight twin).
+        cache_hit: bool,
+        /// True when the first attempt failed and the tightened-budget
+        /// retry produced this answer.
+        retried: bool,
+        /// Human-readable degradations absorbed, engine rungs and service
+        /// rungs alike.
+        degraded: Vec<String>,
+        /// Time spent queued before a worker picked the job up.
+        queue_ms: f64,
+        /// Time the engine spent on the request.
+        exec_ms: f64,
+    },
+    /// Turned away at admission (or shed at dequeue once doomed).
+    Rejected {
+        id: u64,
+        reason: RejectReason,
+        /// Hint: when the queue is likely to have drained enough to accept
+        /// a retry of this request.
+        retry_after_ms: f64,
+    },
+    /// The request failed after the full retry ladder.
+    Error { id: u64, message: String },
+    /// Admin responses carry their document verbatim.
+    Admin { id: u64, doc: Value },
+}
+
+impl Response {
+    /// Correlation id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. }
+            | Response::Rejected { id, .. }
+            | Response::Error { id, .. }
+            | Response::Admin { id, .. } => *id,
+        }
+    }
+
+    /// Render as one `\n`-terminated wire line.
+    pub fn to_line(&self) -> String {
+        let doc = match self {
+            Response::Ok {
+                id,
+                contours,
+                area,
+                partial,
+                cache_hit,
+                retried,
+                degraded,
+                queue_ms,
+                exec_ms,
+            } => Value::obj(vec![
+                ("id", Value::Num(*id as f64)),
+                ("status", Value::Str("ok".into())),
+                ("contours", Value::Num(*contours as f64)),
+                ("area", Value::Num(*area)),
+                ("partial", Value::Bool(*partial)),
+                ("cache_hit", Value::Bool(*cache_hit)),
+                ("retried", Value::Bool(*retried)),
+                (
+                    "degraded",
+                    Value::Arr(degraded.iter().map(|d| Value::Str(d.clone())).collect()),
+                ),
+                ("queue_ms", Value::Num(*queue_ms)),
+                ("exec_ms", Value::Num(*exec_ms)),
+            ]),
+            Response::Rejected {
+                id,
+                reason,
+                retry_after_ms,
+            } => Value::obj(vec![
+                ("id", Value::Num(*id as f64)),
+                ("status", Value::Str("rejected".into())),
+                ("reason", Value::Str(reason.as_str().into())),
+                ("retry_after_ms", Value::Num(*retry_after_ms)),
+            ]),
+            Response::Error { id, message } => Value::obj(vec![
+                ("id", Value::Num(*id as f64)),
+                ("status", Value::Str("error".into())),
+                ("message", Value::Str(message.clone())),
+            ]),
+            Response::Admin { id, doc } => {
+                let mut kv = vec![
+                    ("id".to_string(), Value::Num(*id as f64)),
+                    ("status".to_string(), Value::Str("ok".into())),
+                ];
+                if let Value::Obj(fields) = doc {
+                    kv.extend(fields.iter().cloned());
+                }
+                Value::Obj(kv)
+            }
+        };
+        let mut line = doc.render_compact();
+        line.push('\n');
+        line
+    }
+}
+
+/// Parse one request line. `Err` carries a human-readable reason that the
+/// server echoes back as a protocol error (a malformed line must never
+/// kill the connection silently).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc =
+        Value::parse(line.trim_end()).map_err(|pos| format!("malformed JSON at byte {pos}"))?;
+    let id = doc
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .map(|x| x as u64)
+        .ok_or("missing numeric \"id\"")?;
+    let op = doc
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string \"op\"")?;
+    match op {
+        "stats" => return Ok(Request::Stats { id }),
+        "shutdown" => return Ok(Request::Shutdown { id }),
+        "info" => {
+            let layer = doc
+                .get("layer")
+                .and_then(|v| v.as_str())
+                .ok_or("info requires \"layer\"")?
+                .to_string();
+            return Ok(Request::Info { id, layer });
+        }
+        _ => {}
+    }
+    let op = match op {
+        "intersection" => BoolOp::Intersection,
+        "union" => BoolOp::Union,
+        "difference" => BoolOp::Difference,
+        "xor" => BoolOp::Xor,
+        other => return Err(format!("unknown op \"{other}\"")),
+    };
+    let layer = doc
+        .get("layer")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string \"layer\"")?
+        .to_string();
+    let priority = doc
+        .get("priority")
+        .and_then(|v| v.as_f64())
+        .map(Priority::from_num)
+        .unwrap_or_default();
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .ok_or("\"deadline_ms\" must be a finite number")?;
+            if ms < 0.0 {
+                return Err("\"deadline_ms\" must be non-negative".into());
+            }
+            Some(ms)
+        }
+    };
+    let raw = doc
+        .get("query")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing array \"query\"")?;
+    if raw.len() < 3 {
+        return Err("\"query\" needs at least 3 vertices".into());
+    }
+    let mut pts = Vec::with_capacity(raw.len());
+    for (i, pair) in raw.iter().enumerate() {
+        let xy = pair.as_arr().ok_or("query vertices must be [x, y] pairs")?;
+        match xy {
+            [x, y] => {
+                let (x, y) = (
+                    x.as_f64()
+                        .ok_or_else(|| format!("vertex {i}: non-finite x"))?,
+                    y.as_f64()
+                        .ok_or_else(|| format!("vertex {i}: non-finite y"))?,
+                );
+                pts.push((x, y));
+            }
+            _ => return Err("query vertices must be [x, y] pairs".into()),
+        }
+    }
+    Ok(Request::Clip(ClipRequest {
+        id,
+        op,
+        layer,
+        priority,
+        deadline_ms,
+        query: PolygonSet::from_xy(&pts),
+    }))
+}
+
+/// Render a clip request as one wire line (what `loadgen` sends).
+pub fn render_clip_request(
+    id: u64,
+    op: BoolOp,
+    layer: &str,
+    priority: Priority,
+    deadline_ms: Option<f64>,
+    query: &[(f64, f64)],
+) -> String {
+    let op = match op {
+        BoolOp::Intersection => "intersection",
+        BoolOp::Union => "union",
+        BoolOp::Difference => "difference",
+        BoolOp::Xor => "xor",
+    };
+    let mut kv = vec![
+        ("id", Value::Num(id as f64)),
+        ("op", Value::Str(op.into())),
+        ("layer", Value::Str(layer.into())),
+        ("priority", Value::Num(priority.index() as f64)),
+    ];
+    if let Some(ms) = deadline_ms {
+        kv.push(("deadline_ms", Value::Num(ms)));
+    }
+    kv.push((
+        "query",
+        Value::Arr(
+            query
+                .iter()
+                .map(|&(x, y)| Value::Arr(vec![Value::Num(x), Value::Num(y)]))
+                .collect(),
+        ),
+    ));
+    let mut line = Value::obj(kv).render_compact();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_request_roundtrips_through_the_wire_format() {
+        let line = render_clip_request(
+            42,
+            BoolOp::Intersection,
+            "gis",
+            Priority::Low,
+            Some(25.0),
+            &[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)],
+        );
+        assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+        let req = parse_request(&line).expect("parse rendered request");
+        let Request::Clip(c) = req else {
+            panic!("expected a clip request")
+        };
+        assert_eq!(c.id, 42);
+        assert_eq!(c.op, BoolOp::Intersection);
+        assert_eq!(c.layer, "gis");
+        assert_eq!(c.priority, Priority::Low);
+        assert_eq!(c.deadline_ms, Some(25.0));
+        assert_eq!(c.query.vertex_count(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_a_reason_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "{\"op\":\"intersection\"}",                       // no id
+            "{\"id\":1}",                                      // no op
+            "{\"id\":1,\"op\":\"frobnicate\",\"layer\":\"g\"}", // unknown op
+            "{\"id\":1,\"op\":\"union\",\"layer\":\"g\",\"query\":[[0,0],[1,0]]}", // 2 verts
+            "{\"id\":1,\"op\":\"union\",\"layer\":\"g\",\"deadline_ms\":null,\"query\":[[0,0],[1,0],[1,1]]}",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted malformed: {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_render_one_line_each_and_echo_the_id() {
+        let ok = Response::Ok {
+            id: 7,
+            contours: 2,
+            area: 1.5,
+            partial: false,
+            cache_hit: true,
+            retried: false,
+            degraded: vec!["service degraded (level 1)".into()],
+            queue_ms: 0.2,
+            exec_ms: 3.0,
+        };
+        let rej = Response::Rejected {
+            id: 8,
+            reason: RejectReason::QueueFull,
+            retry_after_ms: 12.5,
+        };
+        for r in [&ok, &rej] {
+            let line = r.to_line();
+            assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+            let doc = polyclip_bench::json::Value::parse(line.trim_end()).unwrap();
+            assert_eq!(doc.get("id").and_then(|v| v.as_f64()), Some(r.id() as f64));
+        }
+        let doc = polyclip_bench::json::Value::parse(rej.to_line().trim_end()).unwrap();
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("queue_full")
+        );
+    }
+}

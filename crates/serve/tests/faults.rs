@@ -1,0 +1,408 @@
+//! Deterministic overload and failure drills over a real socket, behind
+//! the `fault-injection` feature. Each test drives one rung of the serving
+//! resilience ladder with counter-keyed faults (no clocks, no randomness
+//! in the trigger), so the observed behaviour is reproducible:
+//!
+//! * budget failures → tightened-budget **retry** → salvaged **partial**;
+//! * repeated failures → **circuit breaker** opens, probe half-closes it;
+//! * stalled workers → queue backup → degradation rungs → **shed**;
+//! * worker kills → panic containment and respawn, no lost responses;
+//! * corrupted deadlines → doomed jobs dropped unstarted at dequeue.
+#![cfg(feature = "fault-injection")]
+
+use polyclip::prelude::*;
+use polyclip_bench::json::Value;
+use polyclip_serve::faults::ServeFaultPlan;
+use polyclip_serve::protocol::{render_clip_request, Priority};
+use polyclip_serve::server::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Three disjoint squares along x: slab partitioning at p=3 puts one per
+/// slab, and a long thin query crossing all three meets their edges in a
+/// known pattern — 2 crossings in the end squares (the query starts and
+/// ends inside them), 4 in the straddled middle one.
+fn three_squares() -> Arc<PreparedLayer> {
+    let sq = |x0: f64| {
+        polyclip::geom::Contour::from_xy(&[(x0, 0.0), (x0 + 2.0, 0.0), (x0 + 2.0, 2.0), (x0, 2.0)])
+    };
+    let set = PolygonSet::from_contours(vec![sq(0.0), sq(4.0), sq(10.0)]);
+    PreparedLayer::build(&set, &ClipOptions::sequential()).unwrap()
+}
+
+/// The query that spans all three squares. Slightly slanted: axis-aligned
+/// edges would intersect the squares exactly on event scanlines (virtual
+/// vertices, not transversal crossings) and never charge the intersection
+/// meter the budget tests below cap.
+const SPAN_Q: [(f64, f64); 4] = [(1.0, 0.4), (11.0, 0.6), (11.0, 1.6), (1.0, 1.4)];
+
+/// A query far outside the layer's bbox: zero crossings, so it succeeds
+/// under any intersection cap (the breaker-probe traffic).
+const FAR_Q: [(f64, f64); 4] = [(50.0, 50.0), (51.0, 50.0), (51.0, 51.0), (50.0, 51.0)];
+
+struct TestClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TestClient {
+    fn connect(server: &Server) -> TestClient {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        TestClient { stream, reader }
+    }
+
+    fn send_clip(
+        &mut self,
+        id: u64,
+        priority: Priority,
+        deadline_ms: Option<f64>,
+        q: &[(f64, f64)],
+    ) {
+        let line = render_clip_request(id, BoolOp::Intersection, "sq3", priority, deadline_ms, q);
+        self.stream.write_all(line.as_bytes()).expect("send");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        Value::parse(resp.trim_end()).expect("parse response")
+    }
+
+    /// Closed-loop round trip: deterministic admission/execution order.
+    fn clip(
+        &mut self,
+        id: u64,
+        priority: Priority,
+        deadline_ms: Option<f64>,
+        q: &[(f64, f64)],
+    ) -> Value {
+        self.send_clip(id, priority, deadline_ms, q);
+        self.recv()
+    }
+}
+
+fn status_of(doc: &Value) -> &str {
+    doc.get("status").and_then(|v| v.as_str()).unwrap_or("")
+}
+
+fn reason_of(doc: &Value) -> &str {
+    doc.get("reason").and_then(|v| v.as_str()).unwrap_or("")
+}
+
+fn flag(doc: &Value, key: &str) -> bool {
+    doc.get(key).and_then(|v| v.as_bool()).unwrap_or(false)
+}
+
+/// The meter charge the span query incurs against this layer (the
+/// output-sensitive k), probed with an uncapped run so the caps below can
+/// be derived proportionally instead of hard-coding counter internals.
+fn probe_k(layer: &Arc<PreparedLayer>) -> u64 {
+    let q = PolygonSet::from_xy(&SPAN_Q);
+    let r = try_clip_prepared(
+        layer,
+        &q,
+        BoolOp::Intersection,
+        3,
+        &ClipOptions::sequential(),
+    )
+    .expect("probe clip");
+    assert!(
+        r.stats.k_intersections >= 6,
+        "span query must cross all squares (k = {})",
+        r.stats.k_intersections
+    );
+    r.stats.k_intersections as u64
+}
+
+/// Rung 1+2 of the ladder: a budget cap the full query cannot meet makes
+/// the first attempt fail; the serve-layer retry (tightened budget,
+/// partials allowed) salvages the completed slabs and answers `partial`.
+#[test]
+fn budget_failure_retries_and_salvages_a_partial_result() {
+    let layer = three_squares();
+    // First-attempt cap: ¾k trips on the last square. Retry cap: ⅜k —
+    // room for the first square's crossings (¼k) but not the middle one's,
+    // so exactly the leading slab survives salvage.
+    let k = probe_k(&layer);
+    let cfg = ServeConfig {
+        workers: 1,
+        slabs: 3,
+        base_opts: ClipOptions {
+            budget: ExecBudget {
+                max_intersections: Some(3 * k / 4),
+                ..ExecBudget::default()
+            },
+            ..ClipOptions::sequential()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![("sq3".into(), layer)], "127.0.0.1:0").unwrap();
+    let mut c = TestClient::connect(&server);
+
+    let r = c.clip(1, Priority::Normal, None, &SPAN_Q);
+    assert_eq!(status_of(&r), "ok", "retry must salvage: {r:?}");
+    assert!(flag(&r, "retried"), "first attempt must have failed: {r:?}");
+    assert!(flag(&r, "partial"), "salvage must be partial: {r:?}");
+    let degraded: Vec<String> = r
+        .get("degraded")
+        .and_then(|v| v.as_arr())
+        .unwrap()
+        .iter()
+        .filter_map(|d| d.as_str().map(str::to_string))
+        .collect();
+    assert!(
+        degraded.iter().any(|d| d.contains("partial result")),
+        "engine rung missing: {degraded:?}"
+    );
+    assert!(
+        degraded.iter().any(|d| d.contains("service degraded")),
+        "service rung missing: {degraded:?}"
+    );
+
+    // Overload-shaped answers are not cached: the same query misses again.
+    let r2 = c.clip(2, Priority::Normal, None, &SPAN_Q);
+    assert!(!flag(&r2, "cache_hit"), "partial result must not be cached");
+
+    let stats = server.stats();
+    assert_eq!(stats.retries.load(Ordering::Relaxed), 2);
+    assert_eq!(stats.completed_retried.load(Ordering::Relaxed), 2);
+    assert_eq!(stats.completed_partial.load(Ordering::Relaxed), 2);
+    assert_eq!(stats.failed.load(Ordering::Relaxed), 0);
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Rung 3: when even the retry fails, errors accumulate and the layer's
+/// circuit breaker opens — then a successful probe after the cooldown
+/// closes it again.
+#[test]
+fn repeated_failures_trip_the_breaker_and_a_probe_heals_it() {
+    let cfg = ServeConfig {
+        workers: 1,
+        slabs: 1,
+        // Cap of 1: the span query trips it on both the first attempt and
+        // the retry (a single slab salvages nothing), so every request is
+        // a hard failure.
+        base_opts: ClipOptions {
+            budget: ExecBudget {
+                max_intersections: Some(1),
+                ..ExecBudget::default()
+            },
+            ..ClipOptions::sequential()
+        },
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(40),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![("sq3".into(), three_squares())], "127.0.0.1:0").unwrap();
+    let mut c = TestClient::connect(&server);
+
+    // Failures count twice per request (first attempt + failed retry), so
+    // the threshold of 3 opens the breaker during the second request.
+    let mut errors = 0;
+    let mut breaker_reject = None;
+    for id in 1..=5u64 {
+        let r = c.clip(id, Priority::Normal, None, &SPAN_Q);
+        match status_of(&r) {
+            "error" => errors += 1,
+            "rejected" if reason_of(&r) == "breaker_open" => {
+                breaker_reject = Some(r);
+                break;
+            }
+            other => panic!("request {id}: unexpected status {other}: {r:?}"),
+        }
+    }
+    assert_eq!(errors, 2, "breaker must open after two double-failures");
+    let rej = breaker_reject.expect("breaker never opened");
+    assert!(
+        rej.get("retry_after_ms").and_then(|v| v.as_f64()).unwrap() > 0.0,
+        "breaker rejection must hint a cooldown"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.failed.load(Ordering::Relaxed), 2);
+    assert!(stats.retries.load(Ordering::Relaxed) >= 2);
+    assert_eq!(stats.rejected_breaker.load(Ordering::Relaxed), 1);
+
+    // After the cooldown (grown by the re-trips) the breaker half-opens;
+    // a crossing-free query succeeds as the probe and closes it, and the
+    // layer serves clean traffic again.
+    std::thread::sleep(Duration::from_millis(600));
+    let probe = c.clip(10, Priority::Normal, None, &FAR_Q);
+    assert_eq!(
+        status_of(&probe),
+        "ok",
+        "probe through half-open: {probe:?}"
+    );
+    let after = c.clip(11, Priority::Normal, None, &FAR_Q);
+    assert_eq!(status_of(&after), "ok", "breaker must be closed: {after:?}");
+    assert!(flag(&after, "cache_hit"), "clean result was cacheable");
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Rung 4: a stalled worker (pull-stall fault) backs the bounded queue up
+/// on demand; the watermark ladder engages, completed responses carry the
+/// `ServiceDegraded` rung, the lowest class is shed, and the queue bound
+/// holds.
+#[test]
+fn stalled_workers_engage_the_ladder_shed_low_priority_and_bound_the_queue() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        faults: ServeFaultPlan {
+            // Every pull stalls 300ms: the queue fills faster than it
+            // drains for as long as the test needs, without any race on
+            // "did the worker get to it first".
+            stall_pull_ms: 300,
+            stall_pulls: u64::MAX,
+            ..ServeFaultPlan::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![("sq3".into(), three_squares())], "127.0.0.1:0").unwrap();
+    let mut c = TestClient::connect(&server);
+
+    // Fill the queue to capacity while the worker sits in its first stall.
+    // Distinct queries defeat the cache (coalescing would mask the load).
+    for id in 1..=4u64 {
+        let x = id as f64 * 0.1;
+        c.send_clip(
+            id,
+            Priority::Normal,
+            None,
+            &[(x, 0.1), (1.5, 0.1), (1.5, 1.0), (x, 1.0)],
+        );
+    }
+    // Queue full (fill 1.0 ⇒ ladder level 3): Low is shed outright...
+    c.send_clip(5, Priority::Low, None, &SPAN_Q);
+    // ...and Normal still hits the hard queue bound.
+    c.send_clip(6, Priority::Normal, None, &SPAN_Q);
+
+    let mut by_id = std::collections::HashMap::new();
+    for _ in 0..6 {
+        let r = c.recv();
+        by_id.insert(r.get("id").and_then(|v| v.as_f64()).unwrap() as u64, r);
+    }
+    assert_eq!(status_of(&by_id[&5]), "rejected");
+    assert_eq!(reason_of(&by_id[&5]), "shed");
+    assert_eq!(status_of(&by_id[&6]), "rejected");
+    assert_eq!(reason_of(&by_id[&6]), "queue_full");
+    for id in 1..=4u64 {
+        assert_eq!(
+            status_of(&by_id[&id]),
+            "ok",
+            "queued job {id} must complete"
+        );
+    }
+    // The first job dequeued ran while the queue was still ¾ full: its
+    // response must carry the service-degradation rung. The last one ran
+    // against an empty queue and must not.
+    let rung = |id: u64| {
+        by_id[&id]
+            .get("degraded")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .iter()
+            .any(|d| d.as_str().is_some_and(|s| s.contains("service degraded")))
+    };
+    assert!(rung(1), "job 1 ran under load: {:?}", by_id[&1]);
+    assert!(
+        !rung(4),
+        "job 4 ran against a drained queue: {:?}",
+        by_id[&4]
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.rejected_shed.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.rejected_queue_full.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.degrade_max.load(Ordering::Relaxed), 3);
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Worker-kill fault: panics after the response is written are contained,
+/// the pool respawns, and no request is lost — the client sees only ok's.
+#[test]
+fn killed_workers_respawn_and_no_response_is_lost() {
+    let cfg = ServeConfig {
+        workers: 1,
+        faults: ServeFaultPlan {
+            // Every (re)spawned worker dies after its first job, twice.
+            kill_after_jobs: Some(1),
+            kill_count: 2,
+            ..ServeFaultPlan::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![("sq3".into(), three_squares())], "127.0.0.1:0").unwrap();
+    let mut c = TestClient::connect(&server);
+
+    for id in 1..=4u64 {
+        let x = id as f64 * 0.1;
+        let r = c.clip(
+            id,
+            Priority::Normal,
+            None,
+            &[(x, 0.1), (1.5, 0.1), (1.5, 1.0), (x, 1.0)],
+        );
+        assert_eq!(status_of(&r), "ok", "request {id} across kills: {r:?}");
+    }
+    assert_eq!(server.stats().worker_respawns.load(Ordering::Relaxed), 2);
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Deadline-corruption fault: every second admitted request's deadline is
+/// zeroed after admission, so the worker finds it expired at dequeue and
+/// drops it unstarted — the typed rejection and the `doomed_dropped`
+/// counter prove the drop path runs.
+#[test]
+fn corrupted_deadlines_are_dropped_unstarted_at_dequeue() {
+    let cfg = ServeConfig {
+        workers: 1,
+        faults: ServeFaultPlan {
+            corrupt_deadline_every: Some(2),
+            ..ServeFaultPlan::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![("sq3".into(), three_squares())], "127.0.0.1:0").unwrap();
+    let mut c = TestClient::connect(&server);
+
+    let mut outcomes = Vec::new();
+    for id in 1..=4u64 {
+        let x = id as f64 * 0.1;
+        let r = c.clip(
+            id,
+            Priority::Normal,
+            Some(10_000.0),
+            &[(x, 0.1), (1.5, 0.1), (1.5, 1.0), (x, 1.0)],
+        );
+        outcomes.push((status_of(&r).to_string(), reason_of(&r).to_string()));
+    }
+    assert_eq!(
+        outcomes,
+        vec![
+            ("ok".into(), "".into()),
+            ("rejected".into(), "deadline_unmeetable".into()),
+            ("ok".into(), "".into()),
+            ("rejected".into(), "deadline_unmeetable".into()),
+        ],
+        "corruption fires on exact multiples of 2"
+    );
+    assert_eq!(server.stats().doomed_dropped.load(Ordering::Relaxed), 2);
+
+    server.shutdown();
+    server.wait();
+}

@@ -336,6 +336,8 @@ fn fault_plan_is_inert_without_the_feature() {
         panic_attempts: 2,
         exhaust_refinement: true,
         residual_storm: true,
+        stall_slab: Some(0),
+        stall_ms: 10_000,
     };
     let r = try_clip_pair_slabs(&a, &b, BoolOp::Intersection, 4, &faulty).unwrap();
     assert_eq!(r.output, baseline.output);
@@ -436,6 +438,77 @@ mod fault_injection {
         let rd = try_overlay_difference(&a, &b, 4, &opts).unwrap();
         assert_eq!(rd.features, base_d.features);
         assert_eq!(rd.degradations, vec![Degradation::SlabFallback { slab }]);
+    }
+
+    /// The compile-once path rides the same ladder: panicking any slab of
+    /// a prepared clip — once (retry rung) or repeatedly (fallback rung) —
+    /// must restore the bit-identical unfaulted prepared answer, which in
+    /// turn matches the cold path.
+    #[test]
+    fn prepared_clip_recovers_from_slab_panics_bit_identical() {
+        let (subject, query) = multi_slab_instance();
+        let cold = try_clip_pair_slabs(&subject, &query, BoolOp::Intersection, 4, &seq()).unwrap();
+        let layer = PreparedLayer::build(&subject, &seq()).unwrap();
+        let baseline = try_clip_prepared(&layer, &query, BoolOp::Intersection, 4, &seq()).unwrap();
+        assert!(baseline.degradations.is_empty(), "baseline must be clean");
+        assert_eq!(baseline.output, cold.output, "prepared must match cold");
+        assert!(baseline.slabs >= 2, "instance must actually partition");
+        for slab in 0..baseline.slabs {
+            for (attempts, rung) in [
+                (1, Degradation::SlabRetry { slab }),
+                (2, Degradation::SlabFallback { slab }),
+            ] {
+                let mut opts = seq();
+                opts.faults = FaultPlan::panic_in_slab(slab, attempts);
+                let r = try_clip_prepared(&layer, &query, BoolOp::Intersection, 4, &opts).unwrap();
+                assert_eq!(
+                    r.output, baseline.output,
+                    "slab {slab} x{attempts}: recovery must be bit-identical"
+                );
+                assert_eq!(r.degradations, vec![rung.clone()]);
+                assert_eq!(r.stats.slab_retries, 1);
+                assert!(r.stats.prepared_reused, "fault must not evict the layer");
+            }
+        }
+    }
+
+    /// A stalled slab worker trips its watchdog deadline (2× its load
+    /// share of the global allowance), the retry runs unstalled on the
+    /// cancel-only recovery gate, and the answer is restored bit-identical
+    /// — on the cold path and the prepared path alike.
+    #[test]
+    fn stalled_slab_trips_the_watchdog_and_recovers_on_retry() {
+        let (subject, query) = multi_slab_instance();
+        let baseline = try_clip_pair_slabs(&subject, &query, BoolOp::Union, 4, &seq()).unwrap();
+        assert!(baseline.degradations.is_empty());
+        let layer = PreparedLayer::build(&subject, &seq()).unwrap();
+
+        // Global allowance 800ms over ≈4 even slabs ⇒ each watchdog fires
+        // around 400ms past arm time; a 600ms stall trips it while leaving
+        // the global gate clean, so the slab is re-laddered instead of the
+        // whole run dying. The watchdog deadlines are armed up front, so
+        // under sequential slab execution only the *last* slab can stall
+        // without also expiring its successors' watchdogs.
+        let slab = baseline.slabs - 1;
+        let stalled = || ClipOptions {
+            budget: ExecBudget {
+                deadline: Some(std::time::Duration::from_millis(800)),
+                ..ExecBudget::default()
+            },
+            faults: FaultPlan::stall_in_slab(slab, 600),
+            ..seq()
+        };
+        let cold = try_clip_pair_slabs(&subject, &query, BoolOp::Union, 4, &stalled()).unwrap();
+        assert_eq!(cold.output, baseline.output, "cold slab {slab}");
+        assert_eq!(cold.degradations, vec![Degradation::SlabRetry { slab }]);
+
+        let warm = try_clip_prepared(&layer, &query, BoolOp::Union, 4, &stalled()).unwrap();
+        assert_eq!(warm.output, baseline.output, "prepared slab {slab}");
+        assert_eq!(warm.degradations, vec![Degradation::SlabRetry { slab }]);
+        assert!(
+            warm.times.retry_total >= std::time::Duration::from_millis(400),
+            "the stalled attempt's cost lands in retry_total, not slab load"
+        );
     }
 
     #[test]
