@@ -32,6 +32,9 @@
 //!   only query-side cost;
 //! * [`budget`] — bounded execution: deadlines, cooperative cancellation,
 //!   and work/memory budgets enforced at coarse pipeline checkpoints;
+//! * [`oracle`] — cross-implementation differential verification: the
+//!   [`ClipOracle`] trait over the engine and the independent
+//!   Foster–Overfelt clipper, with a region-area comparator;
 //! * [`stats`] — the n / k / k' instrumentation demonstrating output
 //!   sensitivity.
 //!
@@ -54,6 +57,7 @@ pub mod classify;
 pub mod engine;
 pub mod horizontal;
 pub mod ops;
+pub mod oracle;
 pub mod overlay;
 pub mod pram;
 pub mod prepared;
@@ -76,6 +80,10 @@ pub use engine::{
     try_clip_with_stats, ClipOptions,
 };
 pub use ops::{intersection_all, subtract_all, union_all, xor_all};
+pub use oracle::{
+    compare_outputs, ClipOracle, DiffReport, FosterOverfeltOracle, OracleError, ScanbeamOracle,
+    ORACLE_REL_TOL,
+};
 pub use overlay::{
     overlay_difference, overlay_intersection, overlay_intersection_grid, overlay_union,
     try_overlay_difference, try_overlay_intersection, try_overlay_union, Layer, OverlayResult,

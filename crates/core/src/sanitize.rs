@@ -203,11 +203,12 @@ fn skip_contour(c: &Contour) -> bool {
 fn contour_needs_repair(c: &Contour) -> bool {
     let pts = c.points();
     let n = pts.len();
+    let area_tol = near_cull_area_tol(pts);
     for i in 0..n {
         let p = pts[(i + n - 1) % n];
         let v = pts[i];
         let nx = pts[(i + 1) % n];
-        if v == nx || removable_vertex(p, v, nx).is_some() {
+        if v == nx || removable_vertex(p, v, nx, area_tol).is_some() {
             return true;
         }
     }
@@ -224,7 +225,13 @@ enum Removal {
 /// Classify vertex `v` between cyclic neighbours `p` and `n`. NaN-safe:
 /// every comparison fails closed (keep the vertex) on non-finite
 /// intermediates.
-fn removable_vertex(p: Point, v: Point, n: Point) -> Option<Removal> {
+///
+/// `area_tol` caps the enclosed-area change a *near*-collinear cull may
+/// cause (exact collinearity changes nothing and is always removable).
+/// The angular test alone is not area-bounded: at the apex of a needle
+/// triangle the adjacent edges are nearly antiparallel however much area
+/// the needle encloses, and culling the apex would erase all of it.
+fn removable_vertex(p: Point, v: Point, n: Point, area_tol: f64) -> Option<Removal> {
     if p == n {
         // The boundary goes p → v → p: a pure out-and-back excursion.
         return Some(Removal::Spike);
@@ -241,12 +248,35 @@ fn removable_vertex(p: Point, v: Point, n: Point) -> Option<Removal> {
             Some(Removal::Spike)
         };
     }
-    // Near-collinear with a direction reversal: a sub-epsilon spike. The
-    // relative tolerance only fires on rounding-level deviations.
-    if pv.dot(&vn) < 0.0 && pv.cross(&vn).abs() <= EPS_COLLINEAR_REL * pv.norm() * vn.norm() {
+    // Near-collinear with a direction reversal and a sub-epsilon area
+    // footprint: a rounding-level spike. Both bounds only fire on
+    // rounding-level deviations.
+    if pv.dot(&vn) < 0.0
+        && pv.cross(&vn).abs() <= EPS_COLLINEAR_REL * pv.norm() * vn.norm()
+        && pv.cross(&vn).abs() * 0.5 <= area_tol
+    {
         return Some(Removal::Spike);
     }
     None
+}
+
+/// Area-change budget for near-collinear culls on this ring: the rounding
+/// noise floor of the ring's own shoelace sum. The *absolute* sum of the
+/// shoelace terms bounds the cancellation error of the signed sum, so an
+/// area feature below [`EPS_COLLINEAR_REL`] of it is not meaningfully
+/// enclosed by these coordinates and may be culled; a needle's area sits
+/// orders of magnitude above this floor and survives. (Anchoring to the
+/// *signed* area instead would starve sliver rings — their total area is
+/// itself rounding debris — and leave un-cullable self-crossing noise.)
+fn near_cull_area_tol(pts: &[Point]) -> f64 {
+    let n = pts.len();
+    let gross: f64 = (0..n)
+        .map(|i| {
+            let (a, b) = (pts[i], pts[(i + 1) % n]);
+            (a.x * b.y).abs() + (b.x * a.y).abs()
+        })
+        .sum();
+    EPS_COLLINEAR_REL * 0.5 * gross
 }
 
 /// All vertices collinear (or fewer than three distinct directions): the
@@ -283,7 +313,11 @@ fn repair_contour(c: &Contour, report: &mut SanitizeReport) -> Option<Contour> {
 
     // Fixed point: removing a spike tip can expose a new duplicate or a
     // new collinear triple at the join, so iterate until stable. Each
-    // round removes at least one vertex, so this terminates.
+    // round removes at least one vertex, so this terminates. The area
+    // budget is fixed up front: every cull stays within it, so the drift
+    // over a whole repair is at most `n · area_tol` — still rounding
+    // level.
+    let area_tol = near_cull_area_tol(&pts);
     loop {
         if pts.len() < 3 || all_collinear(&pts) {
             return None;
@@ -294,7 +328,7 @@ fn repair_contour(c: &Contour, report: &mut SanitizeReport) -> Option<Contour> {
             let p = pts[(i + n - 1) % n];
             let v = pts[i];
             let nx = pts[(i + 1) % n];
-            if let Some(kind) = removable_vertex(p, v, nx) {
+            if let Some(kind) = removable_vertex(p, v, nx, area_tol) {
                 match kind {
                     Removal::Collinear => report.collinear_dropped += 1,
                     Removal::Spike => report.spikes_dropped += 1,

@@ -217,16 +217,41 @@ fn pick_next(
 /// middle point deviates from the chord by a relative rounding-level amount
 /// (virtual vertices are interpolated, so they sit within ulps of the
 /// original edge, not exactly on it).
+///
+/// `area_tol` caps the enclosed-area change a *near*-collinear removal may
+/// cause. The angular bound alone is not area-safe: every vertex of a
+/// needle-shaped ring is near-collinear by angle at the ring's own scale,
+/// and packing would erase the whole ring however much area it encloses.
 #[inline]
-fn removable(a: Point, b: Point, c: Point) -> bool {
+fn removable(a: Point, b: Point, c: Point, area_tol: f64) -> bool {
     if orient2d(a, b, c) == Orientation::Collinear {
         return true;
     }
     let ab = b - a;
     let ac = c - a;
     let cross = ab.cross(&ac).abs();
-    // |cross| = |ab||ac| sin θ; deviation of b from chord a-c ≈ cross/|ac|.
-    cross <= EPS_COLLINEAR_REL * ab.norm() * ac.norm()
+    // |cross| = |ab||ac| sin θ; deviation of b from chord a-c ≈ cross/|ac|;
+    // removing b changes the enclosed area by |cross| / 2.
+    cross <= EPS_COLLINEAR_REL * ab.norm() * ac.norm() && cross * 0.5 <= area_tol
+}
+
+/// Area-change budget for near-collinear packing on this ring: the
+/// rounding noise floor of the ring's own shoelace sum — the *absolute*
+/// sum of the shoelace terms bounds the cancellation error of the signed
+/// sum. Area features below [`EPS_COLLINEAR_REL`] of it are not
+/// meaningfully enclosed by these coordinates and may be packed away; a
+/// needle ring's area sits orders of magnitude above this floor and
+/// survives. (Anchoring to the *signed* area would starve sliver rings,
+/// whose total area is itself rounding debris.)
+fn pack_area_tol(pts: &[Point]) -> f64 {
+    let n = pts.len();
+    let gross: f64 = (0..n)
+        .map(|i| {
+            let (a, b) = (pts[i], pts[(i + 1) % n]);
+            (a.x * b.y).abs() + (b.x * a.y).abs()
+        })
+        .sum();
+    EPS_COLLINEAR_REL * 0.5 * gross
 }
 
 /// Drop vertices that are (near-)collinear with their neighbours — the k'
@@ -238,13 +263,14 @@ pub fn simplify_collinear(pts: Vec<Point>) -> Contour {
     if n < 3 {
         return Contour::new(pts);
     }
+    let area_tol = pack_area_tol(&pts);
     let mut keep: Vec<Point> = Vec::with_capacity(n);
     for p in pts {
         keep.push(p);
         // Collapse the tail while the last three are collinear.
         while keep.len() >= 3 {
             let m = keep.len();
-            if removable(keep[m - 3], keep[m - 2], keep[m - 1]) {
+            if removable(keep[m - 3], keep[m - 2], keep[m - 1], area_tol) {
                 keep.remove(m - 2);
             } else {
                 break;
@@ -254,11 +280,11 @@ pub fn simplify_collinear(pts: Vec<Point>) -> Contour {
     // Wrap-around: first and last vertices may also be collinear.
     loop {
         let m = keep.len();
-        if m >= 3 && removable(keep[m - 2], keep[m - 1], keep[0]) {
+        if m >= 3 && removable(keep[m - 2], keep[m - 1], keep[0], area_tol) {
             keep.pop();
             continue;
         }
-        if m >= 3 && removable(keep[m - 1], keep[0], keep[1]) {
+        if m >= 3 && removable(keep[m - 1], keep[0], keep[1], area_tol) {
             keep.remove(0);
             continue;
         }

@@ -22,6 +22,7 @@ pub mod contour;
 pub mod float;
 pub mod geojson;
 pub mod hull;
+pub mod measure;
 pub mod point;
 pub mod polygon;
 pub mod predicates;
@@ -36,6 +37,7 @@ pub use float::{
     EPS_MACHINE,
 };
 pub use hull::{convex_contains, convex_hull};
+pub use measure::{overlap_area, region_area, symmetric_difference_area};
 pub use point::Point;
 pub use polygon::{FillRule, PolygonSet};
 pub use predicates::{orient2d, Orientation};

@@ -135,6 +135,10 @@ pub mod prelude {
     pub use polyclip_core::{
         clip_prepared, try_clip_prepared, try_clip_prepared_backend, PreparedLayer,
     };
+    pub use polyclip_core::{
+        compare_outputs, ClipOracle, DiffReport, FosterOverfeltOracle, OracleError, ScanbeamOracle,
+        ORACLE_REL_TOL,
+    };
     pub use polyclip_core::{intersection_all, subtract_all, union_all, xor_all};
     pub use polyclip_core::{sanitize_set, SanitizeOptions, SanitizeReport};
     pub use polyclip_core::{

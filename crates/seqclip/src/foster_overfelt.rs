@@ -1,0 +1,994 @@
+//! Foster–Overfelt degeneracy-robust polygon clipping.
+//!
+//! An independent implementation of the Greiner–Hormann variant from
+//! Foster & Overfelt, *"Clipping of Arbitrary Polygons with Degeneracies"*
+//! (see PAPERS.md): boolean operations on polygons-with-holes that remain
+//! correct when the inputs touch degenerately — vertex-on-vertex,
+//! vertex-on-edge, and collinear overlapping edges — **without**
+//! perturbation and without ad-hoc epsilons (all geometric decisions go
+//! through the exact-sign predicates in `geom::predicates`).
+//!
+//! # How it differs from plain Greiner–Hormann
+//!
+//! Classic GH inserts a crossing node wherever two edges properly
+//! intersect and alternates entry/exit flags around each ring. Degenerate
+//! contact breaks both steps: a shared vertex produces zero or two
+//! coincident "crossings", and alternation derails. Foster–Overfelt
+//! repairs this in three moves, all implemented here:
+//!
+//! 1. **Refinement** — every contact point becomes a *linked pair* of
+//!    nodes, one per ring: proper crossings insert new nodes in both
+//!    edges, a vertex on the other ring's vertex links the two original
+//!    nodes, and a vertex in the interior of the other ring's edge splits
+//!    that edge at the exact vertex coordinates. Collinear overlaps need
+//!    no special case: after refinement both rings contain identical node
+//!    sequences along any shared chain.
+//! 2. **Side classification** — for each linked node, the directions to
+//!    its ring neighbors are classified `Left`/`Right`/`On` relative to
+//!    the partner ring's local wedge (exact orientation signs only). A
+//!    maximal run of `On`-connected linked nodes is a *chain*; the chain
+//!    **crosses** iff it approaches on one side and departs on the other,
+//!    otherwise it *bounces*. A crossing chain contributes exactly one
+//!    crossing node — the chain endpoint with the lexicographically
+//!    smaller coordinate, a canonical choice both rings agree on, which
+//!    keeps crossing marks mutual between partners. Entry/exit flags then
+//!    alternate over crossing chains only, seeded by an exact point
+//!    location at an uncontaminated seed point of each ring.
+//! 3. **Whole-ring inclusion** — rings with no crossing chain (disjoint,
+//!    nested, or touching without penetration) are kept or dropped by
+//!    comparing the operation's truth value just inside vs. just outside
+//!    the ring at its seed point; fully coincident ring pairs collapse to
+//!    a single copy with both parities flipped across the boundary.
+//!
+//! # Scope
+//!
+//! * Fill rule is **even-odd** throughout, matching the rest of the
+//!   workspace. `Xor` is exact by construction: under even-odd the
+//!   symmetric difference is literally the concatenation of both
+//!   contour lists.
+//! * Inputs may be arbitrary polygon *sets* (multiple contours, holes by
+//!   parity). Each set must be free of **self**-intersections: contours
+//!   of one set may touch at points but must not properly cross each
+//!   other or themselves, and must not overlap collinearly within the
+//!   set. Cross-set degeneracies — the hard part — are fully supported.
+//!   `core::oracle::FosterOverfeltOracle::supports` screens inputs for
+//!   this precondition.
+//! * This is a verification oracle, not a production path: refinement is
+//!   a deliberate all-pairs `O(E_s · E_c)` scan that is easy to audit.
+
+use polyclip_geom::predicates::orient2d_sign;
+use polyclip_geom::{Contour, FillRule, Point, PolygonSet};
+
+/// Boolean operation for [`fo_clip`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FoOp {
+    /// Region in both subject and clip.
+    Intersection,
+    /// Region in either subject or clip.
+    Union,
+    /// Region in subject but not clip.
+    Difference,
+    /// Region in exactly one of the two (even-odd symmetric difference).
+    Xor,
+}
+
+const NONE: usize = usize::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+    On,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Label {
+    /// Not a contact point.
+    Plain,
+    /// Contact that does not cross the other boundary (or a non-canonical
+    /// member of a crossing chain).
+    Bounce,
+    /// Canonical crossing node: the trace switches rings here.
+    Crossing,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    p: Point,
+    prev: usize,
+    next: usize,
+    /// Linked partner node in the other ring (`NONE` if not a contact).
+    neighbor: usize,
+    ring: usize,
+    label: Label,
+    entry: bool,
+    visited: bool,
+    /// Side of the partner wedge the own-ring predecessor lies on.
+    side_prev: Side,
+    /// Side of the partner wedge the own-ring successor lies on.
+    side_next: Side,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ring {
+    /// 0 = subject, 1 = clip.
+    owner: u8,
+    /// Contour index within the owner's cleaned set.
+    contour: usize,
+    /// Any node of the ring (assembly order start).
+    first: usize,
+    /// Node count after refinement.
+    len: usize,
+    has_crossing: bool,
+    /// Every vertex linked and every edge midpoint on the other boundary:
+    /// the ring coincides entirely with (part of) the other set.
+    coincident: bool,
+    /// Already emitted/suppressed as half of a coincident pair.
+    consumed: bool,
+    /// Walk start node.
+    seed: usize,
+    /// A point of the ring's boundary strictly off the other boundary.
+    seed_pt: Point,
+    /// Even-odd parity of the *other* set at `seed_pt`.
+    seed_status: bool,
+}
+
+#[inline]
+fn same_pt(a: Point, b: Point) -> bool {
+    a.x == b.x && a.y == b.y
+}
+
+#[inline]
+fn lex_le(a: Point, b: Point) -> bool {
+    (a.x, a.y) <= (b.x, b.y)
+}
+
+/// Strictly-interior test for a point known collinear with `a → b`,
+/// parameterized along the dominant axis so vertical edges work.
+#[inline]
+fn interior_of_edge(a: Point, b: Point, p: Point) -> bool {
+    if (b.x - a.x).abs() >= (b.y - a.y).abs() {
+        (a.x < p.x && p.x < b.x) || (b.x < p.x && p.x < a.x)
+    } else {
+        (a.y < p.y && p.y < b.y) || (b.y < p.y && p.y < a.y)
+    }
+}
+
+/// Parameter of a point known to lie on edge `a → b`, for sort order only.
+#[inline]
+fn edge_param(a: Point, b: Point, p: Point) -> f64 {
+    if (b.x - a.x).abs() >= (b.y - a.y).abs() {
+        (p.x - a.x) / (b.x - a.x)
+    } else {
+        (p.y - a.y) / (b.y - a.y)
+    }
+}
+
+/// Which side of the partner ring's local wedge `qm → i → qp` does the
+/// own-ring neighbor `p` lie on? `On` means `p` coincides with a wedge
+/// arm endpoint — i.e. the adjoining edge is genuinely shared (after
+/// refinement, shared chains have identical node sequences in both
+/// rings, so coincidence-with-neighbor is the exact shared-edge test).
+fn side_of(p: Point, qm: Point, i: Point, qp: Point) -> Side {
+    if same_pt(p, qm) || same_pt(p, qp) {
+        return Side::On;
+    }
+    let o1 = orient2d_sign(qm, i, p);
+    let o2 = orient2d_sign(i, qp, p);
+    let oc = orient2d_sign(qm, i, qp);
+    let left = if oc > 0.0 {
+        // Convex wedge: left of both arms.
+        if o1 == 0.0 {
+            o2 > 0.0
+        } else if o2 == 0.0 {
+            o1 > 0.0
+        } else {
+            o1 > 0.0 && o2 > 0.0
+        }
+    } else if oc < 0.0 {
+        // Reflex wedge: left of either arm.
+        if o1 == 0.0 {
+            o2 > 0.0
+        } else if o2 == 0.0 {
+            o1 > 0.0
+        } else {
+            o1 > 0.0 || o2 > 0.0
+        }
+    } else {
+        // Straight-through partner: one consistent line.
+        if o1 != 0.0 {
+            o1 > 0.0
+        } else if o2 != 0.0 {
+            o2 > 0.0
+        } else {
+            return Side::On;
+        }
+    };
+    if left {
+        Side::Left
+    } else {
+        Side::Right
+    }
+}
+
+/// Drop non-finite rings, collapse duplicate vertices, keep rings with
+/// at least three distinct points, and drop rings whose points are all
+/// exactly collinear (a collapsed ring encloses nothing). No snapping,
+/// no reorientation.
+fn clean(p: &PolygonSet) -> PolygonSet {
+    let mut out = Vec::new();
+    'ring: for c in p.contours() {
+        for q in c.points() {
+            if !q.is_finite() {
+                continue 'ring;
+            }
+        }
+        let c = Contour::new(c.points().to_vec());
+        if c.len() < 3 {
+            continue;
+        }
+        let pts = c.points();
+        if pts[2..]
+            .iter()
+            .all(|&q| orient2d_sign(pts[0], pts[1], q) == 0.0)
+        {
+            continue;
+        }
+        out.push(c);
+    }
+    PolygonSet::from_contours(out)
+}
+
+fn op_status(op: FoOp, in_subject: bool, in_clip: bool) -> bool {
+    match op {
+        FoOp::Intersection => in_subject && in_clip,
+        FoOp::Union => in_subject || in_clip,
+        FoOp::Difference => in_subject && !in_clip,
+        FoOp::Xor => in_subject != in_clip,
+    }
+}
+
+/// Even-odd parity of `set` at `p`, skipping contour `skip`.
+fn parity_excluding(set: &PolygonSet, skip: usize, p: Point) -> bool {
+    let mut odd = false;
+    for (ci, c) in set.contours().iter().enumerate() {
+        if ci != skip && c.contains_even_odd(p) {
+            odd = !odd;
+        }
+    }
+    odd
+}
+
+struct Graph {
+    nodes: Vec<Node>,
+    rings: Vec<Ring>,
+}
+
+impl Graph {
+    /// Phase 1: build refined node rings with all contact points linked.
+    fn build(subj: &PolygonSet, clp: &PolygonSet) -> Graph {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut rings: Vec<Ring> = Vec::new();
+        // Original-vertex node ids per ring, in ring order.
+        let mut orig: Vec<Vec<usize>> = Vec::new();
+        // Nodes pending insertion per (ring, edge), keyed by edge param.
+        let mut pend: Vec<Vec<Vec<(f64, usize)>>> = Vec::new();
+
+        for (owner, set) in [(0u8, subj), (1u8, clp)] {
+            for (ci, c) in set.contours().iter().enumerate() {
+                let r = rings.len();
+                let ids: Vec<usize> = c
+                    .points()
+                    .iter()
+                    .map(|&p| {
+                        let id = nodes.len();
+                        nodes.push(Node {
+                            p,
+                            prev: NONE,
+                            next: NONE,
+                            neighbor: NONE,
+                            ring: r,
+                            label: Label::Plain,
+                            entry: false,
+                            visited: false,
+                            side_prev: Side::On,
+                            side_next: Side::On,
+                        });
+                        id
+                    })
+                    .collect();
+                pend.push(vec![Vec::new(); ids.len()]);
+                orig.push(ids);
+                rings.push(Ring {
+                    owner,
+                    contour: ci,
+                    first: NONE,
+                    len: 0,
+                    has_crossing: false,
+                    coincident: false,
+                    consumed: false,
+                    seed: NONE,
+                    seed_pt: Point::new(0.0, 0.0),
+                    seed_status: false,
+                });
+            }
+        }
+        let n_subj = subj.len();
+
+        // All-pairs edge scan: subject edge (a0 → a1) × clip edge (b0 → b1).
+        for rs in 0..n_subj {
+            let sn = orig[rs].len();
+            for i in 0..sn {
+                let na0 = orig[rs][i];
+                let (a0, a1) = (nodes[na0].p, nodes[orig[rs][(i + 1) % sn]].p);
+                for rc in n_subj..rings.len() {
+                    let cn = orig[rc].len();
+                    for j in 0..cn {
+                        let nb0 = orig[rc][j];
+                        let (b0, b1) = (nodes[nb0].p, nodes[orig[rc][(j + 1) % cn]].p);
+                        // Bounding-box reject (strict, so touches survive).
+                        if a0.x.max(a1.x) < b0.x.min(b1.x)
+                            || b0.x.max(b1.x) < a0.x.min(a1.x)
+                            || a0.y.max(a1.y) < b0.y.min(b1.y)
+                            || b0.y.max(b1.y) < a0.y.min(a1.y)
+                        {
+                            continue;
+                        }
+                        let o1 = orient2d_sign(b0, b1, a0);
+                        let o2 = orient2d_sign(b0, b1, a1);
+                        let o3 = orient2d_sign(a0, a1, b0);
+                        let o4 = orient2d_sign(a0, a1, b1);
+                        if o1 * o2 < 0.0 && o3 * o4 < 0.0 {
+                            // Proper transversal crossing: one new node in
+                            // each edge, linked.
+                            let d = a1 - a0;
+                            let g = b1 - b0;
+                            let denom = d.cross(&g);
+                            if denom == 0.0 {
+                                continue;
+                            }
+                            let t = (b0 - a0).cross(&g) / denom;
+                            let u = (b0 - a0).cross(&d) / denom;
+                            let p = a0.lerp(&a1, t);
+                            let na = nodes.len();
+                            nodes.push(Node {
+                                p,
+                                prev: NONE,
+                                next: NONE,
+                                neighbor: na + 1,
+                                ring: rs,
+                                label: Label::Plain,
+                                entry: false,
+                                visited: false,
+                                side_prev: Side::On,
+                                side_next: Side::On,
+                            });
+                            let nb = nodes.len();
+                            nodes.push(Node {
+                                p,
+                                prev: NONE,
+                                next: NONE,
+                                neighbor: na,
+                                ring: rc,
+                                label: Label::Plain,
+                                entry: false,
+                                visited: false,
+                                side_prev: Side::On,
+                                side_next: Side::On,
+                            });
+                            pend[rs][i].push((t, na));
+                            pend[rc][j].push((u, nb));
+                            continue;
+                        }
+                        if same_pt(a0, b0) {
+                            // Vertex-on-vertex: link the originals.
+                            if nodes[na0].neighbor == NONE && nodes[nb0].neighbor == NONE {
+                                nodes[na0].neighbor = nb0;
+                                nodes[nb0].neighbor = na0;
+                            }
+                            continue;
+                        }
+                        // Vertex-on-edge (both directions; for collinear
+                        // overlaps both can fire on one pair).
+                        if o1 == 0.0
+                            && !same_pt(a0, b1)
+                            && interior_of_edge(b0, b1, a0)
+                            && nodes[na0].neighbor == NONE
+                        {
+                            let id = nodes.len();
+                            nodes.push(Node {
+                                p: a0,
+                                prev: NONE,
+                                next: NONE,
+                                neighbor: na0,
+                                ring: rc,
+                                label: Label::Plain,
+                                entry: false,
+                                visited: false,
+                                side_prev: Side::On,
+                                side_next: Side::On,
+                            });
+                            nodes[na0].neighbor = id;
+                            pend[rc][j].push((edge_param(b0, b1, a0), id));
+                        }
+                        if o3 == 0.0
+                            && !same_pt(b0, a1)
+                            && interior_of_edge(a0, a1, b0)
+                            && nodes[nb0].neighbor == NONE
+                        {
+                            let id = nodes.len();
+                            nodes.push(Node {
+                                p: b0,
+                                prev: NONE,
+                                next: NONE,
+                                neighbor: nb0,
+                                ring: rs,
+                                label: Label::Plain,
+                                entry: false,
+                                visited: false,
+                                side_prev: Side::On,
+                                side_next: Side::On,
+                            });
+                            nodes[nb0].neighbor = id;
+                            pend[rs][i].push((edge_param(a0, a1, b0), id));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assembly: splice pending nodes into ring order, wire prev/next.
+        for r in 0..rings.len() {
+            let mut order: Vec<usize> = Vec::with_capacity(orig[r].len());
+            for (i, &v) in orig[r].iter().enumerate() {
+                order.push(v);
+                pend[r][i].sort_by(|x, y| x.0.total_cmp(&y.0));
+                order.extend(pend[r][i].iter().map(|&(_, id)| id));
+            }
+            let n = order.len();
+            for (k, &id) in order.iter().enumerate() {
+                nodes[id].next = order[(k + 1) % n];
+                nodes[id].prev = order[(k + n - 1) % n];
+            }
+            rings[r].first = order[0];
+            rings[r].len = n;
+        }
+
+        Graph { nodes, rings }
+    }
+
+    fn ring_node_ids(&self, r: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.rings[r].len);
+        let mut cur = self.rings[r].first;
+        for _ in 0..self.rings[r].len {
+            out.push(cur);
+            cur = self.nodes[cur].next;
+        }
+        out
+    }
+
+    /// Phase 2a: classify the neighbor directions of every linked node
+    /// against the partner wedge.
+    fn classify_sides(&mut self) {
+        for id in 0..self.nodes.len() {
+            let nb = self.nodes[id].neighbor;
+            if nb == NONE {
+                continue;
+            }
+            let i = self.nodes[id].p;
+            let qm = self.nodes[self.nodes[nb].prev].p;
+            let qp = self.nodes[self.nodes[nb].next].p;
+            let pm = self.nodes[self.nodes[id].prev].p;
+            let pp = self.nodes[self.nodes[id].next].p;
+            self.nodes[id].side_prev = side_of(pm, qm, i, qp);
+            self.nodes[id].side_next = side_of(pp, qm, i, qp);
+        }
+    }
+
+    /// Is the edge between consecutive nodes `a → b` shared with the
+    /// partner ring (its endpoints' partners are ring-adjacent there)?
+    fn edge_is_shared(&self, a: usize, b: usize) -> bool {
+        let (na, nb) = (self.nodes[a].neighbor, self.nodes[b].neighbor);
+        na != NONE && nb != NONE && (self.nodes[na].prev == nb || self.nodes[na].next == nb)
+    }
+
+    /// Phase 2b: pick a seed per ring — a boundary point provably off the
+    /// other set's boundary — and record the other set's parity there.
+    fn find_seeds(&mut self, subj: &PolygonSet, clp: &PolygonSet) {
+        for r in 0..self.rings.len() {
+            let other = if self.rings[r].owner == 0 { clp } else { subj };
+            let ids = self.ring_node_ids(r);
+            let mut found = false;
+            if let Some(&v) = ids.iter().find(|&&id| self.nodes[id].neighbor == NONE) {
+                // An unlinked vertex is off the other boundary by
+                // construction (it would have been V- or T-linked).
+                self.rings[r].seed = v;
+                self.rings[r].seed_pt = self.nodes[v].p;
+                found = true;
+            } else {
+                // Every vertex is linked; look for an edge that is not
+                // *shared*, and seed at the node after it with the midpoint
+                // status (chains then cannot wrap past the seed). Shared is
+                // a structural test — the endpoints' partners are adjacent
+                // in the partner ring — because after refinement an
+                // inter-node edge either coincides with a partner edge
+                // exactly or has its interior strictly off the other
+                // boundary. (A geometric midpoint-on-boundary test would
+                // lie here: `lerp` midpoints of non-axis-aligned edges are
+                // not exactly collinear in floating point.)
+                for &id in &ids {
+                    let nx = self.nodes[id].next;
+                    if !self.edge_is_shared(id, nx) {
+                        self.rings[r].seed = nx;
+                        self.rings[r].seed_pt = self.nodes[id].p.lerp(&self.nodes[nx].p, 0.5);
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if !found {
+                self.rings[r].coincident = true;
+                continue;
+            }
+            self.rings[r].seed_status = other.contains(self.rings[r].seed_pt, FillRule::EvenOdd);
+        }
+    }
+
+    /// Phase 2c+2d: alternate entry flags over crossing chains, with a
+    /// mutuality fixpoint (a chain marked crossing by only one ring is
+    /// demoted to a bounce and the walk re-run).
+    fn label_crossings(&mut self) {
+        let mut forced = vec![false; self.nodes.len()];
+        let max_rounds = self
+            .nodes
+            .iter()
+            .filter(|n| n.neighbor != NONE)
+            .count()
+            .max(1);
+        for _ in 0..=max_rounds {
+            // Reset labels.
+            for n in &mut self.nodes {
+                n.label = if n.neighbor == NONE {
+                    Label::Plain
+                } else {
+                    Label::Bounce
+                };
+                n.entry = false;
+            }
+            for r in &mut self.rings {
+                r.has_crossing = false;
+            }
+            for r in 0..self.rings.len() {
+                if !self.rings[r].coincident {
+                    self.walk_ring(r, &forced);
+                }
+            }
+            // Mutuality check: crossing marks must come in linked pairs.
+            let mut changed = false;
+            for (id, force) in forced.iter_mut().enumerate() {
+                if self.nodes[id].label == Label::Crossing {
+                    let nb = self.nodes[id].neighbor;
+                    if self.nodes[nb].label != Label::Crossing && !*force {
+                        *force = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    fn walk_ring(&mut self, r: usize, forced: &[bool]) {
+        let seed = self.rings[r].seed;
+        let mut status = self.rings[r].seed_status;
+        let ring_len = self.rings[r].len;
+        let mut cur = seed;
+        let mut budget = ring_len + 1;
+        let mut first = true;
+        while (first || cur != seed) && budget > 0 {
+            first = false;
+            if self.nodes[cur].neighbor == NONE {
+                cur = self.nodes[cur].next;
+                budget -= 1;
+                continue;
+            }
+            // Collect the maximal shared chain starting at `cur`.
+            let start = cur;
+            let mut end = cur;
+            let mut chain = 1usize;
+            while self.nodes[end].side_next == Side::On && chain <= ring_len {
+                let nx = self.nodes[end].next;
+                if nx == seed
+                    || self.nodes[nx].neighbor == NONE
+                    || self.nodes[nx].side_prev != Side::On
+                {
+                    break;
+                }
+                end = nx;
+                chain += 1;
+            }
+            let approach = self.nodes[start].side_prev;
+            let depart = self.nodes[end].side_next;
+            // Canonical crossing node: the lexicographically smaller chain
+            // endpoint. Both rings of a shared chain see the same two
+            // endpoint coordinates, so their picks are linked partners.
+            let canon = if chain == 1 || lex_le(self.nodes[start].p, self.nodes[end].p) {
+                start
+            } else {
+                end
+            };
+            let crossing =
+                approach != Side::On && depart != Side::On && approach != depart && !forced[canon];
+            if crossing {
+                self.nodes[canon].label = Label::Crossing;
+                self.nodes[canon].entry = !status;
+                status = !status;
+                self.rings[r].has_crossing = true;
+            }
+            budget = budget.saturating_sub(chain);
+            cur = self.nodes[end].next;
+        }
+    }
+
+    /// Phase 3: Greiner–Hormann trace over the crossing nodes.
+    fn trace(&mut self, op: FoOp) -> Vec<Contour> {
+        let invert = match op {
+            FoOp::Intersection => (false, false),
+            FoOp::Union => (true, true),
+            FoOp::Difference => (true, false),
+            FoOp::Xor => unreachable!("Xor is handled by concatenation"),
+        };
+        let cap = 2 * self.nodes.len() + 8;
+        let mut out = Vec::new();
+        for s in 0..self.nodes.len() {
+            if self.nodes[s].label != Label::Crossing || self.nodes[s].visited {
+                continue;
+            }
+            let mut pts: Vec<Point> = Vec::new();
+            let mut cur = s;
+            let mut steps = 0usize;
+            'trace: loop {
+                self.nodes[cur].visited = true;
+                let nb = self.nodes[cur].neighbor;
+                if nb != NONE {
+                    self.nodes[nb].visited = true;
+                }
+                let inv = if self.rings[self.nodes[cur].ring].owner == 0 {
+                    invert.0
+                } else {
+                    invert.1
+                };
+                let fwd = self.nodes[cur].entry ^ inv;
+                loop {
+                    pts.push(self.nodes[cur].p);
+                    cur = if fwd {
+                        self.nodes[cur].next
+                    } else {
+                        self.nodes[cur].prev
+                    };
+                    steps += 1;
+                    if steps > cap {
+                        break 'trace;
+                    }
+                    if self.nodes[cur].label == Label::Crossing {
+                        break;
+                    }
+                }
+                if cur == s {
+                    break;
+                }
+                self.nodes[cur].visited = true;
+                let nb = self.nodes[cur].neighbor;
+                if nb == NONE || nb == s || self.nodes[nb].visited {
+                    break;
+                }
+                cur = nb;
+            }
+            let c = Contour::new(pts);
+            if c.len() >= 3 {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Phase 3.5: whole-ring inclusion for rings without crossings.
+    fn emit_noncrossing(
+        &mut self,
+        op: FoOp,
+        subj: &PolygonSet,
+        clp: &PolygonSet,
+        out: &mut Vec<Contour>,
+    ) {
+        for r in 0..self.rings.len() {
+            if self.rings[r].has_crossing || self.rings[r].consumed {
+                continue;
+            }
+            let owner = self.rings[r].owner;
+            let (own, other) = if owner == 0 { (subj, clp) } else { (clp, subj) };
+            if self.rings[r].coincident {
+                // The ring lies entirely on the other set's boundary. Find
+                // its partner ring; if that partner is also fully
+                // coincident the two rings are copies of each other and
+                // collapse to (at most) one emitted copy.
+                let ids = self.ring_node_ids(r);
+                let partner = ids
+                    .iter()
+                    .find(|&&id| self.nodes[id].neighbor != NONE)
+                    .map(|&id| self.nodes[self.nodes[id].neighbor].ring);
+                let Some(pr) = partner else {
+                    // No links at all yet marked coincident — impossible,
+                    // but dropping is the safe answer.
+                    self.rings[r].consumed = true;
+                    continue;
+                };
+                if !self.rings[pr].coincident || self.rings[pr].consumed {
+                    // Partial coincidence with a larger ring implies a
+                    // self-touching other set; out of supported scope.
+                    self.rings[r].consumed = true;
+                    continue;
+                }
+                self.rings[r].consumed = true;
+                self.rings[pr].consumed = true;
+                let v = self.nodes[ids[0]].p;
+                // Parity just inside the shared boundary: the ring itself
+                // plus any surrounding contours of each set.
+                let own_in = !parity_excluding(own, self.rings[r].contour, v);
+                let other_in = !parity_excluding(other, self.rings[pr].contour, v);
+                let (pa, pb) = if owner == 0 {
+                    (own_in, other_in)
+                } else {
+                    (other_in, own_in)
+                };
+                // Crossing the shared boundary flips both parities.
+                if op_status(op, pa, pb) != op_status(op, !pa, !pb) {
+                    out.push(own.contours()[self.rings[r].contour].clone());
+                }
+            } else {
+                let seed_pt = self.rings[r].seed_pt;
+                let own_in = !parity_excluding(own, self.rings[r].contour, seed_pt);
+                let other_in = self.rings[r].seed_status;
+                let (pa, pb) = if owner == 0 {
+                    (own_in, other_in)
+                } else {
+                    (other_in, own_in)
+                };
+                // Crossing this ring's boundary flips only its own parity.
+                let (qa, qb) = if owner == 0 { (!pa, pb) } else { (pa, !pb) };
+                if op_status(op, pa, pb) != op_status(op, qa, qb) {
+                    out.push(own.contours()[self.rings[r].contour].clone());
+                }
+            }
+        }
+    }
+}
+
+/// Clip `subject` against `clip` under the even-odd fill rule, robustly
+/// handling degenerate contacts (shared vertices, vertices on edges,
+/// collinear overlapping edges). See the module docs for scope.
+pub fn fo_clip(subject: &PolygonSet, clip: &PolygonSet, op: FoOp) -> PolygonSet {
+    let subj = clean(subject);
+    let clp = clean(clip);
+    if matches!(op, FoOp::Xor) {
+        // Even-odd symmetric difference is concatenation, exactly.
+        let mut out = subj;
+        out.extend(clp);
+        return out;
+    }
+    if subj.is_empty() || clp.is_empty() {
+        return match op {
+            FoOp::Intersection => PolygonSet::from_contours(Vec::new()),
+            FoOp::Union => {
+                let mut out = subj;
+                out.extend(clp);
+                out
+            }
+            FoOp::Difference => subj,
+            FoOp::Xor => unreachable!(),
+        };
+    }
+    let mut g = Graph::build(&subj, &clp);
+    g.classify_sides();
+    g.find_seeds(&subj, &clp);
+    g.label_crossings();
+    let mut contours = g.trace(op);
+    g.emit_noncrossing(op, &subj, &clp, &mut contours);
+    PolygonSet::from_contours(contours)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyclip_geom::contour::rect;
+    use polyclip_geom::measure::{overlap_area, region_area};
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> PolygonSet {
+        PolygonSet::from_contour(rect(x0, y0, x1, y1))
+    }
+
+    fn area(p: &PolygonSet) -> f64 {
+        region_area(p)
+    }
+
+    /// Assert all three primary ops against expected region areas.
+    fn check_ops(subj: &PolygonSet, clp: &PolygonSet, inter: f64, uni: f64, diff: f64) {
+        let i = fo_clip(subj, clp, FoOp::Intersection);
+        let u = fo_clip(subj, clp, FoOp::Union);
+        let d = fo_clip(subj, clp, FoOp::Difference);
+        assert!(
+            (area(&i) - inter).abs() < 1e-9,
+            "intersection area {} != {inter}: {i:?}",
+            area(&i)
+        );
+        assert!(
+            (area(&u) - uni).abs() < 1e-9,
+            "union area {} != {uni}: {u:?}",
+            area(&u)
+        );
+        assert!(
+            (area(&d) - diff).abs() < 1e-9,
+            "difference area {} != {diff}: {d:?}",
+            area(&d)
+        );
+    }
+
+    #[test]
+    fn offset_squares_generic_position() {
+        // The classic GH case still works: proper crossings only.
+        check_ops(
+            &sq(0.0, 0.0, 2.0, 2.0),
+            &sq(1.0, 1.0, 3.0, 3.0),
+            1.0,
+            7.0,
+            3.0,
+        );
+    }
+
+    #[test]
+    fn disjoint_and_nested() {
+        check_ops(
+            &sq(0.0, 0.0, 1.0, 1.0),
+            &sq(5.0, 5.0, 6.0, 6.0),
+            0.0,
+            2.0,
+            1.0,
+        );
+        // Clip strictly inside subject.
+        check_ops(
+            &sq(0.0, 0.0, 4.0, 4.0),
+            &sq(1.0, 1.0, 2.0, 2.0),
+            1.0,
+            16.0,
+            15.0,
+        );
+        // Subject strictly inside clip.
+        check_ops(
+            &sq(1.0, 1.0, 2.0, 2.0),
+            &sq(0.0, 0.0, 4.0, 4.0),
+            1.0,
+            16.0,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn identical_squares_fully_coincident() {
+        check_ops(
+            &sq(0.0, 0.0, 2.0, 2.0),
+            &sq(0.0, 0.0, 2.0, 2.0),
+            4.0,
+            4.0,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn overlapping_collinear_edges() {
+        // A = [0,2]², B = [1,3]×[0,2]: bottom and top edges overlap
+        // collinearly along x ∈ [1,2]; the paper's "overlapping edges" case.
+        check_ops(
+            &sq(0.0, 0.0, 2.0, 2.0),
+            &sq(1.0, 0.0, 3.0, 2.0),
+            2.0,
+            6.0,
+            2.0,
+        );
+    }
+
+    #[test]
+    fn corner_touch_vertex_on_vertex() {
+        // Single shared corner at (2,2): the paper's vertex-on-vertex case.
+        check_ops(
+            &sq(0.0, 0.0, 2.0, 2.0),
+            &sq(2.0, 2.0, 4.0, 4.0),
+            0.0,
+            8.0,
+            4.0,
+        );
+    }
+
+    #[test]
+    fn shared_full_edge() {
+        // Two unit squares sharing the full edge x = 1.
+        check_ops(
+            &sq(0.0, 0.0, 1.0, 1.0),
+            &sq(1.0, 0.0, 2.0, 1.0),
+            0.0,
+            2.0,
+            1.0,
+        );
+    }
+
+    #[test]
+    fn diamond_with_vertices_on_square_boundary() {
+        // Diamond with two vertices ON the square's right edge (at its
+        // corners' midside): vertex-on-edge contacts that DO cross.
+        let square = sq(0.0, 0.0, 2.0, 2.0);
+        let diamond = PolygonSet::from_xy(&[(2.0, 0.0), (3.0, 1.0), (2.0, 2.0), (1.0, 1.0)]);
+        // Diamond area 2; half of it (triangle (2,0),(2,2),(1,1), area 1)
+        // lies inside the square.
+        check_ops(&square, &diamond, 1.0, 5.0, 3.0);
+    }
+
+    #[test]
+    fn triangle_apex_on_edge_from_inside() {
+        // Vertex-on-edge without penetration: apex touches the top edge
+        // from inside; the triangle bounces and resolves by containment.
+        let square = sq(0.0, 0.0, 2.0, 2.0);
+        let tri = PolygonSet::from_xy(&[(1.0, 2.0), (0.5, 1.0), (1.5, 1.0)]);
+        check_ops(&square, &tri, 0.5, 4.0, 3.5);
+    }
+
+    #[test]
+    fn triangle_apex_on_edge_from_outside() {
+        // Vertex-on-edge touch from outside: interiors are disjoint.
+        let square = sq(0.0, 0.0, 2.0, 2.0);
+        let tri = PolygonSet::from_xy(&[(1.0, 0.0), (3.0, -2.0), (-1.0, -2.0)]);
+        check_ops(&square, &tri, 0.0, 8.0, 4.0);
+    }
+
+    #[test]
+    fn holes_and_multiple_contours() {
+        // Subject: [0,4]² with hole [1,3]² (even-odd). Clip: [2,6]×[0,4].
+        let mut subj = sq(0.0, 0.0, 4.0, 4.0);
+        subj.push(rect(1.0, 1.0, 3.0, 3.0));
+        let clp = sq(2.0, 0.0, 6.0, 4.0);
+        check_ops(&subj, &clp, 6.0, 22.0, 6.0);
+    }
+
+    #[test]
+    fn hole_boundary_coincides_with_clip() {
+        // Clip exactly equals the subject's hole: intersection is empty,
+        // difference is the ring, union is the outer square.
+        let mut subj = sq(0.0, 0.0, 4.0, 4.0);
+        subj.push(rect(1.0, 1.0, 3.0, 3.0));
+        let clp = sq(1.0, 1.0, 3.0, 3.0);
+        check_ops(&subj, &clp, 0.0, 16.0, 12.0);
+    }
+
+    #[test]
+    fn xor_is_concatenation() {
+        let a = sq(0.0, 0.0, 2.0, 2.0);
+        let b = sq(1.0, 1.0, 3.0, 3.0);
+        let x = fo_clip(&a, &b, FoOp::Xor);
+        let expect = area(&a) + area(&b) - 2.0 * overlap_area(&a, &b);
+        assert!((area(&x) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_survive() {
+        let empty = PolygonSet::from_contours(Vec::new());
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        assert!(fo_clip(&empty, &a, FoOp::Intersection).is_empty());
+        assert!((area(&fo_clip(&empty, &a, FoOp::Union)) - 1.0).abs() < 1e-12);
+        assert!(fo_clip(&empty, &a, FoOp::Difference).is_empty());
+        // Degenerate (collapsed) contour cleans away.
+        let line = PolygonSet::from_xy(&[(0.0, 0.0), (1.0, 0.0), (0.5, 0.0)]);
+        assert!(fo_clip(&line, &a, FoOp::Intersection).is_empty());
+        // Non-finite coordinates drop the ring, not the process.
+        let bad = PolygonSet::from_xy(&[(f64::NAN, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        assert!(fo_clip(&bad, &a, FoOp::Intersection).is_empty());
+    }
+}

@@ -7,11 +7,27 @@
 //! rings, marked alternately as entry/exit, and result contours are traced
 //! by switching rings at each intersection.
 //!
+//! # Precondition: general position
+//!
 //! Degenerate configurations are a documented limitation of the original
-//! algorithm; the scanbeam engine in `polyclip-core` is the robust general
-//! clipper, and this implementation serves as the fast baseline the paper
-//! benchmarks against for rectangular clips.
+//! algorithm, and this implementation makes **no** attempt to repair them.
+//! Callers must guarantee that
+//!
+//! * no vertex of one polygon lies on a vertex or edge of the other, and
+//! * no pair of edges overlaps collinearly;
+//!
+//! otherwise entry/exit alternation derails and the trace can emit the
+//! wrong region or a degenerate sliver. Upstream users satisfy this by
+//! snap-rounding/sanitizing inputs or by generating perturbed data. Debug
+//! builds verify the precondition with `debug_assert` guards
+//! ([`debug_check_general_position`]); release builds trust the caller.
+//!
+//! Code that cannot guarantee general position should use
+//! [`crate::foster_overfelt`] — the degeneracy-robust variant — or the
+//! scanbeam engine in `polyclip-core`. This module remains the fast
+//! baseline the paper benchmarks against for rectangular clips.
 
+use polyclip_geom::predicates::point_on_segment;
 use polyclip_geom::{Contour, Point, PolygonSet};
 
 /// Boolean operation for [`gh_clip`].
@@ -60,6 +76,12 @@ pub fn gh_clip(subject: &Contour, clip: &Contour, op: GhOp) -> PolygonSet {
     if !subject.is_valid() || !clip.is_valid() {
         return degenerate_result(subject, clip, op);
     }
+    debug_assert!(
+        debug_check_general_position(subject, clip),
+        "gh_clip precondition violated: inputs are not in general position \
+         (vertex-on-boundary or collinear overlapping edges); use \
+         foster_overfelt::fo_clip for degenerate inputs"
+    );
     let spts = subject.points();
     let cpts = clip.points();
     let (ns, nc) = (spts.len(), cpts.len());
@@ -183,6 +205,45 @@ pub fn gh_clip(subject: &Contour, clip: &Contour, op: GhOp) -> PolygonSet {
         out.push(Contour::new(pts));
     }
     out
+}
+
+/// Verify the general-position precondition of [`gh_clip`]: no vertex of
+/// either polygon on the other's boundary, and no collinear overlapping
+/// edge pair. Exact predicates, `O(n·m)` — intended for `debug_assert!`
+/// use only (release builds skip it entirely).
+///
+/// Returns `true` when the inputs are safe for plain Greiner–Hormann.
+pub fn debug_check_general_position(subject: &Contour, clip: &Contour) -> bool {
+    let on_any_edge = |c: &Contour, p: Point| -> bool {
+        let pts = c.points();
+        let n = pts.len();
+        (0..n).any(|i| point_on_segment(pts[i], pts[(i + 1) % n], p))
+    };
+    if subject.points().iter().any(|&v| on_any_edge(clip, v))
+        || clip.points().iter().any(|&v| on_any_edge(subject, v))
+    {
+        return false;
+    }
+    // Collinear overlapping edges: parallel pair where an endpoint of one
+    // lies on the other (vertex checks above catch shared endpoints; this
+    // catches interior-to-interior overlaps of equal-length spans too).
+    let (spts, cpts) = (subject.points(), clip.points());
+    let (ns, nc) = (spts.len(), cpts.len());
+    for i in 0..ns {
+        let (s0, s1) = (spts[i], spts[(i + 1) % ns]);
+        for j in 0..nc {
+            let (c0, c1) = (cpts[j], cpts[(j + 1) % nc]);
+            if (s1 - s0).cross(&(c1 - c0)) == 0.0
+                && (point_on_segment(s0, s1, c0)
+                    || point_on_segment(s0, s1, c1)
+                    || point_on_segment(c0, c1, s0)
+                    || point_on_segment(c0, c1, s1))
+            {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Build a circular ring for `pts` in `nodes`, inserting the intersection
@@ -399,6 +460,27 @@ mod tests {
         let u = gh_clip(&v, &h, GhOp::Union);
         assert_eq!(u.len(), 1);
         assert!((area(&u) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_position_guard_classifies_degeneracies() {
+        let (a, b) = offset_squares();
+        assert!(debug_check_general_position(&a, &b));
+        // Shared vertex.
+        assert!(!debug_check_general_position(
+            &rect(0.0, 0.0, 2.0, 2.0),
+            &rect(2.0, 2.0, 4.0, 4.0)
+        ));
+        // Vertex on edge interior.
+        assert!(!debug_check_general_position(
+            &rect(0.0, 0.0, 2.0, 2.0),
+            &Contour::from_xy(&[(1.0, 2.0), (3.0, 3.0), (3.0, 1.0)])
+        ));
+        // Collinear overlapping edges.
+        assert!(!debug_check_general_position(
+            &rect(0.0, 0.0, 2.0, 2.0),
+            &rect(1.0, 0.0, 3.0, 2.0)
+        ));
     }
 
     #[test]

@@ -9,13 +9,19 @@
 //! * [`greiner_hormann`] — general simple-polygon boolean operations, the
 //!   algorithm the paper itself uses for the `rectangleClip` step of
 //!   Algorithm 2 ("we used Greiner-Hormann since we found it to be faster
-//!   than GPC for rectangular clipping");
+//!   than GPC for rectangular clipping"); requires inputs in general
+//!   position (see its module docs);
+//! * [`foster_overfelt`] — the degeneracy-robust Greiner–Hormann variant
+//!   of Foster & Overfelt, used as the independent verification oracle
+//!   (`core::oracle`): the only seqclip entry point that is correct on
+//!   shared vertices, vertices on edges, and collinear overlapping edges;
 //! * [`band`] — the specialized horizontal-slab clip used by our Algorithm 2
 //!   realization: Sutherland–Hodgman against the two horizontal half-planes,
 //!   whose only artifacts are horizontal boundary runs that the scanbeam
 //!   engine ignores by construction.
 
 pub mod band;
+pub mod foster_overfelt;
 pub mod greiner_hormann;
 pub mod liang_barsky;
 pub mod sutherland_hodgman;
@@ -23,6 +29,7 @@ pub mod sutherland_hodgman;
 pub use band::{
     band_clip, band_clip_contour, band_clip_contour_into, band_clip_cow, rect_clip, xband_clip,
 };
+pub use foster_overfelt::{fo_clip, FoOp};
 pub use greiner_hormann::{gh_clip, GhOp};
 pub use liang_barsky::clip_segment_to_rect;
 pub use sutherland_hodgman::{clip_to_convex, clip_to_halfplane};

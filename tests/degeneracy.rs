@@ -17,6 +17,7 @@
 //!   the whole robustness ladder disabled (sanitize off, snap off).
 
 use polyclip::datagen::{synthetic_pair, torture_corpus};
+use polyclip::geom::region_area;
 use polyclip::prelude::*;
 use proptest::prelude::*;
 
@@ -143,6 +144,70 @@ fn torture_corpus_union_is_idempotent_and_intersection_symmetric() {
             case.name
         );
     }
+}
+
+#[test]
+fn torture_corpus_through_foster_overfelt_oracle() {
+    // The independent oracle gets the same corpus, without the engine in
+    // front of it. Cases inside its contract (`supports`) must produce
+    // finite output satisfying the area algebra — inclusion–exclusion and
+    // the ⊕/− identities, measured by the band-integration comparator,
+    // which shares no code with the oracle. Cases outside the contract
+    // must decline with `Unsupported`, not panic or emit garbage.
+    let fo = FosterOverfeltOracle;
+    let mut supported = 0usize;
+    for case in torture_corpus(0x70_41) {
+        if !fo.supports(&case.subject, &case.clip) {
+            for op in ALL_OPS {
+                assert!(
+                    matches!(
+                        fo.clip(&case.subject, &case.clip, op),
+                        Err(OracleError::Unsupported(_))
+                    ),
+                    "{}: unsupported case must decline, not clip",
+                    case.name
+                );
+            }
+            continue;
+        }
+        supported += 1;
+        let clip_op = |op| fo.clip(&case.subject, &case.clip, op).unwrap();
+        let (inter, union, diff, xor) = (
+            clip_op(BoolOp::Intersection),
+            clip_op(BoolOp::Union),
+            clip_op(BoolOp::Difference),
+            clip_op(BoolOp::Xor),
+        );
+        for out in [&inter, &union, &diff, &xor] {
+            for c in out.contours() {
+                assert!(c.points().iter().all(|p| p.is_finite()), "{}", case.name);
+            }
+        }
+        let (a, b) = (region_area(&case.subject), region_area(&case.clip));
+        let (ai, au, ad, ax) = (
+            region_area(&inter),
+            region_area(&union),
+            region_area(&diff),
+            region_area(&xor),
+        );
+        let tol = 1e-9 * (1.0 + a.abs() + b.abs());
+        assert!(
+            (ai + au - (a + b)).abs() < tol,
+            "{}: FO inclusion–exclusion broken: ∩ {ai} + ∪ {au} ≠ A {a} + B {b}",
+            case.name
+        );
+        assert!(
+            (ad - (a - ai)).abs() < tol,
+            "{}: FO difference area {ad} ≠ area(A) {a} − area(∩) {ai}",
+            case.name
+        );
+        assert!(
+            (ax - (au - ai)).abs() < tol,
+            "{}: FO xor area {ax} ≠ area(∪) {au} − area(∩) {ai}",
+            case.name
+        );
+    }
+    assert!(supported >= 2, "FO torture leg went vacuous: {supported}");
 }
 
 #[test]
